@@ -1,0 +1,26 @@
+//! # ftscp-analysis — complexity models and experiment runners
+//!
+//! The paper's evaluation (§IV, Table I, Figures 4–5) is *analytic*: it
+//! derives closed-form message/space/time costs for the hierarchical
+//! algorithm and the centralized comparator \[12\] and plots the formulas.
+//! This crate reproduces that evaluation and backs it with measurements:
+//!
+//! * [`complexity`] — the exact formulas: Eq. (11) (hierarchical message
+//!   count), Eq. (13)/(14) (centralized hop-weighted message count), and
+//!   the Table I complexity expressions;
+//! * [`measure`] — experiment runners that execute both algorithms on the
+//!   same workload over the same simulated network and report *measured*
+//!   message counts, vector-clock comparison counts, and queue residency —
+//!   the validation layer the paper lacks;
+//! * [`report`] — plain-text/markdown table rendering for the
+//!   reproduction binaries in `ftscp-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod measure;
+pub mod report;
+
+pub use complexity::{central_messages_eq14, hier_messages_eq11, Table1Row};
+pub use measure::{ExperimentConfig, Measurement, PairedRun};

@@ -1,0 +1,216 @@
+//! Brute-force global-state-lattice oracle for `Possibly`/`Definitely`.
+//!
+//! Implements the textbook definitions directly (Cooper & Marzullo):
+//! enumerate consistent cuts of the execution and
+//!
+//! * `Possibly(Φ)` ⇔ some reachable consistent cut satisfies `Φ`;
+//! * `Definitely(Φ)` ⇔ every maximal path of the cut lattice passes
+//!   through a `Φ`-cut — equivalently, the final cut is **not** reachable
+//!   from the initial cut through `¬Φ` cuts only (when the initial and
+//!   final cuts themselves don't satisfy `Φ`).
+//!
+//! Exponential in `n`; intended for executions with ≤ 6 processes and a
+//! few dozen events, where it provides ground truth *independent* of the
+//! interval-based machinery (it never looks at intervals at all).
+
+use ftscp_vclock::VectorClock;
+use std::collections::{HashSet, VecDeque};
+
+/// The oracle over per-process event histories: `histories[i][k]` is the
+/// vector timestamp of process `i`'s `k`-th event plus the local
+/// predicate's value immediately after it.
+pub struct LatticeOracle {
+    histories: Vec<Vec<(VectorClock, bool)>>,
+}
+
+impl LatticeOracle {
+    /// Builds the oracle. Histories must be causally valid (timestamps
+    /// produced by the vector clock rules).
+    pub fn new(histories: Vec<Vec<(VectorClock, bool)>>) -> Self {
+        LatticeOracle { histories }
+    }
+
+    fn n(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// A cut is a per-process count of executed events. Consistent iff for
+    /// every included event, its causal past is included: for processes
+    /// `i`, `j`: `V(e_i^{c_i})[j] ≤ c_j` where `V[j]` counts `j`'s events.
+    fn is_consistent(&self, cut: &[usize]) -> bool {
+        for (i, &ci) in cut.iter().enumerate() {
+            if ci == 0 {
+                continue;
+            }
+            let stamp = &self.histories[i][ci - 1].0;
+            for (j, &cj) in cut.iter().enumerate() {
+                if stamp.get(j) as usize > cj {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Predicate value at a cut: conjunction of each process's local state
+    /// after its last executed event (initially false).
+    fn phi(&self, cut: &[usize]) -> bool {
+        cut.iter().enumerate().all(|(i, &ci)| {
+            if ci == 0 {
+                false
+            } else {
+                self.histories[i][ci - 1].1
+            }
+        })
+    }
+
+    fn final_cut(&self) -> Vec<usize> {
+        self.histories.iter().map(|h| h.len()).collect()
+    }
+
+    /// Successor cuts: execute one more event at one process, if the
+    /// result is consistent.
+    fn successors(&self, cut: &[usize]) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for i in 0..self.n() {
+            if cut[i] < self.histories[i].len() {
+                let mut next = cut.to_vec();
+                next[i] += 1;
+                if self.is_consistent(&next) {
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// `Possibly(Φ)`: BFS over all consistent cuts, looking for a `Φ`-cut.
+    pub fn possibly(&self) -> bool {
+        let start = vec![0; self.n()];
+        let mut seen: HashSet<Vec<usize>> = HashSet::from([start.clone()]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(cut) = queue.pop_front() {
+            if self.phi(&cut) {
+                return true;
+            }
+            for next in self.successors(&cut) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// `Definitely(Φ)`: true iff no observation (maximal lattice path)
+    /// avoids `Φ` — i.e. the final cut is unreachable through `¬Φ` cuts.
+    pub fn definitely(&self) -> bool {
+        let start = vec![0; self.n()];
+        if self.phi(&start) {
+            return true;
+        }
+        let goal = self.final_cut();
+        let mut seen: HashSet<Vec<usize>> = HashSet::from([start.clone()]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(cut) = queue.pop_front() {
+            if cut == goal {
+                return false; // an observation dodged Φ entirely
+            }
+            for next in self.successors(&cut) {
+                if !self.phi(&next) && seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_vclock::ProcessId;
+    use ftscp_workload::ExecutionBuilder;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    fn oracle_of(b: ExecutionBuilder) -> LatticeOracle {
+        LatticeOracle::new(b.finish().event_histories())
+    }
+
+    #[test]
+    fn no_predicate_anywhere() {
+        let mut b = ExecutionBuilder::new(2);
+        b.internal(P0);
+        b.internal(P1);
+        let o = oracle_of(b);
+        assert!(!o.possibly());
+        assert!(!o.definitely());
+    }
+
+    #[test]
+    fn concurrent_intervals_possibly_not_definitely() {
+        // Both raise their predicate with no communication: an observation
+        // can interleave them disjointly, so Definitely fails; but a cut
+        // with both true exists, so Possibly holds.
+        let mut b = ExecutionBuilder::new(2);
+        b.begin_interval(P0);
+        b.end_interval(P0);
+        b.begin_interval(P1);
+        b.end_interval(P1);
+        let o = oracle_of(b);
+        assert!(o.possibly());
+        assert!(!o.definitely());
+    }
+
+    #[test]
+    fn handshake_makes_definitely() {
+        // Mutual crossing inside both intervals forces every observation
+        // through a both-true state.
+        let mut b = ExecutionBuilder::new(2);
+        b.begin_interval(P0);
+        let m = b.send(P0, P1);
+        b.begin_interval(P1);
+        b.recv(P1, m);
+        let m2 = b.send(P1, P0);
+        b.recv(P0, m2);
+        b.end_interval(P0);
+        b.end_interval(P1);
+        let o = oracle_of(b);
+        assert!(o.possibly());
+        assert!(o.definitely());
+    }
+
+    #[test]
+    fn sequential_intervals_fail_both() {
+        // P0's interval ends causally before P1's begins: no cut has both.
+        let mut b = ExecutionBuilder::new(2);
+        b.begin_interval(P0);
+        b.end_interval(P0);
+        let m = b.send(P0, P1);
+        b.recv(P1, m);
+        b.begin_interval(P1);
+        b.end_interval(P1);
+        let o = oracle_of(b);
+        assert!(!o.possibly());
+        assert!(!o.definitely());
+    }
+
+    #[test]
+    fn one_way_message_gives_possibly_only() {
+        // P0 tells P1 (inside both intervals) but P1 never answers: an
+        // observation can run P1's whole interval before P0's, so
+        // Definitely fails.
+        let mut b = ExecutionBuilder::new(2);
+        b.begin_interval(P0);
+        let m = b.send(P0, P1);
+        b.begin_interval(P1);
+        b.recv(P1, m);
+        b.end_interval(P1);
+        b.end_interval(P0);
+        let o = oracle_of(b);
+        assert!(o.possibly());
+        assert!(!o.definitely());
+    }
+}

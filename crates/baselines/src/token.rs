@@ -1,0 +1,481 @@
+//! Token-based distributed one-shot `Possibly(Φ)` detection, in the style
+//! of Garg & Chase \[9\] (the paper's reference for distributed detection
+//! of weak conjunctive predicates).
+//!
+//! A single token circulates among the processes. It carries one candidate
+//! interval per process; the candidate set is a *witness* for
+//! `Possibly(Φ)` when no candidate entirely precedes another
+//! (Eq. (1)). When some candidate `x_i` satisfies `max(x_i) < min(x_j)`
+//! for any `j`, interval `i` can never co-exist with the rest of the
+//! candidate set, so the token travels to process `i` to fetch its next
+//! interval (waiting there if none has completed yet). Detection
+//! announces at whichever process completes the witness.
+//!
+//! This is a **one-shot** algorithm — included to measure what the paper's
+//! related work costs on the same workloads (its token hops are exactly
+//! the messages the `O(mn²)` analyses of \[9\], \[10\] count).
+
+use ftscp_intervals::Interval;
+use ftscp_simnet::{
+    Application, Ctx, NetMetrics, NodeId, SimConfig, SimTime, Simulation, TimerToken, Topology,
+};
+use ftscp_vclock::ProcessId;
+use ftscp_workload::Execution;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which modality the token detects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenMode {
+    /// Weak conjunctive predicates, Eq. (1): a witness is a candidate set
+    /// in which no interval entirely precedes another (Garg–Chase \[9\]).
+    Possibly,
+    /// Strong conjunctive predicates, Eq. (2): a witness requires
+    /// `min(x_i) < max(x_j)` for every ordered pair
+    /// (Chandra–Kshemkalyani \[11\]).
+    Definitely,
+}
+
+/// The circulating token: one candidate interval per process.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Detection modality.
+    pub mode: TokenMode,
+    /// Current candidate of each process.
+    pub candidates: Vec<Option<Interval>>,
+    /// Token hops so far (for the message accounting).
+    pub hops: u64,
+}
+
+impl Token {
+    fn new(n: usize, mode: TokenMode) -> Self {
+        Token {
+            mode,
+            candidates: vec![None; n],
+            hops: 0,
+        }
+    }
+
+    /// Index of a process whose candidate must advance. `None` = witness
+    /// found.
+    ///
+    /// * `Possibly`: advance `i` when `max(x_i) < min(x_j)` — `x_i`
+    ///   entirely precedes `x_j`, so it can never co-exist with it.
+    /// * `Definitely`: advance `j` when `min(x_i) ≮ max(x_j)` — `x_j` ends
+    ///   too early to be "seen into" by `x_i` (and `min` only grows for
+    ///   `x_i`'s successors, so `x_j` is doomed; cf. Algorithm 1's sweep).
+    fn must_advance(&self) -> Option<usize> {
+        // Missing candidates first (lowest index).
+        if let Some(i) = self.candidates.iter().position(|c| c.is_none()) {
+            return Some(i);
+        }
+        for (i, x) in self.candidates.iter().enumerate() {
+            let x = x.as_ref().expect("checked");
+            for (j, y) in self.candidates.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let y = y.as_ref().expect("checked");
+                match self.mode {
+                    TokenMode::Possibly => {
+                        if x.hi.strictly_less(&y.lo) {
+                            return Some(i);
+                        }
+                    }
+                    TokenMode::Definitely => {
+                        if !x.lo.strictly_less(&y.hi) {
+                            return Some(j);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Wire message: the token itself.
+#[derive(Clone, Debug)]
+pub enum TokenMsg {
+    /// The token moving to its next station.
+    Token(Token),
+}
+
+const TIMER_NEXT_INTERVAL: TimerToken = 1;
+
+/// Per-process application state.
+pub struct TokenApp {
+    me: ProcessId,
+    n: usize,
+    mode: TokenMode,
+    /// Local intervals not yet consumed by the token.
+    pending: VecDeque<Interval>,
+    /// Scheduled local completions.
+    schedule: VecDeque<(SimTime, Interval)>,
+    /// Token parked here waiting for the next local interval.
+    parked: Option<Token>,
+    /// Witness found at this node (detection announcement point).
+    pub witness: Option<Vec<Interval>>,
+    /// This process's interval stream is exhausted.
+    exhausted: bool,
+    /// Set when the algorithm terminated *unsuccessfully* at this node
+    /// (needed an interval that will never come).
+    pub failed: bool,
+}
+
+impl TokenApp {
+    fn new(me: ProcessId, n: usize, mode: TokenMode, schedule: Vec<(SimTime, Interval)>) -> Self {
+        TokenApp {
+            me,
+            n,
+            mode,
+            pending: VecDeque::new(),
+            schedule: schedule.into(),
+            parked: None,
+            witness: None,
+            exhausted: false,
+            failed: false,
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, TokenMsg>) {
+        if let Some(&(t, _)) = self.schedule.front() {
+            ctx.set_timer(t.saturating_sub(ctx.now()), TIMER_NEXT_INTERVAL);
+        }
+    }
+
+    /// Advances the token at this station and forwards or parks it.
+    fn drive(&mut self, ctx: &mut Ctx<'_, TokenMsg>, mut token: Token) {
+        loop {
+            match token.must_advance() {
+                None => {
+                    // Witness complete: announce here.
+                    self.witness = Some(
+                        token
+                            .candidates
+                            .iter()
+                            .map(|c| c.clone().expect("complete"))
+                            .collect(),
+                    );
+                    return;
+                }
+                Some(i) if i == self.me.index() => {
+                    match self.pending.pop_front() {
+                        Some(iv) => {
+                            token.candidates[self.me.index()] = Some(iv);
+                            // Re-evaluate locally before travelling.
+                        }
+                        None if self.exhausted && self.schedule.is_empty() => {
+                            self.failed = true;
+                            return; // no witness possible
+                        }
+                        None => {
+                            self.parked = Some(token);
+                            return; // wait for the next local interval
+                        }
+                    }
+                }
+                Some(i) => {
+                    token.hops += 1;
+                    ctx.send(NodeId(i as u32), TokenMsg::Token(token));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Application for TokenApp {
+    type Msg = TokenMsg;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, TokenMsg>) {
+        self.arm(ctx);
+        if self.me.index() == 0 {
+            // Node 0 births the token.
+            let token = Token::new(self.n, self.mode);
+            self.drive(ctx, token);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TokenMsg>, token: TimerToken) {
+        if token != TIMER_NEXT_INTERVAL {
+            return;
+        }
+        while let Some(&(t, _)) = self.schedule.front() {
+            if t > ctx.now() {
+                break;
+            }
+            let (_, iv) = self.schedule.pop_front().expect("peeked");
+            self.pending.push_back(iv);
+        }
+        if self.schedule.is_empty() {
+            self.exhausted = true;
+        }
+        self.arm(ctx);
+        if let Some(tok) = self.parked.take() {
+            self.drive(ctx, tok);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TokenMsg>, _from: NodeId, msg: TokenMsg) {
+        let TokenMsg::Token(token) = msg;
+        self.drive(ctx, token);
+    }
+
+    fn msg_size(msg: &TokenMsg) -> usize {
+        let TokenMsg::Token(t) = msg;
+        8 + t
+            .candidates
+            .iter()
+            .flatten()
+            .map(|c| c.wire_size())
+            .sum::<usize>()
+    }
+}
+
+/// A full token-based `Possibly(Φ)` run over the simulated network.
+pub struct TokenDeployment {
+    sim: Simulation<TokenApp>,
+    end_of_schedule: SimTime,
+}
+
+impl TokenDeployment {
+    /// Builds the deployment over `topology` with `exec`'s intervals
+    /// completing in order, spaced by `interval_spacing`.
+    pub fn new(
+        topology: Topology,
+        exec: &Execution,
+        sim_config: SimConfig,
+        interval_spacing: SimTime,
+    ) -> Self {
+        Self::with_mode(
+            topology,
+            exec,
+            sim_config,
+            interval_spacing,
+            TokenMode::Possibly,
+        )
+    }
+
+    /// [`new`](Self::new) with an explicit modality.
+    pub fn with_mode(
+        topology: Topology,
+        exec: &Execution,
+        sim_config: SimConfig,
+        interval_spacing: SimTime,
+        mode: TokenMode,
+    ) -> Self {
+        let n = topology.len();
+        assert_eq!(n, exec.n);
+        let mut schedules: Vec<Vec<(SimTime, Interval)>> = vec![Vec::new(); n];
+        let mut t = SimTime::ZERO;
+        for (p, seq) in &exec.completion_order {
+            t += interval_spacing;
+            schedules[p.index()].push((t, exec.intervals[p.index()][*seq as usize].clone()));
+        }
+        let apps: Vec<TokenApp> = (0..n)
+            .map(|i| {
+                TokenApp::new(
+                    ProcessId(i as u32),
+                    n,
+                    mode,
+                    std::mem::take(&mut schedules[i]),
+                )
+            })
+            .collect();
+        let sim = Simulation::new(topology, apps, sim_config);
+        TokenDeployment {
+            sim,
+            end_of_schedule: t,
+        }
+    }
+
+    /// Runs to completion; returns the witness if `Possibly(Φ)` was
+    /// detected.
+    pub fn run(&mut self) -> Option<Vec<Interval>> {
+        self.sim
+            .run_until(self.end_of_schedule + SimTime::from_secs(30));
+        self.sim.run_to_quiescence(10_000_000);
+        self.witness()
+    }
+
+    /// The witness, wherever it was announced.
+    pub fn witness(&self) -> Option<Vec<Interval>> {
+        self.sim.apps().iter().find_map(|a| a.witness.clone())
+    }
+
+    /// True iff the algorithm terminated having proven no witness exists
+    /// for the finite execution.
+    pub fn exhausted_without_witness(&self) -> bool {
+        self.witness().is_none() && self.sim.apps().iter().any(|a| a.failed)
+    }
+
+    /// Network accounting — token hops are the \[9\]-style message cost.
+    pub fn metrics(&self) -> &NetMetrics {
+        self.sim.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::garg_waldecker::OneShotPossibly;
+    use crate::lattice::LatticeOracle;
+    use ftscp_workload::RandomExecution;
+
+    fn run_token(exec: &Execution) -> Option<Vec<Interval>> {
+        let topo = Topology::complete(exec.n);
+        let mut dep =
+            TokenDeployment::new(topo, exec, SimConfig::default(), SimTime::from_millis(5));
+        dep.run()
+    }
+
+    #[test]
+    fn witness_found_on_clean_round() {
+        let exec = RandomExecution::builder(4)
+            .intervals_per_process(1)
+            .seed(1)
+            .build();
+        let w = run_token(&exec).expect("witness");
+        assert_eq!(w.len(), 4);
+        // The witness satisfies Eq. (1).
+        assert!(ftscp_intervals::possibly_holds(&w));
+    }
+
+    #[test]
+    fn token_agrees_with_in_memory_possibly_and_oracle() {
+        let mut found = 0;
+        let mut not_found = 0;
+        for seed in 0..30 {
+            let exec = RandomExecution::builder(3)
+                .intervals_per_process(1)
+                .solo_prob(0.5)
+                .noise_msg_prob(0.2)
+                .seed(seed)
+                .build();
+            if exec.intervals.iter().any(|s| s.is_empty()) {
+                continue;
+            }
+            let token_result = run_token(&exec).is_some();
+            // In-memory reference.
+            let mut pos = OneShotPossibly::new(3);
+            for iv in exec.intervals_interleaved() {
+                pos.feed(iv.clone());
+            }
+            assert_eq!(token_result, pos.result().is_some(), "seed {seed}");
+            // Ground truth.
+            let oracle = LatticeOracle::new(exec.event_histories());
+            assert_eq!(token_result, oracle.possibly(), "seed {seed} vs oracle");
+            if token_result {
+                found += 1;
+            } else {
+                not_found += 1;
+            }
+        }
+        assert!(found > 0);
+        let _ = not_found; // sequential negatives are rare but allowed
+    }
+
+    #[test]
+    fn token_skips_stale_intervals_to_find_late_witness() {
+        // P0's first interval precedes everything; its second works.
+        use ftscp_workload::ExecutionBuilder;
+        let p0 = ProcessId(0);
+        let p1 = ProcessId(1);
+        let mut b = ExecutionBuilder::new(2);
+        b.begin_interval(p0);
+        b.end_interval(p0);
+        let m = b.send(p0, p1); // causal gap: x0#0 precedes everything at P1
+        b.recv(p1, m);
+        b.begin_interval(p1);
+        b.begin_interval(p0); // concurrent with P1's interval
+        b.end_interval(p0);
+        b.end_interval(p1);
+        let exec = b.finish();
+        let w = run_token(&exec).expect("late witness");
+        assert_eq!(w[0].seq, 1, "first interval of P0 was skipped");
+    }
+
+    #[test]
+    fn no_witness_reports_exhaustion() {
+        // Strictly sequential intervals: no witness exists.
+        use ftscp_workload::ExecutionBuilder;
+        let p0 = ProcessId(0);
+        let p1 = ProcessId(1);
+        let mut b = ExecutionBuilder::new(2);
+        b.begin_interval(p0);
+        b.end_interval(p0);
+        let m = b.send(p0, p1);
+        b.recv(p1, m);
+        b.begin_interval(p1);
+        b.end_interval(p1);
+        let exec = b.finish();
+        let topo = Topology::complete(2);
+        let mut dep =
+            TokenDeployment::new(topo, &exec, SimConfig::default(), SimTime::from_millis(5));
+        assert!(dep.run().is_none());
+        assert!(dep.exhausted_without_witness());
+    }
+
+    #[test]
+    fn definitely_mode_agrees_with_oracle() {
+        let mut found = 0;
+        for seed in 0..30 {
+            let exec = RandomExecution::builder(3)
+                .intervals_per_process(1)
+                .solo_prob(0.4)
+                .noise_msg_prob(0.3)
+                .seed(seed + 500)
+                .build();
+            if exec.intervals.iter().any(|s| s.is_empty()) {
+                continue;
+            }
+            let topo = Topology::complete(3);
+            let mut dep = TokenDeployment::with_mode(
+                topo,
+                &exec,
+                SimConfig::default(),
+                SimTime::from_millis(5),
+                TokenMode::Definitely,
+            );
+            let token_result = dep.run().is_some();
+            let oracle = LatticeOracle::new(exec.event_histories());
+            assert_eq!(token_result, oracle.definitely(), "seed {seed}");
+            if token_result {
+                found += 1;
+            }
+        }
+        assert!(found > 0);
+    }
+
+    #[test]
+    fn definitely_witness_satisfies_overlap() {
+        let exec = RandomExecution::builder(4)
+            .intervals_per_process(2)
+            .seed(3)
+            .build();
+        let topo = Topology::complete(4);
+        let mut dep = TokenDeployment::with_mode(
+            topo,
+            &exec,
+            SimConfig::default(),
+            SimTime::from_millis(5),
+            TokenMode::Definitely,
+        );
+        let w = dep.run().expect("clean round has a Definitely witness");
+        assert!(ftscp_intervals::definitely_holds(&w));
+    }
+
+    #[test]
+    fn token_hops_are_accounted() {
+        let exec = RandomExecution::builder(5)
+            .intervals_per_process(2)
+            .seed(4)
+            .build();
+        let topo = Topology::complete(5);
+        let mut dep =
+            TokenDeployment::new(topo, &exec, SimConfig::default(), SimTime::from_millis(5));
+        dep.run();
+        assert!(dep.metrics().sends > 0, "the token travelled");
+    }
+}

@@ -1,0 +1,64 @@
+//! **Ablation: Eq. (10) vs Eq. (9)** — the paper prunes with the on-line
+//! approximation Eq. (10) because Eq. (9)'s successor lows are unknown
+//! on-line. The offline detector can evaluate both; this bench quantifies
+//! what the approximation costs (comparisons) and what the exact rule
+//! would buy (deeper pruning per solution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftscp_intervals::offline::OfflineDetector;
+use ftscp_intervals::{Interval, PruneRule};
+use ftscp_workload::RandomExecution;
+use std::hint::black_box;
+
+fn sequences(n: usize, p: usize) -> Vec<Vec<Interval>> {
+    let exec = RandomExecution::builder(n)
+        .intervals_per_process(p)
+        .skip_prob(0.04)
+        .seed(9)
+        .build();
+    exec.intervals
+}
+
+fn bench_prune_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prune_rule");
+    for n in [4usize, 8, 16] {
+        let seqs = sequences(n, 12);
+        group.bench_with_input(BenchmarkId::new("eq10_approximate", n), &seqs, |b, seqs| {
+            b.iter(|| {
+                let out = OfflineDetector::new(seqs.clone(), PruneRule::Approximate).run();
+                black_box((out.solutions.len(), out.pruned))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("eq9_exact_hindsight", n),
+            &seqs,
+            |b, seqs| {
+                b.iter(|| {
+                    let out =
+                        OfflineDetector::new(seqs.clone(), PruneRule::ExactWithHindsight).run();
+                    black_box((out.solutions.len(), out.pruned))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Also print the non-timing ablation numbers once.
+    for n in [4usize, 8, 16] {
+        let seqs = sequences(n, 12);
+        let a = OfflineDetector::new(seqs.clone(), PruneRule::Approximate).run();
+        let e = OfflineDetector::new(seqs, PruneRule::ExactWithHindsight).run();
+        eprintln!(
+            "[ablation n={n}] solutions: eq10={} eq9={} | pruned/solution: eq10={:.2} eq9={:.2} | comparisons: eq10={} eq9={}",
+            a.solutions.len(),
+            e.solutions.len(),
+            a.pruned as f64 / a.solutions.len().max(1) as f64,
+            e.pruned as f64 / e.solutions.len().max(1) as f64,
+            a.comparisons,
+            e.comparisons,
+        );
+    }
+}
+
+criterion_group!(benches, bench_prune_rules);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmark: cost of the aggregation function `⊓` (Eqs. (5)/(6))
+//! by solution-set size and clock width — the per-solution overhead the
+//! hierarchical algorithm pays that the centralized one does not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftscp_intervals::{aggregate, Interval};
+use ftscp_vclock::{ProcessId, VectorClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_set(rng: &mut StdRng, members: usize, width: usize) -> Vec<Interval> {
+    (0..members)
+        .map(|m| {
+            let lo: Vec<u32> = (0..width).map(|_| rng.gen_range(0..100)).collect();
+            let hi: Vec<u32> = lo.iter().map(|l| l + rng.gen_range(1..50)).collect();
+            Interval::local(
+                ProcessId(m as u32),
+                0,
+                VectorClock::from_components(lo),
+                VectorClock::from_components(hi),
+            )
+        })
+        .collect()
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_meet");
+    for members in [2usize, 4, 8, 16] {
+        for width in [16usize, 128] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let set = random_set(&mut rng, members, width);
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{width}"), members),
+                &set,
+                |b, set| b.iter(|| black_box(aggregate(set, ProcessId(0), 0, 2))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate);
+criterion_main!(benches);

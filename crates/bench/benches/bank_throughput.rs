@@ -1,0 +1,55 @@
+//! Macro-benchmark: QueueBank enqueue/detect throughput — the inner loop
+//! of every node in the hierarchy and of the centralized sink.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftscp_intervals::{QueueBank, SlotId};
+use ftscp_workload::RandomExecution;
+use std::hint::black_box;
+
+/// Feed a full clean-round execution through a sink-style bank (one queue
+/// per process).
+fn bench_sink_bank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bank_sink_feed");
+    for n in [4usize, 8, 16, 32] {
+        let exec = RandomExecution::builder(n)
+            .intervals_per_process(8)
+            .seed(3)
+            .build();
+        let feed: Vec<_> = exec.intervals_interleaved().into_iter().cloned().collect();
+        group.throughput(Throughput::Elements(feed.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &feed, |b, feed| {
+            b.iter(|| {
+                let mut bank = QueueBank::new(n);
+                let mut solutions = 0usize;
+                for iv in feed {
+                    solutions += bank.enqueue(SlotId(iv.source.0), iv.clone()).len();
+                }
+                black_box(solutions)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same workload at a fixed small node (d = 2 queues), as hierarchy
+/// interior nodes see it.
+fn bench_node_bank(c: &mut Criterion) {
+    let exec = RandomExecution::builder(2)
+        .intervals_per_process(64)
+        .seed(4)
+        .build();
+    let feed: Vec<_> = exec.intervals_interleaved().into_iter().cloned().collect();
+    c.bench_function("bank_interior_node_feed", |b| {
+        b.iter(|| {
+            let mut bank = QueueBank::new(2);
+            let mut sols = 0;
+            for iv in &feed {
+                sols += bank.enqueue(SlotId(iv.source.0), iv.clone()).len();
+            }
+            black_box(sols)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sink_bank, bench_node_bank);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! End-to-end deployment benchmark: full simulated runs of the
+//! hierarchical monitor vs the centralized baseline over the same network,
+//! including message routing, timers, and (for the hierarchy) aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftscp_baselines::centralized::CentralizedDeployment;
+use ftscp_core::deploy::{DeployConfig, Deployment};
+use ftscp_core::monitor::MonitorConfig;
+use ftscp_simnet::{NodeId, SimConfig, SimTime, Topology};
+use ftscp_tree::SpanningTree;
+use ftscp_workload::{Execution, RandomExecution};
+use std::hint::black_box;
+
+fn workload(n: usize) -> Execution {
+    RandomExecution::builder(n)
+        .intervals_per_process(5)
+        .seed(8)
+        .build()
+}
+
+fn bench_deployments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment_e2e");
+    group.sample_size(20);
+    for n in [7usize, 15, 31] {
+        let exec = workload(n);
+        let topo = Topology::dary_tree(n, 2, 0);
+        let tree = SpanningTree::balanced_dary(n, 2);
+
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &exec, |b, exec| {
+            b.iter(|| {
+                let mut dep = Deployment::new(
+                    topo.clone(),
+                    tree.clone(),
+                    exec,
+                    DeployConfig {
+                        sim: SimConfig::default(),
+                        interval_spacing: SimTime::from_millis(2),
+                        monitor: MonitorConfig {
+                            heartbeat_period: None,
+                            retransmit_period: None,
+                        },
+                        repair_delay: SimTime::from_millis(50),
+                        ..Default::default()
+                    },
+                );
+                dep.run();
+                black_box(dep.detections().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("centralized", n), &exec, |b, exec| {
+            b.iter(|| {
+                let mut dep = CentralizedDeployment::new(
+                    topo.clone(),
+                    NodeId(0),
+                    exec,
+                    SimConfig::default(),
+                    SimTime::from_millis(2),
+                );
+                dep.run();
+                black_box(dep.detections().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload_generation_n31_p10", |b| {
+        b.iter(|| {
+            black_box(
+                RandomExecution::builder(31)
+                    .intervals_per_process(10)
+                    .noise_msg_prob(0.3)
+                    .seed(3)
+                    .build()
+                    .total_intervals(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_deployments, bench_workload_generation);
+criterion_main!(benches);

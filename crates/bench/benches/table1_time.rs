@@ -1,0 +1,58 @@
+//! **Table I, time column, as wall-clock**: the hierarchical detector vs
+//! the centralized repeated detector on identical executions.
+//!
+//! The paper's analytic claim is `O(d²pn²)` (distributed) vs `O(pn³)` (at
+//! the sink): the centralized/hierarchical total-work ratio should grow
+//! roughly like `n/d²` with the network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftscp_baselines::CentralizedDetector;
+use ftscp_core::HierarchicalDetector;
+use ftscp_tree::SpanningTree;
+use ftscp_workload::{Execution, RandomExecution};
+use std::hint::black_box;
+
+fn workload(n: usize) -> Execution {
+    RandomExecution::builder(n)
+        .intervals_per_process(6)
+        .skip_prob(0.1)
+        .seed(5)
+        .build()
+}
+
+fn bench_hier_vs_central(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_detection_time");
+    for n in [7usize, 15, 31, 63] {
+        let exec = workload(n);
+        let tree = SpanningTree::balanced_dary(n, 2);
+        let feed: Vec<_> = exec.intervals_interleaved().into_iter().cloned().collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_total", n),
+            &feed,
+            |b, feed| {
+                b.iter(|| {
+                    let mut det = HierarchicalDetector::new(&tree);
+                    for iv in feed {
+                        det.feed(iv.clone());
+                    }
+                    black_box(det.root_solutions().len())
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("centralized_sink", n), &feed, |b, feed| {
+            b.iter(|| {
+                let mut det = CentralizedDetector::new(n);
+                let mut sols = 0;
+                for iv in feed {
+                    sols += det.feed(iv.clone()).len();
+                }
+                black_box(sols)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hier_vs_central);
+criterion_main!(benches);

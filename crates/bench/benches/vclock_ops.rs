@@ -1,0 +1,51 @@
+//! Micro-benchmarks: vector-clock comparison/join/meet across widths.
+//!
+//! The `O(n)`-per-comparison cost is the unit of the paper's §IV-C time
+//! analysis; these benches pin down the constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftscp_vclock::{order, VectorClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_clock(rng: &mut StdRng, n: usize) -> VectorClock {
+    VectorClock::from_components((0..n).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>())
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vclock_compare");
+    for n in [8usize, 32, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs: Vec<(VectorClock, VectorClock)> = (0..64)
+            .map(|_| (random_clock(&mut rng, n), random_clock(&mut rng, n)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
+            b.iter(|| {
+                for (x, y) in pairs {
+                    black_box(order::compare(black_box(x), black_box(y)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_meet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vclock_join_meet");
+    for n in [8usize, 128] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_clock(&mut rng, n);
+        let b = random_clock(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("join", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| black_box(a.join(b)))
+        });
+        group.bench_with_input(BenchmarkId::new("meet", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| black_box(a.meet(b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare, bench_join_meet);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Full measurement campaign: sweeps tree degree × height × workload
+//! noise, runs the hierarchical algorithm and the centralized baseline on
+//! identical simulated networks (in parallel), and writes one CSV with
+//! every quantity EXPERIMENTS.md discusses.
+//!
+//! ```text
+//! cargo run -p ftscp-bench --release --bin repro_campaign
+//! ```
+
+use ftscp_analysis::complexity::{central_messages_eq14, hier_messages_eq11};
+use ftscp_analysis::measure::{run_paired_many, ExperimentConfig};
+use ftscp_analysis::report::{render_table, write_csv};
+
+fn main() {
+    // The grid: every (d, h) the simulator handles comfortably, at three
+    // noise levels.
+    let mut configs = Vec::new();
+    let mut labels = Vec::new();
+    for &(d, hs) in &[(2usize, &[3u32, 4, 5, 6][..]), (3, &[3, 4]), (4, &[2, 3])] {
+        for &h in hs {
+            for &(skip, solo) in &[(0.0, 0.0), (0.1, 0.05), (0.3, 0.2)] {
+                configs.push(ExperimentConfig {
+                    d,
+                    h,
+                    p: 6,
+                    skip_prob: skip,
+                    solo_prob: solo,
+                    seed: 42,
+                });
+                labels.push((d, h, skip, solo));
+            }
+        }
+    }
+    eprintln!("running {} paired experiments...", configs.len());
+    let runs = run_paired_many(&configs);
+
+    let headers = [
+        "d",
+        "h",
+        "n",
+        "skip",
+        "solo",
+        "alpha_hat",
+        "detections",
+        "msgs_hier",
+        "msgs_cent_hop",
+        "msg_ratio",
+        "cmp_hier_total",
+        "cmp_hier_max_node",
+        "cmp_cent_sink",
+        "cmp_ratio_max_node",
+        "queue_hier_max",
+        "queue_cent_sink",
+        "link_hier_max",
+        "link_cent_max",
+        "eq11_alpha_hat",
+        "eq14_corrected",
+    ];
+    let mut rows = Vec::new();
+    for ((d, h, skip, solo), run) in labels.iter().zip(&runs) {
+        let m = run.measurement;
+        let eq11 = hier_messages_eq11(6, *d as u64, *h, m.empirical_alpha.clamp(0.0, 0.999));
+        let eq14 = central_messages_eq14(6, *d as u64, *h);
+        rows.push(vec![
+            d.to_string(),
+            h.to_string(),
+            m.n.to_string(),
+            format!("{skip:.2}"),
+            format!("{solo:.2}"),
+            format!("{:.3}", m.empirical_alpha),
+            m.hier_detections.to_string(),
+            m.hier_messages.to_string(),
+            m.central_hop_messages.to_string(),
+            format!(
+                "{:.2}",
+                m.central_hop_messages as f64 / m.hier_messages.max(1) as f64
+            ),
+            m.hier_comparisons.to_string(),
+            m.hier_max_node_comparisons.to_string(),
+            m.central_comparisons.to_string(),
+            format!(
+                "{:.1}",
+                m.central_comparisons as f64 / m.hier_max_node_comparisons.max(1) as f64
+            ),
+            m.hier_max_node_resident.to_string(),
+            m.central_resident.to_string(),
+            m.hier_max_edge_load.to_string(),
+            m.central_max_edge_load.to_string(),
+            format!("{eq11:.0}"),
+            format!("{eq14:.0}"),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    match write_csv("campaign", &headers, &rows) {
+        Ok(path) => println!("\ncampaign written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    // Summary: the paper's three claims, quantified over the campaign.
+    let clean: Vec<_> = labels
+        .iter()
+        .zip(&runs)
+        .filter(|((_, _, skip, _), _)| *skip == 0.0)
+        .collect();
+    let msg_ratios: Vec<f64> = clean
+        .iter()
+        .map(|(_, r)| {
+            r.measurement.central_hop_messages as f64 / r.measurement.hier_messages.max(1) as f64
+        })
+        .collect();
+    let cmp_ratios: Vec<f64> = clean
+        .iter()
+        .map(|(_, r)| {
+            r.measurement.central_comparisons as f64
+                / r.measurement.hier_max_node_comparisons.max(1) as f64
+        })
+        .collect();
+    println!("\nclean-round summary over {} points:", clean.len());
+    println!(
+        "  message ratio (cent/hier): min {:.2}, max {:.2}",
+        msg_ratios.iter().cloned().fold(f64::MAX, f64::min),
+        msg_ratios.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "  sink-vs-busiest-node comparison ratio: min {:.1}, max {:.1}",
+        cmp_ratios.iter().cloned().fold(f64::MAX, f64::min),
+        cmp_ratios.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "  detections agree on every row: {}",
+        runs.iter()
+            .all(|r| r.measurement.hier_detections == r.measurement.central_detections)
+    );
+}

@@ -1,0 +1,117 @@
+//! Reproduces **Table I**: complexity comparison between the hierarchical
+//! detection algorithm and the centralized repeated detection algorithm
+//! \[12\], both as the paper's closed forms and as measured quantities from
+//! paired simulation runs.
+//!
+//! ```text
+//! cargo run -p ftscp-bench --release --bin repro_table1
+//! ```
+
+use ftscp_analysis::complexity::{full_tree_n, Table1Row};
+use ftscp_analysis::measure::{run_paired_many, ExperimentConfig};
+use ftscp_analysis::report::{fnum, render_table};
+
+fn main() {
+    println!("== Table I: analytic complexity (paper's expressions) ==");
+    println!("   (space/time columns are the O(·) expressions evaluated,");
+    println!("    messages are Eq. (11) with α = 0.45 vs corrected Eq. (14))\n");
+
+    let mut rows = Vec::new();
+    for &(d, h) in &[(2u64, 3u32), (2, 5), (2, 7), (4, 3), (4, 5)] {
+        let r = Table1Row::evaluate(20, d, h, 0.45);
+        rows.push(vec![
+            r.d.to_string(),
+            r.h.to_string(),
+            r.n.to_string(),
+            fnum(r.hier_space),
+            fnum(r.central_space),
+            fnum(r.hier_time),
+            fnum(r.central_time),
+            fnum(r.time_ratio()),
+            fnum(r.hier_messages),
+            fnum(r.central_messages),
+        ]);
+    }
+    let headers = [
+        "d",
+        "h",
+        "n=d^h",
+        "space hier",
+        "space cent",
+        "time hier (d²pn²)",
+        "time cent (pn³)",
+        "cent/hier time",
+        "msgs hier",
+        "msgs cent",
+    ];
+    println!("{}", render_table(&headers, &rows));
+    if let Ok(path) = ftscp_analysis::report::write_csv("table1_analytic", &headers, &rows) {
+        println!("(series written to {})", path.display());
+    }
+
+    println!("\n== Table I, measured: paired simulation runs ==");
+    println!("   full d-ary trees, clean-round workload, p = 6, heartbeats off\n");
+    let grid: Vec<(usize, u32, f64, f64)> = vec![
+        (2, 3, 0.0, 0.0),
+        (2, 4, 0.0, 0.0),
+        (2, 5, 0.0, 0.0),
+        (3, 3, 0.0, 0.0),
+        (3, 4, 0.0, 0.0),
+        (4, 3, 0.0, 0.0),
+        (2, 4, 0.2, 0.1),
+        (3, 3, 0.2, 0.1),
+    ];
+    let configs: Vec<ExperimentConfig> = grid
+        .iter()
+        .map(|&(d, h, skip, solo)| ExperimentConfig {
+            d,
+            h,
+            p: 6,
+            skip_prob: skip,
+            solo_prob: solo,
+            seed: 42,
+        })
+        .collect();
+    let runs = run_paired_many(&configs);
+    let mut rows = Vec::new();
+    for (&(d, h, skip, solo), run) in grid.iter().zip(&runs) {
+        let m = run.measurement;
+        rows.push(vec![
+            format!("{d} ({skip:.1}/{solo:.1})"),
+            h.to_string(),
+            full_tree_n(d as u64, h).to_string(),
+            m.hier_detections.to_string(),
+            m.central_detections.to_string(),
+            m.hier_messages.to_string(),
+            m.central_hop_messages.to_string(),
+            m.hier_max_node_comparisons.to_string(),
+            m.central_comparisons.to_string(),
+            m.hier_max_node_resident.to_string(),
+            m.central_resident.to_string(),
+            format!("{:.2}", m.empirical_alpha),
+        ]);
+    }
+    let headers = [
+        "d (skip/solo)",
+        "h",
+        "n",
+        "det hier",
+        "det cent",
+        "msgs hier",
+        "msgs cent(hop)",
+        "max cmp/node hier",
+        "cmp sink cent",
+        "max queue hier",
+        "queue sink cent",
+        "α̂",
+    ];
+    println!("{}", render_table(&headers, &rows));
+    if let Ok(path) = ftscp_analysis::report::write_csv("table1_measured", &headers, &rows) {
+        println!("(series written to {})", path.display());
+    }
+    println!("\nReadings:");
+    println!("  * detections agree — both algorithms find the same occurrences;");
+    println!("  * hierarchical hop-messages < centralized hop-messages, gap grows with h;");
+    println!("  * no hierarchical node compares or stores as much as the sink —");
+    println!("    the cost is distributed (the paper's headline claim).");
+}

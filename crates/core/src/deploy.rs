@@ -1,0 +1,445 @@
+//! [`Deployment`] — the full distributed system on the simulated network.
+//!
+//! Wires one [`crate::monitor::MonitorApp`] per node onto an
+//! [`ftscp_simnet::Simulation`], schedules each process's local intervals
+//! at simulated times, injects crash-stop failures, and performs the
+//! spanning-tree repair the paper assumes as a substrate (§III-F): after a
+//! failure is detected (heartbeat timeout), the maintenance service
+//! computes the repaired tree and issues `SetParent` / `AddChild` /
+//! `RemoveChild` / `PromoteRoot` control messages to the affected nodes.
+
+use crate::monitor::{MonitorApp, MonitorConfig};
+use crate::protocol::DetectMsg;
+use crate::report::GlobalDetection;
+use crate::{nid, pid};
+use ftscp_intervals::Interval;
+use ftscp_simnet::{NetMetrics, NodeId, SimConfig, SimTime, Simulation, Topology};
+use ftscp_tree::SpanningTree;
+use ftscp_vclock::ProcessId;
+use ftscp_workload::Execution;
+
+/// How failures are *detected* (repair itself is always the maintenance
+/// service's tree surgery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RepairMode {
+    /// The harness repairs at `crash_time + repair_delay` (deterministic,
+    /// used by the measurement experiments).
+    #[default]
+    Scheduled,
+    /// Repairs trigger from the monitors' own heartbeat timeouts: the
+    /// simulation advances in slices, and when a dead node's tree parent
+    /// stops hearing its heartbeats for `repair_delay`, the maintenance
+    /// service repairs. No clairvoyance about crash times — the faithful
+    /// §III-F mode. Requires heartbeats to be enabled.
+    HeartbeatDriven,
+}
+
+/// Deployment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DeployConfig {
+    /// Simulation seed and link model.
+    pub sim: SimConfig,
+    /// Spacing between successive interval completions in the global
+    /// completion order.
+    pub interval_spacing: SimTime,
+    /// Monitor options (heartbeats).
+    pub monitor: MonitorConfig,
+    /// Delay between a crash and the completion of failure detection +
+    /// tree repair (models heartbeat timeout + repair protocol). In
+    /// [`RepairMode::HeartbeatDriven`] this is the heartbeat timeout.
+    pub repair_delay: SimTime,
+    /// Failure-detection mode.
+    pub repair_mode: RepairMode,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            sim: SimConfig::default(),
+            interval_spacing: SimTime::from_millis(10),
+            monitor: MonitorConfig::default(),
+            repair_delay: SimTime::from_millis(120),
+            repair_mode: RepairMode::Scheduled,
+        }
+    }
+}
+
+/// A running deployment.
+pub struct Deployment {
+    sim: Simulation<MonitorApp>,
+    tree: SpanningTree,
+    topology: Topology,
+    /// Pending crash events (time, node), sorted ascending.
+    crash_plan: Vec<(SimTime, ProcessId)>,
+    /// Pending recovery events (time, node), sorted ascending.
+    recovery_plan: Vec<(SimTime, ProcessId)>,
+    /// Orphan subtree roots partitioned by earlier (possibly overlapping)
+    /// failures, retried at every subsequent repair.
+    pending_orphans: Vec<NodeId>,
+    config: DeployConfig,
+    end_of_schedule: SimTime,
+}
+
+impl Deployment {
+    /// Builds the deployment: every interval of `exec` completes at its
+    /// position in the global completion order times `interval_spacing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not a subgraph of the topology (parent links
+    /// must be single-hop) or sizes disagree.
+    pub fn new(
+        topology: Topology,
+        tree: SpanningTree,
+        exec: &Execution,
+        config: DeployConfig,
+    ) -> Self {
+        assert_eq!(topology.len(), exec.n, "topology/execution size mismatch");
+        assert!(
+            tree.is_subgraph_of(&topology),
+            "tree edges must be topology edges"
+        );
+        let n = topology.len();
+
+        // Assign completion times in global completion order.
+        let mut schedules: Vec<Vec<(SimTime, Interval)>> = vec![Vec::new(); n];
+        let mut t = SimTime::ZERO;
+        for (p, seq) in &exec.completion_order {
+            t += config.interval_spacing;
+            let iv = exec.intervals[p.index()][*seq as usize].clone();
+            schedules[p.index()].push((t, iv));
+        }
+        let end_of_schedule = t;
+
+        let height = tree.height();
+        let apps: Vec<MonitorApp> = (0..n)
+            .map(|i| {
+                let node = NodeId(i as u32);
+                let parent = tree.parent(node).map(pid);
+                let children: Vec<ProcessId> =
+                    tree.children(node).iter().map(|&c| pid(c)).collect();
+                let level = (height - tree.depth(node)) as u32;
+                MonitorApp::new(
+                    pid(node),
+                    parent,
+                    &children,
+                    level,
+                    std::mem::take(&mut schedules[i]),
+                    config.monitor,
+                )
+            })
+            .collect();
+
+        let sim = Simulation::new(topology.clone(), apps, config.sim);
+        Deployment {
+            sim,
+            tree,
+            topology,
+            crash_plan: Vec::new(),
+            recovery_plan: Vec::new(),
+            pending_orphans: Vec::new(),
+            config,
+            end_of_schedule,
+        }
+    }
+
+    /// Schedules `node` to crash-stop at `at`.
+    pub fn schedule_crash(&mut self, node: ProcessId, at: SimTime) {
+        self.sim.schedule_crash(nid(node), at);
+        self.crash_plan.push((at, node));
+        self.crash_plan.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Schedules `node` to reboot from its stable checkpoint at `at`
+    /// (crash-**recovery**; requires the monitors to have been built with
+    /// checkpointing — see [`Deployment::enable_checkpointing`]). The node
+    /// rejoins the tree as a leaf under an alive topology neighbor.
+    pub fn schedule_recovery(&mut self, node: ProcessId, at: SimTime) {
+        self.recovery_plan.push((at, node));
+        self.recovery_plan.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Enables write-through engine checkpointing on every node (stable
+    /// storage for crash-recovery).
+    pub fn enable_checkpointing(&mut self) {
+        for i in 0..self.sim.len() {
+            let node = NodeId(i as u32);
+            self.sim
+                .with_app_ctx(node, |app, _ctx| app.enable_checkpointing());
+        }
+    }
+
+    /// Runs the deployment to completion: all scheduled intervals fire,
+    /// failures are repaired, recoveries rejoin, and the network drains.
+    pub fn run(&mut self) {
+        if self.config.repair_mode == RepairMode::HeartbeatDriven {
+            self.run_heartbeat_driven();
+            return;
+        }
+        enum Action {
+            Repair(ProcessId),
+            Recover(ProcessId),
+        }
+        let mut actions: Vec<(SimTime, Action)> = std::mem::take(&mut self.crash_plan)
+            .into_iter()
+            .map(|(t, n)| (t + self.config.repair_delay, Action::Repair(n)))
+            .chain(
+                std::mem::take(&mut self.recovery_plan)
+                    .into_iter()
+                    .map(|(t, n)| (t, Action::Recover(n))),
+            )
+            .collect();
+        actions.sort_by_key(|&(t, _)| t);
+        for (at, action) in actions {
+            self.sim.run_until(at);
+            match action {
+                Action::Repair(node) => self.repair(node),
+                Action::Recover(node) => self.recover(node),
+            }
+        }
+        // Drain the schedules and all in-flight messages. Heartbeats
+        // re-arm forever, so the run is bounded by time, not quiescence:
+        // the slack comfortably exceeds any in-flight delay.
+        let deadline = self.end_of_schedule + SimTime::from_secs(10);
+        self.sim.run_until(deadline);
+    }
+
+    /// Heartbeat-driven run loop: the simulation advances in half-timeout
+    /// slices; whenever a node's tree parent (or any tree child, for the
+    /// root) has not heard its heartbeats for a full timeout *and* the
+    /// node is actually dead, the maintenance service repairs. Recoveries
+    /// still honor their schedule.
+    fn run_heartbeat_driven(&mut self) {
+        assert!(
+            self.config.monitor.heartbeat_period.is_some(),
+            "HeartbeatDriven repair requires heartbeats"
+        );
+        let timeout = self.config.repair_delay;
+        let slice = SimTime(timeout.0.max(2) / 2);
+        let deadline = self.end_of_schedule + SimTime::from_secs(10);
+        let mut recoveries = std::mem::take(&mut self.recovery_plan);
+        recoveries.sort_by_key(|&(t, _)| t);
+        let mut next_recovery = 0usize;
+        let mut t = SimTime::ZERO;
+        while t < deadline {
+            t = (t + slice).min(deadline);
+            self.sim.run_until(t);
+            while next_recovery < recoveries.len() && recoveries[next_recovery].0 <= t {
+                let (_, node) = recoveries[next_recovery];
+                next_recovery += 1;
+                self.recover(node);
+            }
+            // Ask every alive tree member about its suspects.
+            let now = self.sim.time();
+            let mut to_repair: Vec<ProcessId> = Vec::new();
+            for node in self.tree.nodes() {
+                if !self.sim.is_alive(node) {
+                    continue;
+                }
+                for suspect in self.sim.app(node).suspects(now, timeout) {
+                    // Only a *true* failure triggers surgery (false
+                    // suspicion from jitter is ignored; a production
+                    // system would add confirmation rounds).
+                    if !self.sim.is_alive(nid(suspect))
+                        && self.tree.contains(nid(suspect))
+                        && !to_repair.contains(&suspect)
+                    {
+                        to_repair.push(suspect);
+                    }
+                }
+            }
+            for failed in to_repair {
+                self.repair(failed);
+            }
+        }
+    }
+
+    /// The tree-maintenance service: repairs the spanning tree after
+    /// `failed` crashed and issues control messages to the survivors.
+    fn repair(&mut self, failed: ProcessId) {
+        let alive = self.sim.alive().to_vec();
+        let old_parents: Vec<Option<NodeId>> = (0..self.tree.capacity())
+            .map(|i| self.tree.parent(NodeId(i as u32)))
+            .collect();
+        let mut report = self
+            .tree
+            .handle_failure(nid(failed), &self.topology, &alive);
+        // Overlapping failures can strand orphan subtrees (e.g. a repair
+        // that runs while the root's own crash is still unrepaired).
+        // Retry every previously partitioned orphan now, and merge the
+        // outcome into this repair's report.
+        let mut pending = std::mem::take(&mut self.pending_orphans);
+        pending.extend(report.partitioned.iter().copied());
+        pending.sort_unstable();
+        pending.dedup();
+        let retry = self.tree.reattach_orphans(&pending, &self.topology, &alive);
+        report.reattached.extend(retry.reattached.iter().copied());
+        let mut affected: Vec<NodeId> = report
+            .affected
+            .iter()
+            .chain(retry.affected.iter())
+            .copied()
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        report.affected = affected;
+        self.pending_orphans = retry.partitioned;
+        // Orphans that stayed partitioned in this round's own failure are
+        // also pending (reattach_orphans already retried them; keep only
+        // the still-unattached ones — retry.partitioned covers both).
+        let report = report;
+
+        let now = self.sim.time();
+        let service = nid(failed); // nominal "from" for injected control msgs
+
+        // 1. Former parent drops the dead child's queue.
+        if let Some(p) = report.former_parent {
+            self.sim
+                .inject(now, service, p, DetectMsg::RemoveChild { child: failed });
+        }
+        // 2. Affected nodes reconcile children and parents. Order matters:
+        //    removals and adoptions first, then SetParent (which triggers
+        //    the re-report into the adopter's fresh queue).
+        for &aff in &report.affected {
+            if !self.tree.contains(aff) {
+                continue;
+            }
+            let tree_children: std::collections::BTreeSet<ProcessId> =
+                self.tree.children(aff).iter().map(|&c| pid(c)).collect();
+            let engine_children: std::collections::BTreeSet<ProcessId> =
+                self.sim.app(aff).engine().children().into_iter().collect();
+            for &gone in engine_children.difference(&tree_children) {
+                if gone == failed {
+                    continue; // already handled above
+                }
+                self.sim
+                    .inject(now, service, aff, DetectMsg::RemoveChild { child: gone });
+            }
+            for &new in tree_children.difference(&engine_children) {
+                self.sim
+                    .inject(now, service, aff, DetectMsg::AddChild { child: new });
+            }
+        }
+        // 3. Root promotion.
+        if let Some(new_root) = report.new_root {
+            self.sim
+                .inject(now, service, new_root, DetectMsg::PromoteRoot);
+        }
+        // 4. Re-parent notifications (trigger re-reports).
+        for &aff in &report.affected {
+            if !self.tree.contains(aff) {
+                continue;
+            }
+            let new_parent = self.tree.parent(aff);
+            if new_parent != old_parents[aff.index()] {
+                self.sim.inject(
+                    now,
+                    service,
+                    aff,
+                    DetectMsg::SetParent {
+                        parent: new_parent.map(pid),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The recovery path of the maintenance service: revive the node,
+    /// reboot its monitor from stable storage, and rejoin it as a leaf.
+    fn recover(&mut self, node: ProcessId) {
+        if self.sim.is_alive(nid(node)) || self.tree.contains(nid(node)) {
+            return; // never crashed, or already back
+        }
+        // Find an adopter first; without one the node stays down.
+        let adopter = self
+            .topology
+            .neighbors(nid(node))
+            .iter()
+            .copied()
+            .find(|&nb| self.tree.contains(nb) && self.sim.is_alive(nb));
+        let Some(parent) = adopter else { return };
+
+        self.sim.revive(nid(node));
+        let mut rebooted = false;
+        self.sim.with_app_ctx(nid(node), |app, ctx| {
+            rebooted = app.reboot_from_checkpoint(ctx);
+        });
+        if !rebooted {
+            // No stable storage: leave the node revived but detached (it
+            // can still be adopted manually); do not rejoin the tree with
+            // inconsistent volatile state.
+            return;
+        }
+        self.tree.rejoin_leaf(nid(node), parent);
+        let now = self.sim.time();
+        let service = nid(node);
+        self.sim
+            .inject(now, service, parent, DetectMsg::AddChild { child: node });
+        self.sim.inject(
+            now,
+            service,
+            nid(node),
+            DetectMsg::SetParent {
+                parent: Some(pid(parent)),
+            },
+        );
+    }
+
+    /// All detections recorded anywhere in the network (roots past and
+    /// present), sorted by time.
+    ///
+    /// This *observer* view includes logs of nodes that later crashed —
+    /// convenient for analysis, though a real consumer would only see
+    /// live roots' reports. Combined with failover re-publication,
+    /// detection delivery across failures is at-least-once; consumers
+    /// needing exactly-once should dedup by coverage.
+    pub fn detections(&self) -> Vec<GlobalDetection> {
+        let mut all: Vec<GlobalDetection> = self
+            .sim
+            .apps()
+            .iter()
+            .flat_map(|a| a.detections().iter().cloned())
+            .collect();
+        all.sort_by_key(|d| d.time);
+        all
+    }
+
+    /// Network metrics (hop-weighted message counts etc.).
+    pub fn metrics(&self) -> &NetMetrics {
+        self.sim.metrics()
+    }
+
+    /// Interval messages sent network-wide (the paper's message count).
+    pub fn interval_messages(&self) -> u64 {
+        self.sim.apps().iter().map(|a| a.interval_msgs_sent()).sum()
+    }
+
+    /// The current (possibly repaired) spanning tree.
+    pub fn tree(&self) -> &SpanningTree {
+        &self.tree
+    }
+
+    /// Access to a node's monitor.
+    pub fn app(&self, node: ProcessId) -> &MonitorApp {
+        self.sim.app(nid(node))
+    }
+
+    /// Peak intervals resident at any single node (space accounting).
+    pub fn peak_queue_len(&self) -> usize {
+        self.sim
+            .apps()
+            .iter()
+            .map(|a| a.engine().bank_stats().peak_queue_len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over nodes of peak resident intervals (global space bound).
+    pub fn total_peak_resident(&self) -> usize {
+        self.sim
+            .apps()
+            .iter()
+            .map(|a| a.engine().bank_stats().peak_resident)
+            .sum()
+    }
+}

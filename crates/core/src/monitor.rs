@@ -1,0 +1,453 @@
+//! [`MonitorApp`] — one node's monitor process on the simulated network.
+
+use crate::engine::{EngineCheckpoint, EngineOutput, NodeEngine};
+use crate::nid;
+use crate::protocol::DetectMsg;
+use crate::report::GlobalDetection;
+use ftscp_intervals::Interval;
+use ftscp_simnet::{Application, Ctx, NodeId, SimTime, TimerToken};
+use ftscp_vclock::ProcessId;
+use std::collections::{BTreeMap, VecDeque};
+
+const TIMER_NEXT_INTERVAL: TimerToken = 1;
+const TIMER_HEARTBEAT: TimerToken = 2;
+const TIMER_RETRANSMIT: TimerToken = 3;
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Heartbeat period along tree edges; `None` disables heartbeats
+    /// (used by the message-counting experiments, which — like the paper —
+    /// count only interval traffic).
+    pub heartbeat_period: Option<SimTime>,
+    /// Reliability layer for lossy links: when set, interval reports are
+    /// held until cumulatively acknowledged by the parent and re-sent at
+    /// this period. `None` assumes reliable channels (the paper's model).
+    pub retransmit_period: Option<SimTime>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            heartbeat_period: Some(SimTime::from_millis(50)),
+            retransmit_period: None,
+        }
+    }
+}
+
+/// The per-node monitor: wraps a [`NodeEngine`], reports aggregated
+/// intervals to the parent over the network, reassembles per-child FIFO
+/// order on top of the non-FIFO channels, and applies tree-repair control
+/// messages.
+///
+/// ## Non-FIFO channels and interval order
+///
+/// Algorithm 1's queues assume each child's intervals arrive in the order
+/// they were produced (that is what makes queue heads "earliest remaining",
+/// Theorem 2). The system model explicitly allows out-of-order delivery,
+/// so the monitor restores per-child order with sequence numbers and a
+/// reorder buffer — a standard engineering completion the paper leaves
+/// implicit. Stale re-transmissions (possible after a reattachment
+/// re-report) are dropped.
+pub struct MonitorApp {
+    me: ProcessId,
+    engine: NodeEngine,
+    parent: Option<ProcessId>,
+    /// Local intervals this node will observe, with completion times
+    /// (the simulated "application" whose predicate we monitor).
+    schedule: VecDeque<(SimTime, Interval)>,
+    config: MonitorConfig,
+    /// Per-child reorder state: next expected seq + held-back intervals.
+    reorder: BTreeMap<ProcessId, (u64, BTreeMap<u64, Interval>)>,
+    /// Detections recorded while this node was a root.
+    detections: Vec<GlobalDetection>,
+    /// Interval messages sent (for per-node accounting).
+    interval_msgs_sent: u64,
+    /// Reliability layer: outputs not yet acknowledged by the parent,
+    /// keyed by output sequence number.
+    unacked: BTreeMap<u64, Interval>,
+    /// Heartbeats observed: peer → last time.
+    pub heartbeat_seen: BTreeMap<ProcessId, SimTime>,
+    /// Last persisted checkpoint ("stable storage"): taken after every
+    /// engine-state change when checkpointing is enabled.
+    stable_checkpoint: Option<EngineCheckpoint>,
+    checkpointing: bool,
+}
+
+impl MonitorApp {
+    /// Builds a monitor for `me` with the given children and local
+    /// interval schedule (must be sorted by time).
+    pub fn new(
+        me: ProcessId,
+        parent: Option<ProcessId>,
+        children: &[ProcessId],
+        level: u32,
+        schedule: Vec<(SimTime, Interval)>,
+        config: MonitorConfig,
+    ) -> Self {
+        debug_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut engine = NodeEngine::new(me, children, parent.is_none());
+        engine.set_level(level);
+        MonitorApp {
+            me,
+            engine,
+            parent,
+            schedule: schedule.into(),
+            config,
+            reorder: BTreeMap::new(),
+            detections: Vec::new(),
+            interval_msgs_sent: 0,
+            unacked: BTreeMap::new(),
+            heartbeat_seen: BTreeMap::new(),
+            stable_checkpoint: None,
+            checkpointing: false,
+        }
+    }
+
+    /// Enables write-through checkpointing: after every state change the
+    /// engine image is "persisted" (kept aside), surviving a crash of the
+    /// in-memory state. Models a node with stable storage.
+    pub fn with_checkpointing(mut self) -> Self {
+        self.enable_checkpointing();
+        self
+    }
+
+    /// Non-consuming form of [`with_checkpointing`](Self::with_checkpointing).
+    pub fn enable_checkpointing(&mut self) {
+        self.checkpointing = true;
+        self.stable_checkpoint = Some(self.engine.checkpoint());
+    }
+
+    /// The last persisted checkpoint, if checkpointing is enabled.
+    pub fn stable_checkpoint(&self) -> Option<&EngineCheckpoint> {
+        self.stable_checkpoint.as_ref()
+    }
+
+    /// Reboot: discard volatile state and restore the engine from stable
+    /// storage. The node rejoins as a leaf (its children have been
+    /// re-parented during its downtime): child queues are dropped, the
+    /// reorder buffers and unacked set are volatile and reset, and the
+    /// interval schedule continues from wherever simulated time now is.
+    /// Returns false if no checkpoint exists.
+    pub fn reboot_from_checkpoint(&mut self, ctx: &mut Ctx<'_, DetectMsg>) -> bool {
+        let Some(cp) = self.stable_checkpoint.clone() else {
+            return false;
+        };
+        let mut engine = NodeEngine::restore(cp);
+        engine.set_root(false);
+        engine.set_level(1);
+        // Drop stale child queues; discard any released (stale) outputs —
+        // they refer to children that now live elsewhere.
+        for child in engine.children() {
+            let _ = engine.remove_child(child);
+        }
+        self.engine = engine;
+        self.parent = None; // the maintenance service will SetParent us
+        self.reorder.clear();
+        self.unacked.clear();
+        // Intervals that would have completed during the outage never
+        // happened (the node was down): drop them.
+        while let Some(&(t, _)) = self.schedule.front() {
+            if t <= ctx.now() {
+                self.schedule.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Re-arm volatile timers.
+        self.arm_next_interval(ctx);
+        if let Some(period) = self.config.heartbeat_period {
+            ctx.set_timer(period, TIMER_HEARTBEAT);
+        }
+        if let Some(period) = self.config.retransmit_period {
+            ctx.set_timer(period, TIMER_RETRANSMIT);
+        }
+        true
+    }
+
+    fn persist(&mut self) {
+        if self.checkpointing {
+            self.stable_checkpoint = Some(self.engine.checkpoint());
+        }
+    }
+
+    /// Outputs awaiting parent acknowledgement (reliability layer).
+    pub fn unacked_count(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Detections recorded at this node (non-empty only for roots).
+    pub fn detections(&self) -> &[GlobalDetection] {
+        &self.detections
+    }
+
+    /// This node's current parent.
+    pub fn parent(&self) -> Option<ProcessId> {
+        self.parent
+    }
+
+    /// The wrapped engine (for statistics).
+    pub fn engine(&self) -> &NodeEngine {
+        &self.engine
+    }
+
+    /// Interval messages this node originated.
+    pub fn interval_msgs_sent(&self) -> u64 {
+        self.interval_msgs_sent
+    }
+
+    /// Tree peers (parent + children) whose last heartbeat is older than
+    /// `timeout` at time `now` — the local failure-detector view that a
+    /// full deployment's maintenance service would act on. Peers never
+    /// heard from at all are suspected once a full timeout has elapsed
+    /// since the start of time.
+    pub fn suspects(&self, now: SimTime, timeout: SimTime) -> Vec<ProcessId> {
+        let mut peers: Vec<ProcessId> = self.engine.children();
+        if let Some(p) = self.parent {
+            peers.push(p);
+        }
+        peers
+            .into_iter()
+            .filter(|peer| {
+                let last = self
+                    .heartbeat_seen
+                    .get(peer)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                now.saturating_sub(last) > timeout
+            })
+            .collect()
+    }
+
+    fn handle_outputs(&mut self, ctx: &mut Ctx<'_, DetectMsg>, outputs: Vec<EngineOutput>) {
+        for out in outputs {
+            match out {
+                EngineOutput::ToParent { interval, .. } => {
+                    if self.config.retransmit_period.is_some() {
+                        self.unacked.insert(interval.seq, interval.clone());
+                    }
+                    if let Some(parent) = self.parent {
+                        self.interval_msgs_sent += 1;
+                        ctx.send(
+                            nid(parent),
+                            DetectMsg::Interval {
+                                from: self.me,
+                                interval,
+                                resync: false,
+                            },
+                        );
+                    }
+                    // No parent (orphan root): the detection is recorded at
+                    // engine level; nothing to transmit.
+                }
+                EngineOutput::Detected(sol) => {
+                    self.detections
+                        .push(GlobalDetection::new(self.me, sol, ctx.now()));
+                }
+            }
+        }
+    }
+
+    /// Re-sends every unacknowledged output to the current parent, oldest
+    /// first, flagging the first as a stream resync.
+    fn retransmit_unacked(&mut self, ctx: &mut Ctx<'_, DetectMsg>, resync_first: bool) {
+        let Some(parent) = self.parent else { return };
+        let mut first = true;
+        for interval in self.unacked.values() {
+            self.interval_msgs_sent += 1;
+            ctx.send(
+                nid(parent),
+                DetectMsg::Interval {
+                    from: self.me,
+                    interval: interval.clone(),
+                    resync: resync_first && first,
+                },
+            );
+            first = false;
+        }
+    }
+
+    /// Feeds `interval` from `child` through the per-child reorder buffer,
+    /// delivering to the engine everything that is now in order.
+    fn deliver_in_order(
+        &mut self,
+        ctx: &mut Ctx<'_, DetectMsg>,
+        child: ProcessId,
+        interval: Interval,
+        resync: bool,
+    ) {
+        let ready = {
+            let (next_expected, buffer) = self
+                .reorder
+                .entry(child)
+                .or_insert_with(|| (0, BTreeMap::new()));
+            if resync && interval.seq > *next_expected {
+                // Re-report after a tree repair: earlier sequence numbers
+                // were consumed by the child's previous parent and will
+                // never arrive here.
+                *next_expected = interval.seq;
+                buffer.retain(|&s, _| s >= interval.seq);
+            }
+            match interval.seq.cmp(next_expected) {
+                std::cmp::Ordering::Less => Vec::new(), // stale duplicate
+                std::cmp::Ordering::Greater => {
+                    buffer.insert(interval.seq, interval);
+                    Vec::new()
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut ready = vec![interval];
+                    let mut next = *next_expected + 1;
+                    while let Some(iv) = buffer.remove(&next) {
+                        ready.push(iv);
+                        next += 1;
+                    }
+                    *next_expected = next;
+                    ready
+                }
+            }
+        };
+        for iv in ready {
+            let outputs = self.engine.on_child_interval(child, iv);
+            self.handle_outputs(ctx, outputs);
+        }
+    }
+
+    fn arm_next_interval(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
+        if let Some(&(t, _)) = self.schedule.front() {
+            let delay = t.saturating_sub(ctx.now());
+            ctx.set_timer(delay, TIMER_NEXT_INTERVAL);
+        }
+    }
+}
+
+impl Application for MonitorApp {
+    type Msg = DetectMsg;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
+        self.arm_next_interval(ctx);
+        if let Some(period) = self.config.heartbeat_period {
+            ctx.set_timer(period, TIMER_HEARTBEAT);
+        }
+        if let Some(period) = self.config.retransmit_period {
+            ctx.set_timer(period, TIMER_RETRANSMIT);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DetectMsg>, token: TimerToken) {
+        match token {
+            TIMER_NEXT_INTERVAL => {
+                while let Some(&(t, _)) = self.schedule.front() {
+                    if t > ctx.now() {
+                        break;
+                    }
+                    let (_, interval) = self.schedule.pop_front().expect("peeked");
+                    let outputs = self.engine.on_local_interval(interval);
+                    self.handle_outputs(ctx, outputs);
+                }
+                self.persist();
+                self.arm_next_interval(ctx);
+            }
+            TIMER_RETRANSMIT => {
+                if let Some(period) = self.config.retransmit_period {
+                    self.retransmit_unacked(ctx, false);
+                    ctx.set_timer(period, TIMER_RETRANSMIT);
+                }
+            }
+            TIMER_HEARTBEAT => {
+                if let Some(period) = self.config.heartbeat_period {
+                    let me = self.me;
+                    let mut peers: Vec<ProcessId> = self.engine.children();
+                    if let Some(p) = self.parent {
+                        peers.push(p);
+                    }
+                    for peer in peers {
+                        ctx.send(nid(peer), DetectMsg::Heartbeat { from: me });
+                    }
+                    ctx.set_timer(period, TIMER_HEARTBEAT);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DetectMsg>, _from: NodeId, msg: DetectMsg) {
+        match msg {
+            DetectMsg::Interval {
+                from,
+                interval,
+                resync,
+            } => {
+                self.deliver_in_order(ctx, from, interval, resync);
+                // Reliability layer: cumulatively acknowledge the child's
+                // stream position (idempotent; sent per received report).
+                if self.config.retransmit_period.is_some() {
+                    if let Some((next_expected, _)) = self.reorder.get(&from) {
+                        let upto = *next_expected;
+                        ctx.send(
+                            nid(from),
+                            DetectMsg::Ack {
+                                from: self.me,
+                                upto,
+                            },
+                        );
+                    }
+                }
+            }
+            DetectMsg::Ack { upto, .. } => {
+                self.unacked.retain(|&seq, _| seq >= upto);
+            }
+            DetectMsg::Heartbeat { from } => {
+                self.heartbeat_seen.insert(from, ctx.now());
+            }
+            DetectMsg::SetParent { parent } => {
+                self.parent = parent;
+                self.engine.set_root(parent.is_none());
+                if self.config.retransmit_period.is_some() && !self.unacked.is_empty() {
+                    // Reliability layer: the new parent needs everything
+                    // the dead parent never acknowledged.
+                    self.retransmit_unacked(ctx, true);
+                } else if let (Some(p), Some(last)) = (parent, self.engine.last_output().cloned()) {
+                    // Re-report the latest output so the new parent's
+                    // fresh queue is seeded (§III-B).
+                    self.interval_msgs_sent += 1;
+                    ctx.send(
+                        nid(p),
+                        DetectMsg::Interval {
+                            from: self.me,
+                            interval: last,
+                            resync: true,
+                        },
+                    );
+                }
+            }
+            DetectMsg::AddChild { child } => {
+                if !self.engine.has_child(child) {
+                    self.engine.add_child(child);
+                    // A fresh queue accepts any sequence number.
+                    self.reorder.remove(&child);
+                }
+            }
+            DetectMsg::RemoveChild { child } => {
+                self.reorder.remove(&child);
+                let outputs = self.engine.remove_child(child);
+                self.handle_outputs(ctx, outputs);
+            }
+            DetectMsg::PromoteRoot => {
+                self.parent = None;
+                self.engine.set_root(true);
+                // Fold the last output (shipped only to the dead root)
+                // back into detection.
+                let outputs = self.engine.reseed_last_output();
+                self.handle_outputs(ctx, outputs);
+            }
+            DetectMsg::DemoteRoot => {
+                self.engine.set_root(false);
+            }
+        }
+        self.persist();
+    }
+
+    fn msg_size(msg: &DetectMsg) -> usize {
+        msg.wire_size()
+    }
+}

@@ -1,0 +1,162 @@
+//! Monitoring several conjunctive predicates over one spanning tree.
+//!
+//! Continuous-monitoring deployments rarely watch a single predicate:
+//! a WSN tracks "all readings high", "all batteries low", "all nodes
+//! calibrated" simultaneously. Each predicate `Φ_k` induces its own local
+//! intervals and its own detection state, but the tree, the failure
+//! handling, and (in a deployment) the transport are shared.
+//! [`MultiDetector`] packages that: `k` independent hierarchical detectors
+//! driven through one façade, with failures applied consistently to all.
+
+use crate::hier::HierarchicalDetector;
+use crate::report::GlobalDetection;
+use ftscp_intervals::Interval;
+use ftscp_simnet::Topology;
+use ftscp_tree::SpanningTree;
+use ftscp_vclock::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the monitored predicates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PredicateId(pub u32);
+
+/// `k` hierarchical detectors over one tree.
+pub struct MultiDetector {
+    detectors: Vec<HierarchicalDetector>,
+}
+
+impl MultiDetector {
+    /// Builds a detector for `predicates` independent conjunctive
+    /// predicates over `tree`.
+    pub fn new(tree: &SpanningTree, predicates: usize) -> Self {
+        assert!(predicates > 0, "at least one predicate");
+        MultiDetector {
+            detectors: (0..predicates)
+                .map(|_| HierarchicalDetector::new(tree))
+                .collect(),
+        }
+    }
+
+    /// Number of monitored predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Feeds a completed local interval of predicate `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown predicate id.
+    pub fn feed(&mut self, pred: PredicateId, interval: Interval) {
+        self.detectors[pred.0 as usize].feed(interval);
+    }
+
+    /// §III-F: `node` crash-stops; the repair applies to every predicate's
+    /// detector identically (the repair is deterministic given the same
+    /// topology and tree state).
+    pub fn fail_node(&mut self, node: ProcessId, topology: &Topology) {
+        for det in &mut self.detectors {
+            det.fail_node(node, topology);
+        }
+    }
+
+    /// Root-level detections of predicate `pred`.
+    pub fn root_solutions(&self, pred: PredicateId) -> &[GlobalDetection] {
+        self.detectors[pred.0 as usize].root_solutions()
+    }
+
+    /// The detector of one predicate (full API access).
+    pub fn detector(&self, pred: PredicateId) -> &HierarchicalDetector {
+        &self.detectors[pred.0 as usize]
+    }
+
+    /// Total detections across all predicates.
+    pub fn total_detections(&self) -> usize {
+        self.detectors
+            .iter()
+            .map(|d| d.root_solutions().len())
+            .sum()
+    }
+
+    /// All trees evolve in lockstep; expose the (shared) current shape.
+    pub fn tree(&self) -> &SpanningTree {
+        self.detectors[0].tree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_simnet::Topology;
+    use ftscp_tree::SpanningTree;
+    use ftscp_workload::RandomExecution;
+
+    #[test]
+    fn independent_predicates_detect_independently() {
+        let n = 7;
+        let tree = SpanningTree::balanced_dary(n, 2);
+        let mut multi = MultiDetector::new(&tree, 2);
+        // Predicate 0: 4 clean rounds. Predicate 1: 2 clean rounds.
+        let exec0 = RandomExecution::builder(n)
+            .intervals_per_process(4)
+            .seed(1)
+            .build();
+        let exec1 = RandomExecution::builder(n)
+            .intervals_per_process(2)
+            .seed(2)
+            .build();
+        for iv in exec0.intervals_interleaved() {
+            multi.feed(PredicateId(0), iv.clone());
+        }
+        for iv in exec1.intervals_interleaved() {
+            multi.feed(PredicateId(1), iv.clone());
+        }
+        assert_eq!(multi.root_solutions(PredicateId(0)).len(), 4);
+        assert_eq!(multi.root_solutions(PredicateId(1)).len(), 2);
+        assert_eq!(multi.total_detections(), 6);
+        assert_eq!(multi.predicate_count(), 2);
+    }
+
+    #[test]
+    fn failure_applies_to_every_predicate() {
+        let n = 7;
+        let topo = Topology::dary_tree(n, 2, 1);
+        let tree = SpanningTree::balanced_dary(n, 2);
+        let mut multi = MultiDetector::new(&tree, 3);
+        multi.fail_node(ProcessId(3), &topo);
+        for k in 0..3 {
+            assert!(!multi
+                .detector(PredicateId(k))
+                .tree()
+                .contains(ftscp_simnet::NodeId(3)));
+        }
+        assert_eq!(multi.tree().node_count(), 6);
+    }
+
+    #[test]
+    fn interleaved_feeding_keeps_predicates_isolated() {
+        let n = 5;
+        let tree = SpanningTree::balanced_dary(n, 2);
+        let mut multi = MultiDetector::new(&tree, 2);
+        let exec = RandomExecution::builder(n)
+            .intervals_per_process(3)
+            .seed(9)
+            .build();
+        // Feed the SAME intervals to both predicates, interleaved.
+        for iv in exec.intervals_interleaved() {
+            multi.feed(PredicateId(0), iv.clone());
+            multi.feed(PredicateId(1), iv.clone());
+        }
+        assert_eq!(
+            multi.root_solutions(PredicateId(0)).len(),
+            multi.root_solutions(PredicateId(1)).len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn zero_predicates_rejected() {
+        let tree = SpanningTree::balanced_dary(3, 2);
+        let _ = MultiDetector::new(&tree, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Wire messages of the distributed monitor.
+
+use ftscp_intervals::Interval;
+use ftscp_vclock::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged by [`crate::monitor::MonitorApp`]s.
+///
+/// `Interval` and `Heartbeat` are the algorithm's own traffic. The control
+/// variants (`SetParent`, `AddChild`, `RemoveChild`, `PromoteRoot`) are
+/// issued by the tree-maintenance service after a failure — the paper
+/// assumes spanning-tree construction and repair as a given substrate
+/// (§III-A, §III-F), which [`crate::deploy::Deployment`] plays the role of.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectMsg {
+    /// A completed interval (raw from a leaf, aggregated from an interior
+    /// node) reported child → parent.
+    Interval {
+        /// The reporting child.
+        from: ProcessId,
+        /// The reported interval.
+        interval: Interval,
+        /// True when this is a re-report to a new parent after a tree
+        /// repair: the receiver resets its per-child sequence baseline to
+        /// this interval instead of waiting for earlier (already consumed
+        /// elsewhere) sequence numbers.
+        resync: bool,
+    },
+    /// Liveness beacon exchanged along tree edges.
+    Heartbeat {
+        /// The beaconing node.
+        from: ProcessId,
+    },
+    /// Cumulative acknowledgement: the parent has delivered every
+    /// interval with `seq < upto` from `from`'s stream to its engine.
+    /// Part of the optional reliability layer for lossy links.
+    Ack {
+        /// The acknowledging parent.
+        from: ProcessId,
+        /// One past the highest contiguously delivered sequence number.
+        upto: u64,
+    },
+    /// Control: your parent is now `parent` (or you are detached).
+    /// Triggers a re-report of the node's last output to the new parent.
+    SetParent {
+        /// The new parent, if any.
+        parent: Option<ProcessId>,
+    },
+    /// Control: adopt `child` (open an empty queue for it).
+    AddChild {
+        /// The adopted child.
+        child: ProcessId,
+    },
+    /// Control: drop `child` and its queue (it failed or was re-parented).
+    RemoveChild {
+        /// The dropped child.
+        child: ProcessId,
+    },
+    /// Control: you are now the root of your tree.
+    PromoteRoot,
+    /// Control: you are no longer the root.
+    DemoteRoot,
+}
+
+impl DetectMsg {
+    /// Approximate wire size in bytes (for the simulator's accounting).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            DetectMsg::Interval { interval, .. } => 8 + interval.wire_size(),
+            DetectMsg::Heartbeat { .. } => 8,
+            DetectMsg::Ack { .. } => 16,
+            DetectMsg::SetParent { .. } => 9,
+            DetectMsg::AddChild { .. } | DetectMsg::RemoveChild { .. } => 8,
+            DetectMsg::PromoteRoot | DetectMsg::DemoteRoot => 4,
+        }
+    }
+
+    /// True for the algorithm's own traffic (what Figures 4–5 count);
+    /// false for heartbeats and control.
+    pub fn is_interval(&self) -> bool {
+        matches!(self, DetectMsg::Interval { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_vclock::VectorClock;
+
+    #[test]
+    fn sizes_scale_with_interval_width() {
+        let narrow = DetectMsg::Interval {
+            from: ProcessId(0),
+            interval: Interval::local(ProcessId(0), 0, VectorClock::new(2), VectorClock::new(2)),
+            resync: false,
+        };
+        let wide = DetectMsg::Interval {
+            from: ProcessId(0),
+            interval: Interval::local(ProcessId(0), 0, VectorClock::new(64), VectorClock::new(64)),
+            resync: false,
+        };
+        assert!(wide.wire_size() > narrow.wire_size());
+        assert!(DetectMsg::Heartbeat { from: ProcessId(0) }.wire_size() < narrow.wire_size());
+    }
+
+    #[test]
+    fn interval_classification() {
+        assert!(DetectMsg::Interval {
+            from: ProcessId(0),
+            interval: Interval::local(ProcessId(0), 0, VectorClock::new(1), VectorClock::new(1)),
+            resync: false,
+        }
+        .is_interval());
+        assert!(!DetectMsg::PromoteRoot.is_interval());
+    }
+}

@@ -1,0 +1,893 @@
+//! [`QueueBank`] — the repeated-detection engine of Algorithm 1.
+//!
+//! Every node of the hierarchical algorithm runs one `QueueBank` over
+//! `1 + l` queues (its own local queue `Q_0` plus one queue per child); the
+//! centralized baseline \[12\] runs a single `QueueBank` over `n` queues at
+//! the sink. The bank implements, verbatim:
+//!
+//! * **lines (1)–(17)**: on an enqueue that makes a queue's head fresh, run
+//!   the pairwise pruning sweep — for the head `x` of every updated queue
+//!   and the head `y` of every other queue, delete `y` if `min(x) ≮ max(y)`
+//!   and delete `x` if `min(y) ≮ max(x)` (deletions happen after each
+//!   sweep, exactly as line (16) does), iterating until no queue is updated;
+//! * **lines (18)–(22)**: if every queue is non-empty afterwards, the heads
+//!   mutually overlap — emit them as a [`Solution`];
+//! * **lines (23)–(33)**: prune the solution's heads with Eq. (10) and
+//!   continue the sweep with the pruned queues, so multiple solutions can
+//!   cascade from a single arrival.
+//!
+//! Queues are identified by stable [`SlotId`]s so the fault-tolerance layer
+//! can remove a dead child's queue (§III-F) or add a queue for an adopted
+//! child without disturbing the others.
+
+use crate::interval::Interval;
+use crate::prune;
+use crate::solution::Solution;
+use ftscp_vclock::{order, OpCounter};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Stable identifier of one queue within a [`QueueBank`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SlotId(pub u32);
+
+#[derive(Clone, Debug, Default)]
+struct QueueSlot {
+    items: VecDeque<Interval>,
+    peak_len: usize,
+    enqueued: u64,
+    discarded: u64,
+    /// Ephemeral queues self-destruct when they drain (instead of
+    /// blocking detection): used to seed a promoted root with its last
+    /// pre-promotion aggregate (§III-F failover).
+    ephemeral: bool,
+}
+
+/// Aggregate statistics of a bank, for the space/time reproduction of
+/// Table I.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Total intervals ever enqueued.
+    pub enqueued: u64,
+    /// Intervals deleted by the pairwise sweep (lines (1)–(17)).
+    pub swept: u64,
+    /// Intervals deleted by the Eq. (10) prune (lines (23)–(33)).
+    pub pruned: u64,
+    /// Solutions emitted.
+    pub solutions: u64,
+    /// Peak number of intervals resident across all queues simultaneously.
+    pub peak_resident: usize,
+    /// Peak length of any single queue.
+    pub peak_queue_len: usize,
+}
+
+/// Serializable image of one queue (see [`QueueBank::snapshot`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SlotSnapshot {
+    /// Resident intervals, front first.
+    pub items: Vec<Interval>,
+    /// Peak length reached.
+    pub peak_len: usize,
+    /// Lifetime enqueue count.
+    pub enqueued: u64,
+    /// Lifetime discard count.
+    pub discarded: u64,
+    /// Self-destructing queue flag.
+    pub ephemeral: bool,
+}
+
+/// Serializable image of a whole bank (see [`QueueBank::snapshot`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BankSnapshot {
+    /// Per-slot state (`None` = removed slot).
+    pub slots: Vec<Option<SlotSnapshot>>,
+    /// Counters at snapshot time.
+    pub stats: BankStats,
+    /// Monotone solution counter.
+    pub solution_counter: u64,
+    /// Emitted-member identity set.
+    pub emitted: Vec<(u32, u64, bool)>,
+}
+
+/// Identity of an interval in trace events: `(source, seq, aggregated?)`.
+pub type TraceId = (u32, u64, bool);
+
+/// One decision taken by the bank, recorded when tracing is enabled via
+/// [`QueueBank::with_trace`]. The trace answers the operational question
+/// "why was/wasn't the predicate detected?" — every discard says which
+/// head doomed it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankEvent {
+    /// An interval joined queue `slot`.
+    Enqueued {
+        /// Receiving queue.
+        slot: SlotId,
+        /// Interval identity.
+        id: TraceId,
+    },
+    /// A head was discarded by the pairwise sweep (lines (12)/(14)):
+    /// `culprit`'s `min` does not precede `id`'s `max`, so `id` can never
+    /// be part of a solution again.
+    Swept {
+        /// Queue the head was removed from.
+        slot: SlotId,
+        /// The discarded head.
+        id: TraceId,
+        /// The head that doomed it.
+        culprit: TraceId,
+    },
+    /// The mutually overlapping heads were emitted as a solution.
+    SolutionEmitted {
+        /// Solution index.
+        index: u64,
+        /// Member identities.
+        members: Vec<TraceId>,
+    },
+    /// Heads mutually overlapped but every member had already been part
+    /// of an emitted solution (a queue-removal release): suppressed as a
+    /// duplicate occurrence.
+    SolutionSuppressed {
+        /// Member identities.
+        members: Vec<TraceId>,
+    },
+    /// A head was consumed by the post-solution Eq. (10) prune.
+    Pruned {
+        /// Queue the head was removed from.
+        slot: SlotId,
+        /// The consumed head.
+        id: TraceId,
+    },
+    /// A queue was removed (dead child or drained ephemeral seed).
+    QueueRemoved {
+        /// The removed queue.
+        slot: SlotId,
+    },
+    /// A queue was added (adopted child or ephemeral seed).
+    QueueAdded {
+        /// The new queue.
+        slot: SlotId,
+    },
+}
+
+fn trace_id(iv: &Interval) -> TraceId {
+    (iv.source.0, iv.seq, iv.is_aggregated())
+}
+
+/// Renders a trace id as `P3#7` (local) or `P3#7⊓` (aggregated).
+fn fmt_id(id: &TraceId) -> String {
+    format!("P{}#{}{}", id.0, id.1, if id.2 { "⊓" } else { "" })
+}
+
+/// Human-readable rendering of a decision trace, one line per event.
+pub fn render_trace(events: &[BankEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let line = match ev {
+            BankEvent::Enqueued { slot, id } => {
+                format!("enqueue  {} → queue {}", fmt_id(id), slot.0)
+            }
+            BankEvent::Swept { slot, id, culprit } => format!(
+                "sweep    {} (queue {}) — min({}) ≮ max({}): can never overlap it again",
+                fmt_id(id),
+                slot.0,
+                fmt_id(culprit),
+                fmt_id(id)
+            ),
+            BankEvent::SolutionEmitted { index, members } => format!(
+                "SOLUTION #{index}: {{{}}}",
+                members.iter().map(fmt_id).collect::<Vec<_>>().join(", ")
+            ),
+            BankEvent::SolutionSuppressed { members } => format!(
+                "suppress duplicate subset {{{}}}",
+                members.iter().map(fmt_id).collect::<Vec<_>>().join(", ")
+            ),
+            BankEvent::Pruned { slot, id } => format!(
+                "prune    {} (queue {}) — Eq. (10): no other max precedes its max",
+                fmt_id(id),
+                slot.0
+            ),
+            BankEvent::QueueRemoved { slot } => format!("queue {} removed", slot.0),
+            BankEvent::QueueAdded { slot } => format!("queue {} added", slot.0),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The queue bank: Algorithm 1's per-node state and detection loop.
+#[derive(Clone, Debug)]
+pub struct QueueBank {
+    slots: Vec<Option<QueueSlot>>,
+    active: usize,
+    ops: OpCounter,
+    stats: BankStats,
+    solution_counter: u64,
+    /// Identities `(source, seq, aggregated?)` of every interval that has
+    /// been a member of an emitted solution. A candidate solution with no
+    /// fresh member is necessarily a subset of an earlier solution (heads
+    /// only ever pop), i.e. a duplicate occurrence released by a queue
+    /// removal — it is pruned but not re-emitted.
+    emitted: HashSet<(u32, u64, bool)>,
+    /// Decision trace (None = disabled).
+    trace: Option<Vec<BankEvent>>,
+}
+
+impl QueueBank {
+    /// A bank with `queues` initial queues (slots `0..queues`).
+    pub fn new(queues: usize) -> Self {
+        QueueBank {
+            slots: (0..queues).map(|_| Some(QueueSlot::default())).collect(),
+            active: queues,
+            ops: OpCounter::new(),
+            stats: BankStats::default(),
+            solution_counter: 0,
+            emitted: HashSet::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables decision tracing; events accumulate until drained with
+    /// [`take_trace`](Self::take_trace).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Vec::new());
+        self
+    }
+
+    /// Drains and returns the recorded trace (empty if tracing is off).
+    pub fn take_trace(&mut self) -> Vec<BankEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn record(&mut self, ev: BankEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ev);
+        }
+    }
+
+    /// Installs a shared operation counter (for distributed cost
+    /// accounting); returns `self` for builder-style use.
+    pub fn with_ops_counter(mut self, ops: OpCounter) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// The operation counter billed for every vector-clock comparison.
+    pub fn ops(&self) -> &OpCounter {
+        &self.ops
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Number of live queues.
+    pub fn queue_count(&self) -> usize {
+        self.active
+    }
+
+    /// Ids of the live queues, ascending.
+    pub fn slot_ids(&self) -> Vec<SlotId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| SlotId(i as u32)))
+            .collect()
+    }
+
+    /// Current length of queue `slot` (0 if the slot was removed).
+    pub fn queue_len(&self, slot: SlotId) -> usize {
+        self.slot(slot).map_or(0, |q| q.items.len())
+    }
+
+    /// Current head of queue `slot`.
+    pub fn head(&self, slot: SlotId) -> Option<&Interval> {
+        self.slot(slot).and_then(|q| q.items.front())
+    }
+
+    /// Total intervals currently resident across all queues.
+    pub fn resident(&self) -> usize {
+        self.slots.iter().flatten().map(|q| q.items.len()).sum()
+    }
+
+    /// Adds a fresh empty queue, returning its id. Used when a node adopts
+    /// a child after a tree reconnection (§III-F).
+    ///
+    /// An empty queue blocks detection until its first interval arrives, so
+    /// adding one never spuriously emits solutions.
+    pub fn add_queue(&mut self) -> SlotId {
+        // Reuse the first free slot if any, else append.
+        for i in 0..self.slots.len() {
+            if self.slots[i].is_none() {
+                self.slots[i] = Some(QueueSlot::default());
+                self.active += 1;
+                let slot = SlotId(i as u32);
+                self.record(BankEvent::QueueAdded { slot });
+                return slot;
+            }
+        }
+        self.slots.push(Some(QueueSlot::default()));
+        self.active += 1;
+        let slot = SlotId((self.slots.len() - 1) as u32);
+        self.record(BankEvent::QueueAdded { slot });
+        slot
+    }
+
+    /// Removes queue `slot` and its contents — a dead child's queue
+    /// (§III-F). Removing a queue can unblock detection among the remaining
+    /// queues, so the detection loop reruns; any solutions found are
+    /// returned.
+    pub fn remove_queue(&mut self, slot: SlotId) -> Vec<Solution> {
+        let Some(s) = self.slots.get_mut(slot.0 as usize) else {
+            return Vec::new();
+        };
+        if s.take().is_none() {
+            return Vec::new();
+        }
+        self.active -= 1;
+        self.record(BankEvent::QueueRemoved { slot });
+        if self.active == 0 {
+            return Vec::new();
+        }
+        // The remaining heads were already mutually pruned against each
+        // other, but the removed queue's emptiness may have been the only
+        // thing blocking a solution. Re-run with every non-empty queue
+        // marked updated so the solution check fires.
+        let updated: BTreeSet<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|q| !q.items.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        if updated.is_empty() {
+            return Vec::new();
+        }
+        self.run_detection(updated)
+    }
+
+    /// Algorithm 1, lines (1)–(3): enqueue an interval onto queue `slot`
+    /// and, if it became the head, run the detection loop. Returns every
+    /// solution that cascaded from this arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not name a live queue — feeding a removed
+    /// child's queue is a protocol error the caller must prevent.
+    pub fn enqueue(&mut self, slot: SlotId, interval: Interval) -> Vec<Solution> {
+        let idx = slot.0 as usize;
+        let q = self.slots[idx]
+            .as_mut()
+            .unwrap_or_else(|| panic!("enqueue on removed queue {slot:?}"));
+        let id = trace_id(&interval);
+        q.items.push_back(interval);
+        q.enqueued += 1;
+        q.peak_len = q.peak_len.max(q.items.len());
+        let new_len = q.items.len();
+        self.stats.enqueued += 1;
+        self.stats.peak_queue_len = self.stats.peak_queue_len.max(new_len);
+        self.stats.peak_resident = self.stats.peak_resident.max(self.resident());
+        self.record(BankEvent::Enqueued { slot, id });
+
+        if new_len == 1 {
+            self.run_detection(BTreeSet::from([idx]))
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn slot(&self, slot: SlotId) -> Option<&QueueSlot> {
+        self.slots.get(slot.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Pops queue `idx`'s head, returning its trace identity.
+    fn pop_head(&mut self, idx: usize, swept: bool) -> Option<TraceId> {
+        let mut popped = None;
+        let mut vanished = false;
+        if let Some(q) = self.slots[idx].as_mut() {
+            if let Some(iv) = q.items.pop_front() {
+                popped = Some(trace_id(&iv));
+                q.discarded += 1;
+                if swept {
+                    self.stats.swept += 1;
+                } else {
+                    self.stats.pruned += 1;
+                }
+            }
+            if q.ephemeral && q.items.is_empty() {
+                self.slots[idx] = None;
+                self.active -= 1;
+                vanished = true;
+            }
+        }
+        if vanished {
+            self.record(BankEvent::QueueRemoved {
+                slot: SlotId(idx as u32),
+            });
+        }
+        popped
+    }
+
+    /// Adds a self-destructing queue holding exactly `seed`: it
+    /// participates in detection like any queue, but once its content is
+    /// consumed (swept or pruned) the queue removes itself rather than
+    /// blocking with emptiness. Returns any solutions released.
+    ///
+    /// Used when a node is promoted to root after a failure and must fold
+    /// its own last (un-consumed) aggregate back into detection.
+    pub fn add_ephemeral_queue(&mut self, seed: Interval) -> Vec<Solution> {
+        let slot = self.add_queue();
+        let idx = slot.0 as usize;
+        self.slots[idx].as_mut().expect("just added").ephemeral = true;
+        self.enqueue(slot, seed)
+    }
+
+    /// Serializable snapshot of the bank's full state — for checkpointing
+    /// a monitor to stable storage so a rebooted node can resume detection
+    /// where it left off (crash-*recovery*, complementing the paper's
+    /// crash-stop tolerance).
+    pub fn snapshot(&self) -> BankSnapshot {
+        BankSnapshot {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|q| SlotSnapshot {
+                        items: q.items.iter().cloned().collect(),
+                        peak_len: q.peak_len,
+                        enqueued: q.enqueued,
+                        discarded: q.discarded,
+                        ephemeral: q.ephemeral,
+                    })
+                })
+                .collect(),
+            stats: self.stats,
+            solution_counter: self.solution_counter,
+            emitted: self.emitted.iter().copied().collect(),
+        }
+    }
+
+    /// Restores a bank from a [`snapshot`](Self::snapshot). The operation
+    /// counter starts fresh (work done before the crash is not re-billed).
+    pub fn restore(snapshot: BankSnapshot) -> QueueBank {
+        let slots: Vec<Option<QueueSlot>> = snapshot
+            .slots
+            .into_iter()
+            .map(|s| {
+                s.map(|q| QueueSlot {
+                    items: q.items.into(),
+                    peak_len: q.peak_len,
+                    enqueued: q.enqueued,
+                    discarded: q.discarded,
+                    ephemeral: q.ephemeral,
+                })
+            })
+            .collect();
+        let active = slots.iter().filter(|s| s.is_some()).count();
+        QueueBank {
+            slots,
+            active,
+            ops: OpCounter::new(),
+            stats: snapshot.stats,
+            solution_counter: snapshot.solution_counter,
+            emitted: snapshot.emitted.into_iter().collect(),
+            trace: None,
+        }
+    }
+
+    /// The main loop: pairwise sweep to fixpoint, then solution emission and
+    /// Eq. (10) pruning, repeated while progress is possible.
+    fn run_detection(&mut self, mut updated: BTreeSet<usize>) -> Vec<Solution> {
+        let mut solutions = Vec::new();
+        loop {
+            // Lines (4)–(17): sweep until no queue is updated.
+            while !updated.is_empty() {
+                let mut new_updated: BTreeSet<usize> = BTreeSet::new();
+                let mut culprits: std::collections::BTreeMap<usize, TraceId> =
+                    std::collections::BTreeMap::new();
+                for &a in &updated {
+                    let Some(x) = self.slots[a].as_ref().and_then(|q| q.items.front()) else {
+                        continue;
+                    };
+                    let x_id = trace_id(x);
+                    for b in 0..self.slots.len() {
+                        if b == a {
+                            continue;
+                        }
+                        let Some(y) = self.slots[b].as_ref().and_then(|q| q.items.front()) else {
+                            continue;
+                        };
+                        // Line (12): min(x) ≮ max(y) ⇒ y can never join a
+                        // solution with x or any successor of x.
+                        if !order::strictly_less_counted(&x.lo, &y.hi, &self.ops) {
+                            new_updated.insert(b);
+                            culprits.entry(b).or_insert(x_id);
+                        }
+                        // Line (14): min(y) ≮ max(x) ⇒ x is doomed likewise.
+                        if !order::strictly_less_counted(&y.lo, &x.hi, &self.ops) {
+                            new_updated.insert(a);
+                            culprits.entry(a).or_insert(trace_id(y));
+                        }
+                    }
+                }
+                // Line (16): delete the heads marked this sweep.
+                for &c in &new_updated {
+                    if let Some(id) = self.pop_head(c, true) {
+                        if let Some(&culprit) = culprits.get(&c) {
+                            self.record(BankEvent::Swept {
+                                slot: SlotId(c as u32),
+                                id,
+                                culprit,
+                            });
+                        }
+                    }
+                }
+                updated = new_updated;
+            }
+
+            // Line (18): solution iff every live queue is non-empty.
+            let all_non_empty = self.slots.iter().flatten().all(|q| !q.items.is_empty());
+            if self.active == 0 || !all_non_empty {
+                return solutions;
+            }
+
+            let heads: Vec<Interval> = self
+                .slots
+                .iter()
+                .flatten()
+                .map(|q| q.items.front().expect("checked non-empty").clone())
+                .collect();
+            let head_indices: Vec<usize> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(i, _)| i)
+                .collect();
+
+            debug_assert!(
+                crate::overlap::definitely_holds(&heads),
+                "sweep fixpoint must leave mutually overlapping heads"
+            );
+
+            // Emit only if some member is fresh (see `emitted`).
+            let identity = |iv: &Interval| (iv.source.0, iv.seq, iv.is_aggregated());
+            let fresh = heads.iter().any(|iv| !self.emitted.contains(&identity(iv)));
+            if fresh {
+                for iv in &heads {
+                    self.emitted.insert(identity(iv));
+                }
+                let solution = Solution {
+                    intervals: heads.clone(),
+                    index: self.solution_counter,
+                };
+                self.record(BankEvent::SolutionEmitted {
+                    index: self.solution_counter,
+                    members: heads.iter().map(trace_id).collect(),
+                });
+                self.solution_counter += 1;
+                self.stats.solutions += 1;
+                solutions.push(solution);
+            } else {
+                self.record(BankEvent::SolutionSuppressed {
+                    members: heads.iter().map(trace_id).collect(),
+                });
+            }
+
+            // Lines (23)–(33): Eq. (10) prune; continue with pruned queues.
+            let refs: Vec<&Interval> = heads.iter().collect();
+            let removable = prune::approximate_removals(&refs, &self.ops);
+            debug_assert!(!removable.is_empty(), "Theorem 4: at least one removal");
+            let mut pruned = BTreeSet::new();
+            for r in &removable {
+                let idx = head_indices[*r];
+                if let Some(id) = self.pop_head(idx, false) {
+                    self.record(BankEvent::Pruned {
+                        slot: SlotId(idx as u32),
+                        id,
+                    });
+                }
+                pruned.insert(idx);
+            }
+            if pruned.is_empty() {
+                return solutions; // unreachable by Theorem 4; belt & braces
+            }
+            updated = pruned;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_vclock::{ProcessId, VectorClock};
+
+    fn iv(p: u32, seq: u64, lo: &[u32], hi: &[u32]) -> Interval {
+        Interval::local(
+            ProcessId(p),
+            seq,
+            VectorClock::from_components(lo.to_vec()),
+            VectorClock::from_components(hi.to_vec()),
+        )
+    }
+
+    #[test]
+    fn single_queue_bank_emits_every_interval_as_a_solution() {
+        // A leaf node has only its local queue: every local interval is a
+        // solution for the (trivial) subtree and is immediately pruned.
+        let mut bank = QueueBank::new(1);
+        let s0 = bank.enqueue(SlotId(0), iv(0, 0, &[1], &[2]));
+        let s1 = bank.enqueue(SlotId(0), iv(0, 1, &[3], &[4]));
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s1.len(), 1);
+        assert_eq!(bank.queue_len(SlotId(0)), 0, "heads pruned after emission");
+        assert_eq!(bank.stats().solutions, 2);
+    }
+
+    #[test]
+    fn two_queue_overlap_detected() {
+        let mut bank = QueueBank::new(2);
+        assert!(bank
+            .enqueue(SlotId(0), iv(0, 0, &[1, 0], &[4, 3]))
+            .is_empty());
+        let sols = bank.enqueue(SlotId(1), iv(1, 0, &[2, 1], &[3, 4]));
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_valid());
+        assert_eq!(sols[0].intervals.len(), 2);
+    }
+
+    #[test]
+    fn non_overlapping_heads_are_swept() {
+        let mut bank = QueueBank::new(2);
+        // a entirely precedes b: when b arrives, a must be swept
+        // (min(b) ≮ max(a)), leaving q0 empty and no solution.
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0], &[2, 0]));
+        let sols = bank.enqueue(SlotId(1), iv(1, 0, &[3, 1], &[3, 2]));
+        assert!(sols.is_empty());
+        assert_eq!(bank.queue_len(SlotId(0)), 0, "stale head swept");
+        assert_eq!(bank.queue_len(SlotId(1)), 1, "fresh head kept");
+        assert_eq!(bank.stats().swept, 1);
+    }
+
+    #[test]
+    fn repeated_detection_finds_second_solution() {
+        let mut bank = QueueBank::new(2);
+        // Solution 1: a0 × b0. a0's max dominates b0's max? Construct so
+        // only b0 is pruned, then b1 overlaps a0 again → solution 2.
+        let a0 = iv(0, 0, &[1, 0], &[6, 5]);
+        let b0 = iv(1, 0, &[2, 1], &[3, 2]);
+        let b1 = iv(1, 1, &[4, 3], &[5, 4]);
+        bank.enqueue(SlotId(0), a0);
+        let s1 = bank.enqueue(SlotId(1), b0);
+        assert_eq!(s1.len(), 1, "first solution");
+        // Only b0 was removable: max(b0)=[3,2] and max(a0)=[6,5];
+        // max(b0) < max(a0) so a0 is kept, b0 pruned.
+        assert_eq!(bank.queue_len(SlotId(0)), 1);
+        assert_eq!(bank.queue_len(SlotId(1)), 0);
+        let s2 = bank.enqueue(SlotId(1), b1);
+        assert_eq!(s2.len(), 1, "second solution with the same a0");
+        assert_eq!(s2[0].index, 1);
+    }
+
+    #[test]
+    fn cascade_multiple_solutions_from_one_arrival() {
+        let mut bank = QueueBank::new(2);
+        // Queue 1 accumulates two intervals while queue 0 is empty; then a
+        // long interval arrives on queue 0 and pairs with both in one call.
+        let b0 = iv(1, 0, &[2, 1], &[3, 2]);
+        let b1 = iv(1, 1, &[4, 3], &[5, 4]);
+        bank.enqueue(SlotId(1), b0);
+        bank.enqueue(SlotId(1), b1);
+        let a0 = iv(0, 0, &[1, 0], &[9, 8]);
+        let sols = bank.enqueue(SlotId(0), a0);
+        assert_eq!(sols.len(), 2, "both pairs detected in cascade");
+        assert!(sols.iter().all(|s| s.is_valid()));
+    }
+
+    #[test]
+    fn remove_queue_unblocks_detection() {
+        let mut bank = QueueBank::new(3);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[4, 3, 0]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[3, 4, 0]));
+        // Queue 2 is empty: no solution yet.
+        assert_eq!(bank.stats().solutions, 0);
+        // Child 2 dies; its queue is dropped; the remaining heads overlap.
+        let sols = bank.remove_queue(SlotId(2));
+        assert_eq!(sols.len(), 1, "partial predicate detected after failure");
+        assert_eq!(bank.queue_count(), 2);
+    }
+
+    #[test]
+    fn add_queue_blocks_until_first_interval() {
+        let mut bank = QueueBank::new(1);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0], &[2, 1]));
+        // All solutions so far emitted and pruned. Adopt a child:
+        let s = bank.add_queue();
+        assert_eq!(bank.queue_count(), 2);
+        // New interval on q0 alone is no longer a solution.
+        let sols = bank.enqueue(SlotId(0), iv(0, 1, &[3, 0], &[4, 1]));
+        assert!(sols.is_empty(), "adopted child's empty queue blocks");
+        let sols = bank.enqueue(s, iv(1, 0, &[3, 1], &[4, 2]));
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn removed_slot_ids_are_reused() {
+        let mut bank = QueueBank::new(2);
+        bank.remove_queue(SlotId(1));
+        let s = bank.add_queue();
+        assert_eq!(s, SlotId(1));
+        assert_eq!(bank.slot_ids(), vec![SlotId(0), SlotId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueue on removed queue")]
+    fn enqueue_on_removed_queue_panics() {
+        let mut bank = QueueBank::new(2);
+        bank.remove_queue(SlotId(1));
+        bank.enqueue(SlotId(1), iv(1, 0, &[0, 1], &[0, 2]));
+    }
+
+    #[test]
+    fn trace_explains_detection_decisions() {
+        let mut bank = QueueBank::new(2).with_trace();
+        // a0 entirely precedes b0: swept. Then a1 overlaps b0: solution.
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0], &[2, 0]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[3, 1], &[6, 5]));
+        bank.enqueue(SlotId(0), iv(0, 1, &[4, 2], &[5, 6]));
+        let trace = bank.take_trace();
+        // Three enqueues recorded.
+        let enqueues = trace
+            .iter()
+            .filter(|e| matches!(e, BankEvent::Enqueued { .. }))
+            .count();
+        assert_eq!(enqueues, 3);
+        // a0 was swept, and the trace names b0 as the culprit.
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            BankEvent::Swept {
+                slot: SlotId(0),
+                id: (0, 0, false),
+                culprit: (1, 0, false)
+            }
+        )));
+        // One solution emitted with both members.
+        assert!(trace.iter().any(|e| match e {
+            BankEvent::SolutionEmitted { index: 0, members } => members.len() == 2,
+            _ => false,
+        }));
+        // At least one member pruned afterwards.
+        assert!(trace.iter().any(|e| matches!(e, BankEvent::Pruned { .. })));
+        // Drained: a second take is empty.
+        assert!(bank.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_queue_lifecycle_and_suppression() {
+        let mut bank = QueueBank::new(3).with_trace();
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[9, 8, 8]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[8, 9, 8]));
+        bank.enqueue(SlotId(2), iv(2, 0, &[2, 1, 1], &[3, 3, 4]));
+        // Solution emitted; prune removed queue 2's head. Removing queue 2
+        // releases the subset {q0,q1}: suppressed, not re-emitted.
+        bank.remove_queue(SlotId(2));
+        let trace = bank.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, BankEvent::QueueRemoved { slot: SlotId(2) })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, BankEvent::SolutionSuppressed { .. })));
+    }
+
+    #[test]
+    fn tracing_off_by_default_and_free() {
+        let mut bank = QueueBank::new(1);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1], &[2]));
+        assert!(bank.take_trace().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_detection() {
+        let mut bank = QueueBank::new(3);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[6, 5, 5]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[5, 6, 5]));
+        // Queue 2 empty: detection blocked, state is mid-flight.
+        let snap = bank.snapshot();
+        let mut restored = QueueBank::restore(snap);
+        assert_eq!(restored.queue_count(), bank.queue_count());
+        assert_eq!(restored.resident(), bank.resident());
+        assert_eq!(restored.stats(), bank.stats());
+        // The restored bank completes the detection identically.
+        let a = bank.enqueue(SlotId(2), iv(2, 0, &[2, 1, 1], &[5, 5, 6]));
+        let b = restored.enqueue(SlotId(2), iv(2, 0, &[2, 1, 1], &[5, 5, 6]));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].coverage(), b[0].coverage());
+        assert_eq!(a[0].index, b[0].index);
+    }
+
+    #[test]
+    fn snapshot_preserves_dedup_state() {
+        // A solution is emitted, then the bank is snapshotted; the restored
+        // bank must not re-emit a subset of it after a queue removal.
+        let mut bank = QueueBank::new(3);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[9, 8, 8]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[8, 9, 8]));
+        let sols = bank.enqueue(SlotId(2), iv(2, 0, &[2, 1, 1], &[3, 3, 4]));
+        assert_eq!(sols.len(), 1);
+        // Prune removed queue 2's head (smallest max); 0 and 1 remain.
+        let mut restored = QueueBank::restore(bank.snapshot());
+        let released = restored.remove_queue(SlotId(2));
+        assert!(
+            released.is_empty(),
+            "subset {{q0,q1}} of the emitted solution must not re-emit"
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_via_serde() {
+        let mut bank = QueueBank::new(2);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0], &[2, 1]));
+        let snap = bank.snapshot();
+        // BankSnapshot derives Serialize/Deserialize; round-trip through
+        // the serde data model using its Debug shape as a proxy check and
+        // a clone-restore equivalence.
+        let restored = QueueBank::restore(snap.clone());
+        assert_eq!(restored.resident(), bank.resident());
+        assert_eq!(format!("{:?}", snap.slots.len()), "2");
+    }
+
+    #[test]
+    fn ephemeral_queue_participates_once_then_vanishes() {
+        let mut bank = QueueBank::new(1);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0], &[6, 5]));
+        // Q0 holds one interval? No: single-queue banks emit immediately.
+        // Rebuild: two queues so the local head stays resident.
+        let mut bank = QueueBank::new(2);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0], &[6, 5]));
+        // Ephemeral seed overlaps the resident head → immediate solution.
+        let sols = bank.add_ephemeral_queue(iv(1, 0, &[2, 1], &[3, 2]));
+        // Queue 1 is still empty, so no solution yet; the ephemeral queue
+        // (slot 2) holds the seed.
+        assert!(sols.is_empty());
+        assert_eq!(bank.queue_count(), 3);
+        let sols = bank.enqueue(SlotId(1), iv(1, 0, &[2, 1], &[4, 3]));
+        assert_eq!(sols.len(), 1, "solution across local + real + ephemeral");
+        // The seed was consumed (pruned or swept) → ephemeral queue gone.
+        assert_eq!(bank.queue_count(), 2, "ephemeral queue vanished");
+        // Detection continues unblocked by the departed queue.
+        bank.enqueue(SlotId(0), iv(0, 1, &[7, 6], &[9, 8]));
+        let sols = bank.enqueue(SlotId(1), iv(1, 1, &[8, 7], &[10, 9]));
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn ephemeral_queue_swept_away_when_hopeless() {
+        let mut bank = QueueBank::new(2);
+        bank.enqueue(SlotId(0), iv(0, 0, &[5, 4], &[8, 7]));
+        // Seed entirely precedes the resident head → swept on arrival of
+        // a comparison trigger.
+        bank.add_ephemeral_queue(iv(1, 0, &[1, 0], &[2, 1]));
+        let sols = bank.enqueue(SlotId(1), iv(1, 0, &[6, 5], &[7, 8]));
+        assert_eq!(sols.len(), 1, "stale seed did not block");
+        assert_eq!(bank.queue_count(), 2);
+    }
+
+    #[test]
+    fn stats_track_peaks() {
+        let mut bank = QueueBank::new(2);
+        for s in 0..4 {
+            bank.enqueue(
+                SlotId(1),
+                iv(1, s, &[0, 2 * s as u32 + 1], &[0, 2 * s as u32 + 2]),
+            );
+        }
+        assert_eq!(bank.stats().peak_queue_len, 4);
+        assert_eq!(bank.stats().peak_resident, 4);
+        assert_eq!(bank.resident(), 4);
+    }
+}

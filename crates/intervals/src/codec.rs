@@ -1,0 +1,234 @@
+//! Binary wire codec for intervals and timestamps.
+//!
+//! The simulator's byte accounting — and any real transport a library
+//! user brings — needs an actual serialized form, not an estimate. The
+//! format is little-endian, length-prefixed, and self-contained:
+//!
+//! ```text
+//! VectorClock := u32 len, len × u32 components
+//! IntervalRef := u32 process, u64 seq
+//! Interval    := u32 source, u64 seq, u8 kind, [u32 level if aggregated],
+//!                VectorClock lo, VectorClock hi,
+//!                u32 coverage_len, coverage_len × IntervalRef
+//! ```
+
+use crate::interval::{Interval, IntervalKind, IntervalRef};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ftscp_vclock::{ProcessId, VectorClock};
+use std::fmt;
+
+/// Decoding error: the buffer did not contain a well-formed value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a vector clock into `buf`.
+pub fn encode_clock(clock: &VectorClock, buf: &mut BytesMut) {
+    buf.put_u32_le(clock.len() as u32);
+    for i in 0..clock.len() {
+        buf.put_u32_le(clock.get(i));
+    }
+}
+
+/// Decodes a vector clock from `buf`.
+pub fn decode_clock(buf: &mut Bytes) -> Result<VectorClock, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError("clock length header truncated"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < 4 * len {
+        return Err(DecodeError("clock components truncated"));
+    }
+    let mut components = Vec::with_capacity(len);
+    for _ in 0..len {
+        components.push(buf.get_u32_le());
+    }
+    Ok(VectorClock::from_components(components))
+}
+
+/// Encodes an interval into `buf`.
+pub fn encode_interval(iv: &Interval, buf: &mut BytesMut) {
+    buf.put_u32_le(iv.source.0);
+    buf.put_u64_le(iv.seq);
+    match iv.kind {
+        IntervalKind::Local => buf.put_u8(0),
+        IntervalKind::Aggregated { level } => {
+            buf.put_u8(1);
+            buf.put_u32_le(level);
+        }
+    }
+    encode_clock(&iv.lo, buf);
+    encode_clock(&iv.hi, buf);
+    buf.put_u32_le(iv.coverage.len() as u32);
+    for r in &iv.coverage {
+        buf.put_u32_le(r.process.0);
+        buf.put_u64_le(r.seq);
+    }
+}
+
+/// Decodes an interval from `buf`.
+pub fn decode_interval(buf: &mut Bytes) -> Result<Interval, DecodeError> {
+    if buf.remaining() < 13 {
+        return Err(DecodeError("interval header truncated"));
+    }
+    let source = ProcessId(buf.get_u32_le());
+    let seq = buf.get_u64_le();
+    let kind = match buf.get_u8() {
+        0 => IntervalKind::Local,
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError("aggregation level truncated"));
+            }
+            IntervalKind::Aggregated {
+                level: buf.get_u32_le(),
+            }
+        }
+        _ => return Err(DecodeError("unknown interval kind tag")),
+    };
+    let lo = decode_clock(buf)?;
+    let hi = decode_clock(buf)?;
+    if buf.remaining() < 4 {
+        return Err(DecodeError("coverage length truncated"));
+    }
+    let cov_len = buf.get_u32_le() as usize;
+    if buf.remaining() < 12 * cov_len {
+        return Err(DecodeError("coverage entries truncated"));
+    }
+    let mut coverage = Vec::with_capacity(cov_len);
+    for _ in 0..cov_len {
+        let process = ProcessId(buf.get_u32_le());
+        let seq = buf.get_u64_le();
+        coverage.push(IntervalRef { process, seq });
+    }
+    Ok(Interval {
+        source,
+        seq,
+        lo,
+        hi,
+        kind,
+        coverage,
+    })
+}
+
+/// Convenience: encode an interval into a fresh buffer.
+pub fn interval_to_bytes(iv: &Interval) -> Bytes {
+    let mut buf = BytesMut::with_capacity(iv.wire_size());
+    encode_interval(iv, &mut buf);
+    buf.freeze()
+}
+
+/// Convenience: decode an interval from a standalone buffer.
+pub fn interval_from_bytes(bytes: &Bytes) -> Result<Interval, DecodeError> {
+    let mut buf = bytes.clone();
+    decode_interval(&mut buf)
+}
+
+/// Exact encoded size of an interval in this codec.
+pub fn encoded_interval_len(iv: &Interval) -> usize {
+    let kind = match iv.kind {
+        IntervalKind::Local => 1,
+        IntervalKind::Aggregated { .. } => 5,
+    };
+    4 + 8 + kind + (4 + 4 * iv.lo.len()) + (4 + 4 * iv.hi.len()) + 4 + 12 * iv.coverage.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_local() -> Interval {
+        Interval::local(
+            ProcessId(3),
+            7,
+            VectorClock::from_components(vec![1, 2, 3, 4]),
+            VectorClock::from_components(vec![5, 6, 7, 8]),
+        )
+    }
+
+    fn sample_aggregated() -> Interval {
+        let a = sample_local();
+        let b = Interval::local(
+            ProcessId(1),
+            2,
+            VectorClock::from_components(vec![2, 2, 2, 2]),
+            VectorClock::from_components(vec![6, 6, 6, 6]),
+        );
+        crate::aggregate(&[a, b], ProcessId(0), 9, 3)
+    }
+
+    #[test]
+    fn clock_round_trip() {
+        let c = VectorClock::from_components(vec![0, u32::MAX, 17]);
+        let mut buf = BytesMut::new();
+        encode_clock(&c, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_clock(&mut bytes).unwrap(), c);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn local_interval_round_trip() {
+        let iv = sample_local();
+        let bytes = interval_to_bytes(&iv);
+        assert_eq!(bytes.len(), encoded_interval_len(&iv));
+        assert_eq!(interval_from_bytes(&bytes).unwrap(), iv);
+    }
+
+    #[test]
+    fn aggregated_interval_round_trip() {
+        let iv = sample_aggregated();
+        let bytes = interval_to_bytes(&iv);
+        assert_eq!(bytes.len(), encoded_interval_len(&iv));
+        let decoded = interval_from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, iv);
+        assert!(decoded.is_aggregated());
+        assert_eq!(decoded.coverage.len(), 2);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let iv = sample_aggregated();
+        let bytes = interval_to_bytes(&iv);
+        for cut in [0, 3, 12, 13, 20, bytes.len() - 1] {
+            let mut truncated = bytes.clone();
+            truncated.truncate(cut);
+            assert!(
+                interval_from_bytes(&truncated).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_tag_rejected() {
+        let iv = sample_local();
+        let bytes = interval_to_bytes(&iv);
+        let mut raw = bytes.to_vec();
+        raw[12] = 9; // kind tag offset: 4 (source) + 8 (seq)
+        let mut buf = Bytes::from(raw);
+        assert_eq!(
+            decode_interval(&mut buf),
+            Err(DecodeError("unknown interval kind tag"))
+        );
+    }
+
+    #[test]
+    fn multiple_intervals_stream() {
+        let a = sample_local();
+        let b = sample_aggregated();
+        let mut buf = BytesMut::new();
+        encode_interval(&a, &mut buf);
+        encode_interval(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_interval(&mut bytes).unwrap(), a);
+        assert_eq!(decode_interval(&mut bytes).unwrap(), b);
+        assert!(!bytes.has_remaining());
+    }
+}

@@ -1,0 +1,188 @@
+//! Repeated-detection prune rules (Eqs. (9) and (10), Theorems 3–4).
+//!
+//! After a solution set `X = {x_0 .. x_l}` is detected, at least one head
+//! must be removed from its queue or the detector would report the same
+//! solution forever. The *exact* rule (Eq. (9)) removes `x_i` iff no other
+//! member's successor can still overlap it:
+//!
+//! ```text
+//! remove x_i  iff  ∀ x_j ∈ X (j ≠ i): min(succ(x_j)) ≮ max(x_i)
+//! ```
+//!
+//! but `min(succ(x_j))` is unknown until the successor arrives. The paper
+//! therefore prunes with the on-line approximation (Eq. (10)):
+//!
+//! ```text
+//! remove x_i  iff  ∀ x_j ∈ X (j ≠ i): max(x_j) ≮ max(x_i)
+//! ```
+//!
+//! which is **safe** (Theorem 3: `max(x_j) < min(succ(x_j))`, so Eq. (10)
+//! implies Eq. (9)) and **live** (Theorem 4: the heads' `max` cuts cannot
+//! form a `<`-cycle, so at least one head always qualifies).
+
+use crate::interval::Interval;
+use ftscp_vclock::{order, OpCounter, VectorClock};
+use serde::{Deserialize, Serialize};
+
+/// Which prune rule a detector uses after each solution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum PruneRule {
+    /// Eq. (10): `∀ j≠i: max(x_j) ≮ max(x_i)`. The paper's on-line rule.
+    #[default]
+    Approximate,
+    /// Eq. (9) evaluated with hindsight: requires successor knowledge, so it
+    /// is only usable by the offline/ablation detectors in
+    /// [`crate::offline`].
+    ExactWithHindsight,
+}
+
+/// Indices (into `solution`) of the heads Eq. (10) removes.
+///
+/// Guaranteed non-empty for any non-empty solution set (Theorem 4); every
+/// returned index is safe to remove (Theorem 3).
+pub fn approximate_removals(solution: &[&Interval], ops: &OpCounter) -> Vec<usize> {
+    let mut removable = Vec::new();
+    for (i, x) in solution.iter().enumerate() {
+        let mut qualifies = true;
+        for (j, y) in solution.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // max(x_j) < max(x_i) disqualifies x_i.
+            if order::strictly_less_counted(&y.hi, &x.hi, ops) {
+                qualifies = false;
+                break;
+            }
+        }
+        if qualifies {
+            removable.push(i);
+        }
+    }
+    removable
+}
+
+/// Eq. (9) with hindsight: given each member's successor's low bound (where
+/// known), remove `x_i` iff `∀ j≠i: min(succ(x_j)) ≮ max(x_i)`. A member
+/// whose successor is not yet known (`None`) conservatively counts as "its
+/// successor might overlap anything" only if treat_unknown_as_blocking is
+/// the caller's policy; here an unknown successor **blocks** removal of all
+/// other members, matching the information available on-line.
+pub fn exact_removals(
+    solution: &[&Interval],
+    successor_lows: &[Option<&VectorClock>],
+    ops: &OpCounter,
+) -> Vec<usize> {
+    assert_eq!(solution.len(), successor_lows.len());
+    let mut removable = Vec::new();
+    for (i, x) in solution.iter().enumerate() {
+        let mut qualifies = true;
+        for (j, _) in solution.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            match successor_lows[j] {
+                Some(succ_lo) => {
+                    // min(succ(x_j)) < max(x_i) means x_i could still pair
+                    // with x_j's successor — keep it.
+                    if order::strictly_less_counted(succ_lo, &x.hi, ops) {
+                        qualifies = false;
+                        break;
+                    }
+                }
+                None => {
+                    // Successor unknown: it could still overlap x_i.
+                    qualifies = false;
+                    break;
+                }
+            }
+        }
+        if qualifies {
+            removable.push(i);
+        }
+    }
+    removable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_vclock::ProcessId;
+
+    fn iv(p: u32, seq: u64, lo: &[u32], hi: &[u32]) -> Interval {
+        Interval::local(
+            ProcessId(p),
+            seq,
+            VectorClock::from_components(lo.to_vec()),
+            VectorClock::from_components(hi.to_vec()),
+        )
+    }
+
+    #[test]
+    fn at_least_one_removal_from_any_solution() {
+        // Heads with mutually concurrent max cuts: all qualify.
+        let a = iv(0, 0, &[1, 0], &[5, 2]);
+        let b = iv(1, 0, &[0, 1], &[2, 5]);
+        let ops = OpCounter::new();
+        let rm = approximate_removals(&[&a, &b], &ops);
+        assert_eq!(rm, vec![0, 1], "concurrent maxes: both removable");
+    }
+
+    #[test]
+    fn dominated_max_is_kept() {
+        // max(a) < max(b): a's queue may hold a successor that pairs with b,
+        // so b must be kept; a is removable.
+        let a = iv(0, 0, &[1, 0], &[2, 1]);
+        let b = iv(1, 0, &[1, 1], &[3, 4]);
+        let ops = OpCounter::new();
+        let rm = approximate_removals(&[&a, &b], &ops);
+        assert_eq!(rm, vec![0], "only the <-minimal max is removed");
+    }
+
+    #[test]
+    fn singleton_solution_always_removable() {
+        let a = iv(0, 0, &[1], &[2]);
+        let ops = OpCounter::new();
+        assert_eq!(approximate_removals(&[&a], &ops), vec![0]);
+    }
+
+    #[test]
+    fn exact_rule_with_known_successors_can_remove_more() {
+        // max(a) < max(b), so Eq. (10) keeps b. But if a's successor starts
+        // causally after b ends, Eq. (9) also removes b.
+        let a = iv(0, 0, &[1, 0], &[2, 1]);
+        let b = iv(1, 0, &[1, 1], &[3, 4]);
+        let succ_a_lo = VectorClock::from_components(vec![5, 6]);
+        let ops = OpCounter::new();
+        let rm = exact_removals(&[&a, &b], &[Some(&succ_a_lo), None], &ops);
+        // b removable: succ(a) does not start before b's end... check:
+        // min(succ(a)) = [5,6] ≮ max(b) = [3,4]  → b qualifies.
+        // a not removable: succ(b) unknown.
+        assert_eq!(rm, vec![1]);
+    }
+
+    #[test]
+    fn exact_rule_unknown_successors_block_everything() {
+        let a = iv(0, 0, &[1, 0], &[5, 2]);
+        let b = iv(1, 0, &[0, 1], &[2, 5]);
+        let ops = OpCounter::new();
+        let rm = exact_removals(&[&a, &b], &[None, None], &ops);
+        assert!(rm.is_empty());
+    }
+
+    /// Theorem 3 (safety), spot check: every Eq. (10) removal also satisfies
+    /// Eq. (9) whenever successors are known and consistent with Theorem 2
+    /// (max(x) < min(succ(x))).
+    #[test]
+    fn approximate_subset_of_exact() {
+        let a = iv(0, 0, &[2, 1], &[4, 2]);
+        let b = iv(1, 0, &[1, 2], &[2, 4]);
+        let succ_a_lo = VectorClock::from_components(vec![5, 3]);
+        let succ_b_lo = VectorClock::from_components(vec![3, 5]);
+        let ops = OpCounter::new();
+        let approx = approximate_removals(&[&a, &b], &ops);
+        let exact = exact_removals(&[&a, &b], &[Some(&succ_a_lo), Some(&succ_b_lo)], &ops);
+        for idx in &approx {
+            assert!(exact.contains(idx), "Eq.10 removal {idx} must satisfy Eq.9");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: the binary codec round-trips every well-formed value
+//! and reports exact sizes.
+
+use bytes::Bytes;
+use ftscp_intervals::codec;
+use ftscp_intervals::{aggregate, Interval};
+use ftscp_vclock::{ProcessId, VectorClock};
+use proptest::prelude::*;
+
+fn clock_strategy(width: usize) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(proptest::num::u32::ANY, width).prop_map(VectorClock::from_components)
+}
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (1usize..8).prop_flat_map(|width| {
+        (
+            0u32..64,
+            proptest::num::u64::ANY,
+            clock_strategy(width),
+            clock_strategy(width),
+        )
+            .prop_map(|(p, seq, lo, hi)| Interval::local(ProcessId(p), seq, lo, hi))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn clock_round_trip(c in clock_strategy(6)) {
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_clock(&c, &mut buf);
+        let mut b = buf.freeze();
+        prop_assert_eq!(codec::decode_clock(&mut b).unwrap(), c);
+    }
+
+    #[test]
+    fn local_interval_round_trip(iv in interval_strategy()) {
+        let bytes = codec::interval_to_bytes(&iv);
+        prop_assert_eq!(bytes.len(), codec::encoded_interval_len(&iv));
+        prop_assert_eq!(codec::interval_from_bytes(&bytes).unwrap(), iv);
+    }
+
+    /// Aggregations (with multi-entry coverage and level tags) round-trip.
+    #[test]
+    fn aggregated_interval_round_trip(
+        a in interval_strategy(),
+        seq in proptest::num::u64::ANY,
+        level in 0u32..16,
+    ) {
+        // Build a second interval of the same width so aggregation works.
+        let b = Interval::local(
+            ProcessId(a.source.0 + 1),
+            a.seq.wrapping_add(1),
+            a.lo.clone(),
+            a.hi.clone(),
+        );
+        let agg = aggregate(&[a, b], ProcessId(99), seq, level);
+        let bytes = codec::interval_to_bytes(&agg);
+        prop_assert_eq!(bytes.len(), codec::encoded_interval_len(&agg));
+        prop_assert_eq!(codec::interval_from_bytes(&bytes).unwrap(), agg);
+    }
+
+    /// Any truncation of a valid encoding fails cleanly (no panic).
+    #[test]
+    fn truncation_never_panics(iv in interval_strategy(), cut_frac in 0.0f64..1.0) {
+        let bytes = codec::interval_to_bytes(&iv);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let mut t = bytes.clone();
+            t.truncate(cut);
+            prop_assert!(codec::interval_from_bytes(&t).is_err());
+        }
+    }
+
+    /// Arbitrary garbage either fails or decodes without panicking.
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(proptest::num::u8::ANY, 0..64)) {
+        let b = Bytes::from(data);
+        let _ = codec::interval_from_bytes(&b); // must not panic
+    }
+}

@@ -1,0 +1,174 @@
+//! Exhaustive small-model checking: enumerate **every** interleaving of
+//! small per-queue interval sequences and assert the bank is confluent —
+//! the same solutions, in the same order, regardless of arrival order.
+//! Stronger than the randomized interleaving tests: nothing is sampled.
+
+use ftscp_intervals::{Interval, IntervalRef, QueueBank, SlotId};
+use ftscp_vclock::{ProcessId, VectorClock};
+
+/// All interleavings of the given per-queue sequences (preserving each
+/// queue's internal order), as index streams.
+fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
+    fn go(
+        cursors: &mut Vec<usize>,
+        lens: &[usize],
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        let mut progressed = false;
+        for q in 0..lens.len() {
+            if cursors[q] < lens[q] {
+                progressed = true;
+                cursors[q] += 1;
+                prefix.push(q);
+                go(cursors, lens, prefix, out);
+                prefix.pop();
+                cursors[q] -= 1;
+            }
+        }
+        if !progressed {
+            out.push(prefix.clone());
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut vec![0; lens.len()], lens, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Runs the bank over one interleaving, returning solution coverages.
+fn run(seqs: &[Vec<Interval>], order: &[usize]) -> Vec<Vec<IntervalRef>> {
+    let mut bank = QueueBank::new(seqs.len());
+    let mut cursors = vec![0usize; seqs.len()];
+    let mut out = Vec::new();
+    for &q in order {
+        let iv = seqs[q][cursors[q]].clone();
+        cursors[q] += 1;
+        for sol in bank.enqueue(SlotId(q as u32), iv) {
+            out.push(sol.coverage());
+        }
+    }
+    out
+}
+
+fn check_confluent(seqs: &[Vec<Interval>]) {
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    let all = interleavings(&lens);
+    assert!(!all.is_empty());
+    let reference = run(seqs, &all[0]);
+    for (i, order) in all.iter().enumerate().skip(1) {
+        let got = run(seqs, order);
+        assert_eq!(
+            got,
+            reference,
+            "interleaving {i} of {} diverged (order {order:?})",
+            all.len()
+        );
+    }
+}
+
+fn iv(p: u32, seq: u64, lo: &[u32], hi: &[u32]) -> Interval {
+    Interval::local(
+        ProcessId(p),
+        seq,
+        VectorClock::from_components(lo.to_vec()),
+        VectorClock::from_components(hi.to_vec()),
+    )
+}
+
+/// Two queues, three intervals each, overlapping chain-wise: 20 choose 10
+/// style enumeration (C(6,3) = 20 interleavings).
+#[test]
+fn confluence_two_queues_interleaved_chain() {
+    let seqs = vec![
+        vec![
+            iv(0, 0, &[1, 0], &[4, 3]),
+            iv(0, 1, &[6, 5], &[9, 8]),
+            iv(0, 2, &[11, 10], &[14, 13]),
+        ],
+        vec![
+            iv(1, 0, &[2, 1], &[3, 4]),
+            iv(1, 1, &[7, 6], &[8, 9]),
+            iv(1, 2, &[12, 11], &[13, 14]),
+        ],
+    ];
+    check_confluent(&seqs);
+    // Sanity: the reference finds all three matches.
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    let reference = run(&seqs, &interleavings(&lens)[0]);
+    assert_eq!(reference.len(), 3);
+}
+
+/// Mismatched streams: queue 0's intervals mostly precede queue 1's, so
+/// sweeps dominate. 10 interleavings… C(5,2) = 10.
+#[test]
+fn confluence_with_sweep_heavy_streams() {
+    let seqs = vec![
+        vec![
+            iv(0, 0, &[1, 0], &[2, 0]),
+            iv(0, 1, &[3, 0], &[4, 0]),
+            iv(0, 2, &[5, 0], &[9, 8]),
+        ],
+        vec![
+            iv(1, 0, &[6, 1], &[7, 2]), // after x0#0, x0#1 entirely
+            iv(1, 1, &[6, 3], &[8, 9]),
+        ],
+    ];
+    check_confluent(&seqs);
+}
+
+/// Three queues, two intervals each: C(6; 2,2,2) = 90 interleavings.
+#[test]
+fn confluence_three_queues() {
+    let seqs = vec![
+        vec![
+            iv(0, 0, &[1, 0, 0], &[4, 3, 3]),
+            iv(0, 1, &[6, 5, 5], &[9, 8, 8]),
+        ],
+        vec![
+            iv(1, 0, &[2, 1, 0], &[3, 4, 3]),
+            iv(1, 1, &[7, 6, 5], &[8, 9, 8]),
+        ],
+        vec![
+            iv(2, 0, &[2, 0, 1], &[3, 3, 4]),
+            iv(2, 1, &[7, 5, 6], &[8, 8, 9]),
+        ],
+    ];
+    check_confluent(&seqs);
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    assert_eq!(interleavings(&lens).len(), 90);
+    let reference = run(&seqs, &interleavings(&lens)[0]);
+    assert_eq!(reference.len(), 2, "both rounds detected");
+}
+
+/// Solo (non-overlapping) intervals sprinkled in: the sweep must discard
+/// them identically under every interleaving.
+#[test]
+fn confluence_with_solo_intervals() {
+    let seqs = vec![
+        vec![
+            iv(0, 0, &[1, 0, 0], &[2, 0, 0]), // solo: communicates with no one
+            iv(0, 1, &[3, 2, 2], &[6, 5, 5]),
+        ],
+        vec![iv(1, 0, &[4, 3, 2], &[5, 6, 5])],
+        vec![iv(2, 0, &[4, 3, 3], &[5, 5, 6])],
+    ];
+    check_confluent(&seqs);
+}
+
+/// Degenerate: one queue empty the whole time — no solutions under any
+/// interleaving (the empty queue blocks).
+#[test]
+fn confluence_with_permanently_empty_queue() {
+    let seqs = vec![
+        vec![
+            iv(0, 0, &[1, 0, 0], &[4, 3, 0]),
+            iv(0, 1, &[5, 4, 0], &[8, 7, 0]),
+        ],
+        vec![iv(1, 0, &[2, 1, 0], &[3, 4, 0])],
+        vec![], // silent process
+    ];
+    let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+    for order in interleavings(&lens) {
+        assert!(run(&seqs, &order).is_empty());
+    }
+}

@@ -1,0 +1,625 @@
+//! The discrete-event simulation driver.
+
+use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::metrics::NetMetrics;
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-hop link delay model: every hop of every message samples an
+/// independent uniform delay in `[min_delay, max_delay]`. Independent
+/// sampling is what makes channels non-FIFO (a later message can draw a
+/// shorter delay and overtake).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Minimum per-hop delay.
+    pub min_delay: SimTime,
+    /// Maximum per-hop delay.
+    pub max_delay: SimTime,
+    /// Per-hop loss probability (a message over `k` hops survives with
+    /// probability `(1 - drop_prob)^k`) — the WSN radio reality that makes
+    /// the monitor's acknowledgement/retransmission layer necessary.
+    pub drop_prob: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            min_delay: SimTime(500),
+            max_delay: SimTime(5_000),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl LinkModel {
+    fn sample(&self, rng: &mut StdRng) -> SimTime {
+        SimTime(rng.gen_range(self.min_delay.0..=self.max_delay.0))
+    }
+
+    fn survives_hop(&self, rng: &mut StdRng) -> bool {
+        self.drop_prob <= 0.0 || rng.gen::<f64>() >= self.drop_prob
+    }
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed: same seed ⇒ identical execution.
+    pub seed: u64,
+    /// Link delay model.
+    pub link: LinkModel,
+}
+
+/// Behaviour of one node. Implementations are deterministic state machines;
+/// all effects go through the [`Ctx`].
+pub trait Application {
+    /// Message type exchanged between nodes.
+    type Msg: Clone;
+
+    /// Called once at simulation start (time 0).
+    fn on_init(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called when a message is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _token: TimerToken) {}
+
+    /// Approximate wire size of a message, for byte accounting.
+    fn msg_size(_msg: &Self::Msg) -> usize {
+        16
+    }
+}
+
+/// Effect interface handed to application callbacks.
+pub struct Ctx<'a, M> {
+    me: NodeId,
+    now: SimTime,
+    n: usize,
+    neighbors: &'a [NodeId],
+    outbox: Vec<(NodeId, M)>,
+    timers: Vec<(SimTime, TimerToken)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// This node's topology neighbors (alive or not — liveness is only
+    /// observable through the application's own heartbeats).
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Sends `msg` to `dst`; the network routes it over the shortest alive
+    /// path and delivers it after per-hop random delays.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.outbox.push((dst, msg));
+    }
+
+    /// Arms a one-shot timer `delay` from now.
+    pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) {
+        self.timers.push((self.now + delay, token));
+    }
+}
+
+/// Test utilities: drive an [`Application`] callback directly, without a
+/// full simulation, and observe the effects it queued.
+pub mod testkit {
+    use super::*;
+
+    /// Effects captured from a single callback invocation.
+    #[derive(Debug)]
+    pub struct Effects<M> {
+        /// Messages the app sent: `(dst, msg)`.
+        pub sends: Vec<(NodeId, M)>,
+        /// Timers armed: `(fire_at, token)`.
+        pub timers: Vec<(SimTime, TimerToken)>,
+    }
+
+    /// Invokes `f` with a detached [`Ctx`] for node `me` at time `now` in
+    /// an `n`-node network with the given neighbor list, returning what
+    /// the app emitted. Intended for unit-testing applications.
+    pub fn drive<M>(
+        me: NodeId,
+        now: SimTime,
+        n: usize,
+        neighbors: &[NodeId],
+        f: impl FnOnce(&mut Ctx<'_, M>),
+    ) -> Effects<M> {
+        let mut ctx = Ctx {
+            me,
+            now,
+            n,
+            neighbors,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        f(&mut ctx);
+        Effects {
+            sends: ctx.outbox,
+            timers: ctx.timers,
+        }
+    }
+}
+
+/// The simulation: topology + one application instance per node + event
+/// queue + metrics.
+pub struct Simulation<A: Application> {
+    topology: Topology,
+    apps: Vec<A>,
+    alive: Vec<bool>,
+    queue: EventQueue<A::Msg>,
+    metrics: NetMetrics,
+    rng: StdRng,
+    now: SimTime,
+    config: SimConfig,
+    initialized: bool,
+    events_processed: u64,
+}
+
+impl<A: Application> Simulation<A> {
+    /// Builds a simulation; `apps[i]` runs on node `i`.
+    pub fn new(topology: Topology, apps: Vec<A>, config: SimConfig) -> Self {
+        assert_eq!(topology.len(), apps.len(), "one app per node");
+        let n = topology.len();
+        Simulation {
+            topology,
+            apps,
+            alive: vec![true; n],
+            queue: EventQueue::new(),
+            metrics: NetMetrics::new(n),
+            rng: StdRng::seed_from_u64(config.seed),
+            now: SimTime::ZERO,
+            config,
+            initialized: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Schedules `node` to crash-stop at `time`.
+    pub fn schedule_crash(&mut self, node: NodeId, time: SimTime) {
+        self.queue.push(time, EventKind::Crash { node });
+    }
+
+    /// Revives a crashed node immediately (crash-*recovery* support): the
+    /// node becomes reachable again and may send/receive from now on. The
+    /// application instance's in-memory state is untouched — modelling a
+    /// reboot is the application's job (e.g. restoring from a checkpoint
+    /// when it next runs). Pending timers armed before the crash were
+    /// dropped at fire time and do not resurrect; the application must
+    /// re-arm what it needs.
+    pub fn revive(&mut self, node: NodeId) {
+        self.alive[node.index()] = true;
+    }
+
+    /// Invokes a callback on `node`'s application with a live [`Ctx`], so
+    /// out-of-band controllers (a deployment harness) can let an app react
+    /// to management actions with sends/timers. No-op on dead nodes.
+    pub fn with_app_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) {
+        if !self.alive[node.index()] {
+            return;
+        }
+        self.with_ctx(node, f);
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network size.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True iff the simulation has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Immutable access to node `i`'s application.
+    pub fn app(&self, node: NodeId) -> &A {
+        &self.apps[node.index()]
+    }
+
+    /// Mutable access to node `i`'s application (for test instrumentation).
+    pub fn app_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.apps[node.index()]
+    }
+
+    /// All applications.
+    pub fn apps(&self) -> &[A] {
+        &self.apps
+    }
+
+    /// Liveness flags.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// True iff `node` has not crashed.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Message accounting.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs until the event queue drains or `deadline` passes, whichever is
+    /// first. Returns the number of events processed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.ensure_init();
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            self.dispatch(ev.kind);
+            processed += 1;
+        }
+        // Time always advances to the deadline even if the queue drained.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.events_processed += processed;
+        processed
+    }
+
+    /// Runs until the event queue is empty (quiescence). `max_events`
+    /// bounds runaway applications.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.ensure_init();
+        let mut processed = 0;
+        while processed < max_events {
+            let Some(ev) = self.queue.pop() else { break };
+            self.now = ev.time;
+            self.dispatch(ev.kind);
+            processed += 1;
+        }
+        self.events_processed += processed;
+        processed
+    }
+
+    /// Delivers an out-of-band message to `node` as if sent by `from` —
+    /// used by drivers that inject external stimuli.
+    pub fn inject(&mut self, at: SimTime, from: NodeId, dst: NodeId, msg: A::Msg) {
+        self.queue.push(
+            at,
+            EventKind::Deliver {
+                src: from,
+                dst,
+                msg,
+            },
+        );
+    }
+
+    fn ensure_init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for i in 0..self.apps.len() {
+            let node = NodeId(i as u32);
+            self.with_ctx(node, |app, ctx| app.on_init(ctx));
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind<A::Msg>) {
+        match kind {
+            EventKind::Deliver { src, dst, msg } => {
+                if !self.alive[dst.index()] {
+                    self.metrics.record_dropped_dead();
+                    return;
+                }
+                self.metrics.record_delivery(dst);
+                self.with_ctx(dst, |app, ctx| app.on_message(ctx, src, msg));
+            }
+            EventKind::Timer { node, token } => {
+                if !self.alive[node.index()] {
+                    return;
+                }
+                self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
+            }
+            EventKind::Crash { node } => {
+                self.alive[node.index()] = false;
+            }
+        }
+    }
+
+    fn with_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) {
+        let mut ctx = Ctx {
+            me: node,
+            now: self.now,
+            n: self.apps.len(),
+            neighbors: self.topology.neighbors(node),
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        // Split borrow: the app is taken out of the slice context via index.
+        // `neighbors` borrows the topology, `apps[node]` the app vector —
+        // disjoint fields, but the compiler cannot see that through &mut
+        // self, so dispatch through raw indices on separate locals.
+        let apps = &mut self.apps;
+        f(&mut apps[node.index()], &mut ctx);
+        let Ctx { outbox, timers, .. } = ctx;
+        for (dst, msg) in outbox {
+            self.route_and_schedule(node, dst, msg);
+        }
+        for (at, token) in timers {
+            self.queue.push(at, EventKind::Timer { node, token });
+        }
+    }
+
+    fn route_and_schedule(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
+        let size = A::msg_size(&msg);
+        if src == dst {
+            // Loopback: no channel occupied.
+            self.metrics.record_send(src, 0, size);
+            self.queue
+                .push(self.now + SimTime(1), EventKind::Deliver { src, dst, msg });
+            return;
+        }
+        match self.topology.shortest_path(src, dst, &self.alive) {
+            Some(path) => {
+                let mut delay = SimTime::ZERO;
+                let mut survived_hops = 0usize;
+                let mut lost = false;
+                for hop in path.windows(2) {
+                    delay += self.config.link.sample(&mut self.rng);
+                    survived_hops += 1;
+                    self.metrics.record_hop(hop[0], hop[1]);
+                    if !self.config.link.survives_hop(&mut self.rng) {
+                        lost = true;
+                        break;
+                    }
+                }
+                // Channels are charged for every hop actually attempted.
+                self.metrics.record_send(src, survived_hops, size);
+                if lost {
+                    self.metrics.record_lost();
+                } else {
+                    self.queue
+                        .push(self.now + delay, EventKind::Deliver { src, dst, msg });
+                }
+            }
+            None => {
+                self.metrics.record_undeliverable();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood app: node 0 starts a token; every node forwards the first copy
+    /// it sees to all neighbors, counting receptions.
+    #[derive(Default, Clone)]
+    struct Flood {
+        seen: bool,
+        receptions: u32,
+    }
+
+    impl Application for Flood {
+        type Msg = u32;
+
+        fn on_init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == NodeId(0) {
+                self.seen = true;
+                let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+                for nb in neighbors {
+                    ctx.send(nb, 1);
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+            self.receptions += 1;
+            if !self.seen {
+                self.seen = true;
+                let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+                for nb in neighbors {
+                    ctx.send(nb, msg + 1);
+                }
+            }
+        }
+    }
+
+    fn flood_sim(seed: u64) -> Simulation<Flood> {
+        let topo = Topology::grid(4, 4);
+        let apps = vec![Flood::default(); 16];
+        Simulation::new(
+            topo,
+            apps,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn flood_reaches_every_node() {
+        let mut sim = flood_sim(3);
+        sim.run_to_quiescence(100_000);
+        assert!(sim.apps().iter().all(|a| a.seen));
+        assert!(sim.metrics().delivered > 0);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let mut a = flood_sim(11);
+        let mut b = flood_sim(11);
+        a.run_to_quiescence(100_000);
+        b.run_to_quiescence(100_000);
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.time(), b.time());
+        let ra: Vec<u32> = a.apps().iter().map(|x| x.receptions).collect();
+        let rb: Vec<u32> = b.apps().iter().map(|x| x.receptions).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ_in_timing() {
+        let mut a = flood_sim(1);
+        let mut b = flood_sim(2);
+        a.run_to_quiescence(100_000);
+        b.run_to_quiescence(100_000);
+        assert_ne!(a.time(), b.time(), "independent delay draws");
+    }
+
+    #[test]
+    fn crash_stops_delivery_and_timers() {
+        struct Pinger;
+        impl Application for Pinger {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(1), ());
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeId, _msg: ()) {
+                panic!("dead node must not receive");
+            }
+        }
+        let topo = Topology::line(2);
+        let mut sim = Simulation::new(topo, vec![Pinger, Pinger], SimConfig::default());
+        sim.schedule_crash(NodeId(1), SimTime(0));
+        sim.run_to_quiescence(1000);
+        assert_eq!(sim.metrics().dropped_dead_dst, 1);
+        assert!(!sim.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn unroutable_send_counts_undeliverable() {
+        struct Lonely;
+        impl Application for Lonely {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(1), ());
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let topo = Topology::empty(2); // no edges at all
+        let mut sim = Simulation::new(topo, vec![Lonely, Lonely], SimConfig::default());
+        sim.run_to_quiescence(1000);
+        assert_eq!(sim.metrics().undeliverable, 1);
+        assert_eq!(sim.metrics().delivered, 0);
+    }
+
+    #[test]
+    fn multi_hop_messages_bill_hops() {
+        struct EndToEnd;
+        impl Application for EndToEnd {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(3), ());
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn msg_size(_: &()) -> usize {
+                10
+            }
+        }
+        let topo = Topology::line(4);
+        let mut sim = Simulation::new(
+            topo,
+            vec![EndToEnd, EndToEnd, EndToEnd, EndToEnd],
+            SimConfig::default(),
+        );
+        sim.run_to_quiescence(1000);
+        assert_eq!(sim.metrics().sends, 1);
+        assert_eq!(sim.metrics().hop_messages, 3, "3 hops end-to-end");
+        assert_eq!(sim.metrics().hop_bytes, 30);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_after_crash_are_dropped() {
+        #[derive(Default)]
+        struct TimerApp {
+            fired: Vec<TimerToken>,
+        }
+        impl Application for TimerApp {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime(10), 1);
+                ctx.set_timer(SimTime(5), 2);
+                ctx.set_timer(SimTime(20), 3);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, token: TimerToken) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulation::new(
+            Topology::line(2),
+            vec![TimerApp::default(), TimerApp::default()],
+            SimConfig::default(),
+        );
+        sim.schedule_crash(NodeId(1), SimTime(7));
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.app(NodeId(0)).fired, vec![2, 1, 3]);
+        assert_eq!(
+            sim.app(NodeId(1)).fired,
+            vec![2],
+            "only the pre-crash timer"
+        );
+    }
+
+    #[test]
+    fn run_until_advances_time_to_deadline() {
+        let mut sim = flood_sim(5);
+        sim.run_until(SimTime(100));
+        assert_eq!(sim.time(), SimTime(100));
+    }
+
+    #[test]
+    fn inject_delivers_external_messages() {
+        let topo = Topology::line(2);
+        let mut sim = Simulation::new(
+            topo,
+            vec![Flood::default(), Flood::default()],
+            SimConfig::default(),
+        );
+        // Node 1 is not node 0, so it would never see the flood token; the
+        // injected message reaches it directly.
+        sim.inject(SimTime(50), NodeId(0), NodeId(1), 9);
+        sim.run_to_quiescence(1000);
+        assert!(sim.app(NodeId(1)).receptions >= 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Builds from whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Millisecond count (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10) + SimTime(5);
+        assert_eq!(t, SimTime(15));
+        assert_eq!(t - SimTime(5), SimTime(10));
+        assert_eq!(SimTime(3).saturating_sub(SimTime(9)), SimTime::ZERO);
+        let mut u = SimTime(1);
+        u += SimTime(2);
+        assert_eq!(u, SimTime(3));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime(500).to_string(), "500µs");
+        assert_eq!(SimTime(2_500).to_string(), "2.500ms");
+        assert_eq!(SimTime(1_500_000).to_string(), "1.500s");
+    }
+}

@@ -1,0 +1,26 @@
+//! # ftscp-tree — spanning trees and failure-time reconnection
+//!
+//! The hierarchical detection algorithm "assumes a pre-constructed spanning
+//! tree in the system" (§III-A) and, on a node failure, repairs it by
+//! re-attaching each orphaned subtree "by establishing a link between a node
+//! in the subtree and its neighbor which is still in the spanning tree"
+//! (§III-F). This crate provides both halves:
+//!
+//! * [`SpanningTree`] — construction ([`SpanningTree::bfs`] over an
+//!   arbitrary [`ftscp_simnet::Topology`], or the idealized
+//!   [`SpanningTree::balanced_dary`] used by the complexity analysis), plus
+//!   structure queries (parent/children/depth/height/degree/subtree);
+//! * [`SpanningTree::handle_failure`] — the §III-F repair: the dead node's
+//!   parent drops it, and every orphaned subtree is re-rooted at a node
+//!   that has an alive topology neighbor inside the connected tree and
+//!   re-attached there. Subtrees with no such neighbor are reported as
+//!   partitioned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reconnect;
+pub mod spanning;
+
+pub use reconnect::ReconnectReport;
+pub use spanning::SpanningTree;

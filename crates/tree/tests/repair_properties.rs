@@ -1,0 +1,125 @@
+//! Property tests: spanning-tree repair maintains structural invariants
+//! under arbitrary failure sequences on arbitrary topologies.
+
+use ftscp_simnet::{NodeId, Topology};
+use ftscp_tree::SpanningTree;
+use proptest::prelude::*;
+
+/// Structural invariants that must hold after every repair:
+/// acyclic parent chains ending at the root (per component), children
+/// lists consistent with parent pointers, tree edges ⊆ topology edges.
+fn check_invariants(tree: &SpanningTree, topo: &Topology) {
+    let n = tree.capacity();
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        if !tree.contains(node) {
+            assert!(
+                tree.parent(node).is_none(),
+                "{node} detached but has parent"
+            );
+            continue;
+        }
+        // Parent chain terminates without cycles.
+        let mut cur = node;
+        let mut steps = 0;
+        while let Some(p) = tree.parent(cur) {
+            assert!(tree.contains(p), "{cur} has detached parent {p}");
+            // Tree edge must be a topology edge.
+            assert!(
+                topo.neighbors(cur).contains(&p),
+                "tree edge {cur}–{p} not in topology"
+            );
+            // Parent's children list must contain cur.
+            assert!(
+                tree.children(p).contains(&cur),
+                "{p} does not list child {cur}"
+            );
+            cur = p;
+            steps += 1;
+            assert!(steps <= n, "cycle through {node}");
+        }
+        // Children lists point back.
+        for &c in tree.children(node) {
+            assert_eq!(tree.parent(c), Some(node), "child {c} disagrees");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random geometric topologies, BFS trees, random kill orders.
+    #[test]
+    fn repair_preserves_invariants(
+        seed in 0u64..500,
+        kills in proptest::collection::vec(0usize..20, 1..12),
+    ) {
+        let n = 20;
+        let topo = Topology::random_geometric(n, 0.3, seed);
+        let mut tree = SpanningTree::bfs(&topo, NodeId(0));
+        let mut alive = vec![true; n];
+        for k in kills {
+            if !alive[k] || !tree.contains(NodeId(k as u32)) {
+                continue;
+            }
+            alive[k] = false;
+            let report = tree.handle_failure(NodeId(k as u32), &topo, &alive);
+            check_invariants(&tree, &topo);
+            // Node counts reconcile: in-tree = previously in-tree − failed
+            // (partitioned subtrees remain "in tree" as separate forests
+            // only if reattached; otherwise they are reported).
+            for &(child, parent) in &report.reattached {
+                prop_assert_eq!(tree.parent(child), Some(parent));
+            }
+            // The root is alive (possibly promoted).
+            if tree.node_count() > 0 {
+                prop_assert!(alive[tree.root().index()], "root must be alive");
+            }
+        }
+    }
+
+    /// After any single failure on a connected grid, survivors stay in one
+    /// tree (grids are 2-connected except corners' adjacency).
+    #[test]
+    fn grid_single_failure_never_partitions(victim in 0usize..16) {
+        let topo = Topology::grid(4, 4);
+        let mut tree = SpanningTree::bfs(&topo, NodeId(0));
+        let mut alive = vec![true; 16];
+        alive[victim] = false;
+        // Root failure promotes; others reattach.
+        let report = tree.handle_failure(NodeId(victim as u32), &topo, &alive);
+        prop_assert!(report.partitioned.is_empty(), "grid survivors stay connected");
+        prop_assert_eq!(tree.node_count(), 15);
+        check_invariants(&tree, &topo);
+    }
+
+    /// Degree-bounded BFS covers every node of connected topologies and
+    /// keeps the bound except for forced cut vertices.
+    #[test]
+    fn bounded_bfs_full_coverage(seed in 0u64..200, bound in 2usize..5) {
+        let n = 25;
+        let topo = Topology::random_geometric(n, 0.28, seed);
+        let tree = SpanningTree::bfs_bounded(&topo, NodeId(0), bound);
+        prop_assert_eq!(tree.node_count(), n, "all nodes adopted");
+        check_invariants(&tree, &topo);
+        // The bound holds for the overwhelming majority of nodes.
+        let violators = tree
+            .nodes()
+            .into_iter()
+            .filter(|&x| tree.children(x).len() > bound)
+            .count();
+        prop_assert!(violators <= n / 5, "violators: {violators}");
+    }
+
+    /// BFS trees over random connected topologies are valid and complete.
+    #[test]
+    fn bfs_tree_well_formed(seed in 0u64..500) {
+        let n = 25;
+        let topo = Topology::random_geometric(n, 0.28, seed);
+        let tree = SpanningTree::bfs(&topo, NodeId(3));
+        prop_assert_eq!(tree.node_count(), n, "connected topology fully covered");
+        check_invariants(&tree, &topo);
+        prop_assert!(tree.height() >= 1);
+        prop_assert!(tree.max_degree() >= 1);
+    }
+}

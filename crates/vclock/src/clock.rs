@@ -1,0 +1,301 @@
+//! The [`VectorClock`] type and its update rules.
+
+use crate::process::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A Fidge/Mattern vector clock over a fixed number of processes.
+///
+/// The clock is a dense vector of `n` counters, one per process. It is used
+/// both as an *event timestamp* (produced by the update rules
+/// [`tick`](VectorClock::tick) / [`merge`](VectorClock::merge)) and as a
+/// *cut* identifier (produced by the component-wise
+/// [`join`](VectorClock::join) / [`meet`](VectorClock::meet) used by interval
+/// aggregation, Eq. (5)/(6) of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use ftscp_vclock::{VectorClock, ProcessId};
+///
+/// let mut a = VectorClock::new(3);
+/// a.tick(ProcessId(0)); // internal event at P0
+/// let stamp = a.ticked(ProcessId(0)); // send event: tick then piggyback
+///
+/// let mut b = VectorClock::new(3);
+/// b.receive(ProcessId(1), &stamp); // receive at P1
+/// assert!(a.strictly_less(&b));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    components: Box<[u32]>,
+}
+
+impl VectorClock {
+    /// A zero clock for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            components: vec![0; n].into_boxed_slice(),
+        }
+    }
+
+    /// Builds a clock directly from components. Mostly used by tests and the
+    /// worked examples from the paper (Figure 3).
+    pub fn from_components(components: impl Into<Vec<u32>>) -> Self {
+        VectorClock {
+            components: components.into().into_boxed_slice(),
+        }
+    }
+
+    /// Number of processes this clock covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True iff the clock covers zero processes (degenerate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Read component `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.components[i]
+    }
+
+    /// Overwrite component `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u32) {
+        self.components[i] = v;
+    }
+
+    /// Raw view of the components.
+    #[inline]
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Rule 1: advance the local component before an internal event.
+    #[inline]
+    pub fn tick(&mut self, me: ProcessId) {
+        self.components[me.index()] += 1;
+    }
+
+    /// Ticks and returns a copy — the timestamp to piggyback on a message
+    /// (rule 2).
+    pub fn ticked(&mut self, me: ProcessId) -> VectorClock {
+        self.tick(me);
+        self.clone()
+    }
+
+    /// Rule 3: merge a received timestamp `other` into this clock and then
+    /// tick the local component (the receive event itself).
+    pub fn receive(&mut self, me: ProcessId, other: &VectorClock) {
+        self.merge(other);
+        self.tick(me);
+    }
+
+    /// Component-wise maximum with `other`, in place (no tick).
+    pub fn merge(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        for (c, o) in self.components.iter_mut().zip(other.components.iter()) {
+            *c = (*c).max(*o);
+        }
+    }
+
+    /// Component-wise maximum of two clocks — the *join* in the component
+    /// lattice. This is the operation applied to interval low bounds by the
+    /// aggregation function ⊓ (Eq. (5)).
+    pub fn join(&self, other: &VectorClock) -> VectorClock {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        VectorClock {
+            components: self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Component-wise minimum of two clocks — the *meet* in the component
+    /// lattice. This is the operation applied to interval high bounds by the
+    /// aggregation function ⊓ (Eq. (6)).
+    pub fn meet(&self, other: &VectorClock) -> VectorClock {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        VectorClock {
+            components: self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Join of an iterator of clocks. Panics on an empty iterator.
+    pub fn join_all<'a>(clocks: impl IntoIterator<Item = &'a VectorClock>) -> VectorClock {
+        let mut it = clocks.into_iter();
+        let first = it.next().expect("join_all of empty iterator").clone();
+        it.fold(first, |acc, c| acc.join(c))
+    }
+
+    /// Meet of an iterator of clocks. Panics on an empty iterator.
+    pub fn meet_all<'a>(clocks: impl IntoIterator<Item = &'a VectorClock>) -> VectorClock {
+        let mut it = clocks.into_iter();
+        let first = it.next().expect("meet_all of empty iterator").clone();
+        it.fold(first, |acc, c| acc.meet(c))
+    }
+
+    /// Strict component order: `self < other` iff every component of `self`
+    /// is `≤` the matching component of `other` and at least one is strictly
+    /// smaller. For event timestamps this is exactly happens-before.
+    ///
+    /// See [`crate::order`] for the instrumented variants.
+    pub fn strictly_less(&self, other: &VectorClock) -> bool {
+        crate::order::strictly_less(self, other)
+    }
+
+    /// Non-strict component order: every component `≤`.
+    pub fn less_eq(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .all(|(a, b)| a <= b)
+    }
+
+    /// True iff the two clocks are incomparable (concurrent events).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        crate::order::concurrent(self, other)
+    }
+
+    /// Approximate serialized size in bytes, used by the simulator's
+    /// message-size accounting.
+    pub fn wire_size(&self) -> usize {
+        4 * self.len() + 4
+    }
+}
+
+impl Index<usize> for VectorClock {
+    type Output = u32;
+
+    fn index(&self, i: usize) -> &u32 {
+        &self.components[i]
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(components: &[u32]) -> VectorClock {
+        VectorClock::from_components(components.to_vec())
+    }
+
+    #[test]
+    fn new_clock_is_zero() {
+        let c = VectorClock::new(4);
+        assert_eq!(c.components(), &[0, 0, 0, 0]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn tick_advances_only_local_component() {
+        let mut c = VectorClock::new(3);
+        c.tick(ProcessId(1));
+        c.tick(ProcessId(1));
+        assert_eq!(c.components(), &[0, 2, 0]);
+    }
+
+    #[test]
+    fn receive_merges_then_ticks() {
+        let mut sender = VectorClock::new(3);
+        let stamp = sender.ticked(ProcessId(0));
+        assert_eq!(stamp.components(), &[1, 0, 0]);
+
+        let mut receiver = vc(&[0, 5, 2]);
+        receiver.receive(ProcessId(1), &stamp);
+        assert_eq!(receiver.components(), &[1, 6, 2]);
+    }
+
+    #[test]
+    fn join_meet_are_componentwise() {
+        let a = vc(&[1, 5, 3]);
+        let b = vc(&[2, 4, 3]);
+        assert_eq!(a.join(&b).components(), &[2, 5, 3]);
+        assert_eq!(a.meet(&b).components(), &[1, 4, 3]);
+    }
+
+    #[test]
+    fn join_all_meet_all_fold_many() {
+        let clocks = [vc(&[1, 9]), vc(&[4, 2]), vc(&[3, 3])];
+        assert_eq!(VectorClock::join_all(clocks.iter()).components(), &[4, 9]);
+        assert_eq!(VectorClock::meet_all(clocks.iter()).components(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "join_all of empty iterator")]
+    fn join_all_empty_panics() {
+        let _ = VectorClock::join_all(std::iter::empty());
+    }
+
+    #[test]
+    fn strict_order_basics() {
+        let a = vc(&[1, 2, 3]);
+        let b = vc(&[1, 3, 3]);
+        assert!(a.strictly_less(&b));
+        assert!(!b.strictly_less(&a));
+        assert!(!a.strictly_less(&a), "irreflexive");
+    }
+
+    #[test]
+    fn concurrent_clocks_are_incomparable() {
+        let a = vc(&[2, 0]);
+        let b = vc(&[0, 2]);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        assert!(!a.strictly_less(&b));
+        assert!(!b.strictly_less(&a));
+    }
+
+    #[test]
+    fn less_eq_allows_equality() {
+        let a = vc(&[1, 1]);
+        assert!(a.less_eq(&a));
+        assert!(!a.strictly_less(&a));
+    }
+
+    #[test]
+    fn wire_size_scales_with_width() {
+        assert_eq!(vc(&[0; 8]).wire_size(), 36);
+    }
+
+    #[test]
+    fn display_is_angle_bracketed() {
+        assert_eq!(vc(&[1, 2]).to_string(), "⟨1,2⟩");
+    }
+}

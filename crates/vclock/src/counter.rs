@@ -1,0 +1,83 @@
+//! Shared work counters used to reproduce the paper's cost model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cheap, cloneable, thread-safe operation counter.
+///
+/// The detection engines bill one unit per vector-clock component inspected
+/// (the unit of §IV-C's time analysis). Clones share the same underlying
+/// count, so a single counter can be threaded through a whole detector
+/// hierarchy, or one counter can be installed per node to measure how the
+/// cost is *distributed* across the network — the paper's headline claim for
+/// Table I.
+#[derive(Clone, Debug, Default)]
+pub struct OpCounter {
+    count: Arc<AtomicU64>,
+}
+
+impl OpCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` units of work.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous total.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
+
+    /// True iff `other` shares this counter's storage.
+    pub fn shares_with(&self, other: &OpCounter) -> bool {
+        Arc::ptr_eq(&self.count, &other.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let c = OpCounter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = OpCounter::new();
+        let b = a.clone();
+        b.add(5);
+        assert_eq!(a.get(), 5);
+        assert!(a.shares_with(&b));
+        assert!(!a.shares_with(&OpCounter::new()));
+    }
+
+    #[test]
+    fn reset_returns_previous_total() {
+        let c = OpCounter::new();
+        c.add(9);
+        assert_eq!(c.reset(), 9);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OpCounter>();
+    }
+}

@@ -1,0 +1,164 @@
+//! The partial order on vector timestamps, with instrumented variants.
+//!
+//! The paper's detection conditions are phrased in terms of the strict
+//! component order `<` on vector timestamps:
+//!
+//! * `Definitely(Φ)` over a set `X` of intervals requires
+//!   `∀ x_i, x_j ∈ X: min(x_i) < max(x_j)` (Eq. (2));
+//! * the repeated-detection prune rule tests `max(x_j) ≮ max(x_i)`
+//!   (Eq. (10)).
+//!
+//! Each comparison of two length-`n` vectors inspects up to `n` components;
+//! §IV-C of the paper charges `O(n)` per comparison. The `*_counted`
+//! functions bill the *exact* number of components inspected to an
+//! [`OpCounter`], which is how the benchmark harness reproduces the paper's
+//! time-complexity accounting.
+
+use crate::clock::VectorClock;
+use crate::counter::OpCounter;
+
+/// Outcome of comparing two vector timestamps under the component order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ClockOrd {
+    /// All components equal.
+    Equal,
+    /// `a < b`: every component `≤`, at least one strictly smaller.
+    Less,
+    /// `b < a`.
+    Greater,
+    /// Incomparable — the corresponding events are concurrent.
+    Concurrent,
+}
+
+/// Full comparison of `a` and `b` under the component order.
+pub fn compare(a: &VectorClock, b: &VectorClock) -> ClockOrd {
+    debug_assert_eq!(a.len(), b.len(), "clock width mismatch");
+    let mut less = false;
+    let mut greater = false;
+    for i in 0..a.len() {
+        let (x, y) = (a.get(i), b.get(i));
+        if x < y {
+            less = true;
+        } else if x > y {
+            greater = true;
+        }
+        if less && greater {
+            return ClockOrd::Concurrent;
+        }
+    }
+    match (less, greater) {
+        (false, false) => ClockOrd::Equal,
+        (true, false) => ClockOrd::Less,
+        (false, true) => ClockOrd::Greater,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+/// Strict order `a < b` (happens-before on event timestamps).
+pub fn strictly_less(a: &VectorClock, b: &VectorClock) -> bool {
+    compare(a, b) == ClockOrd::Less
+}
+
+/// Non-strict dominance `a ≥ b` component-wise.
+pub fn dominates(a: &VectorClock, b: &VectorClock) -> bool {
+    b.less_eq(a)
+}
+
+/// True iff `a` and `b` are incomparable.
+pub fn concurrent(a: &VectorClock, b: &VectorClock) -> bool {
+    compare(a, b) == ClockOrd::Concurrent
+}
+
+/// Instrumented [`compare`]: bills one unit per component inspected to
+/// `ops`.
+pub fn compare_counted(a: &VectorClock, b: &VectorClock, ops: &OpCounter) -> ClockOrd {
+    debug_assert_eq!(a.len(), b.len(), "clock width mismatch");
+    let mut less = false;
+    let mut greater = false;
+    let mut inspected = 0u64;
+    let mut result = None;
+    for i in 0..a.len() {
+        inspected += 1;
+        let (x, y) = (a.get(i), b.get(i));
+        if x < y {
+            less = true;
+        } else if x > y {
+            greater = true;
+        }
+        if less && greater {
+            result = Some(ClockOrd::Concurrent);
+            break;
+        }
+    }
+    ops.add(inspected);
+    result.unwrap_or_else(|| match (less, greater) {
+        (false, false) => ClockOrd::Equal,
+        (true, false) => ClockOrd::Less,
+        (false, true) => ClockOrd::Greater,
+        (true, true) => unreachable!("early return above"),
+    })
+}
+
+/// Instrumented strict order `a < b`.
+pub fn strictly_less_counted(a: &VectorClock, b: &VectorClock, ops: &OpCounter) -> bool {
+    compare_counted(a, b, ops) == ClockOrd::Less
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(components: &[u32]) -> VectorClock {
+        VectorClock::from_components(components.to_vec())
+    }
+
+    #[test]
+    fn compare_covers_all_outcomes() {
+        assert_eq!(compare(&vc(&[1, 1]), &vc(&[1, 1])), ClockOrd::Equal);
+        assert_eq!(compare(&vc(&[1, 1]), &vc(&[1, 2])), ClockOrd::Less);
+        assert_eq!(compare(&vc(&[1, 2]), &vc(&[1, 1])), ClockOrd::Greater);
+        assert_eq!(compare(&vc(&[0, 2]), &vc(&[2, 0])), ClockOrd::Concurrent);
+    }
+
+    #[test]
+    fn strictly_less_is_irreflexive_and_antisymmetric() {
+        let a = vc(&[3, 1, 4]);
+        let b = vc(&[3, 2, 4]);
+        assert!(!strictly_less(&a, &a));
+        assert!(strictly_less(&a, &b));
+        assert!(!strictly_less(&b, &a));
+    }
+
+    #[test]
+    fn dominates_is_non_strict() {
+        let a = vc(&[2, 2]);
+        assert!(dominates(&a, &a));
+        assert!(dominates(&a, &vc(&[1, 2])));
+        assert!(!dominates(&a, &vc(&[3, 0])));
+    }
+
+    #[test]
+    fn counted_compare_matches_uncounted_and_bills_components() {
+        let ops = OpCounter::new();
+        let a = vc(&[1, 2, 3, 4]);
+        let b = vc(&[1, 2, 3, 5]);
+        assert_eq!(compare_counted(&a, &b, &ops), compare(&a, &b));
+        assert_eq!(ops.get(), 4, "full scan on comparable clocks");
+    }
+
+    #[test]
+    fn counted_compare_early_exits_on_concurrency() {
+        let ops = OpCounter::new();
+        let a = vc(&[5, 0, 0, 0]);
+        let b = vc(&[0, 5, 0, 0]);
+        assert_eq!(compare_counted(&a, &b, &ops), ClockOrd::Concurrent);
+        assert_eq!(ops.get(), 2, "stops at the second component");
+    }
+
+    #[test]
+    fn strictly_less_counted_agrees() {
+        let ops = OpCounter::new();
+        assert!(strictly_less_counted(&vc(&[0, 0]), &vc(&[1, 0]), &ops));
+        assert!(!strictly_less_counted(&vc(&[1, 0]), &vc(&[1, 0]), &ops));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the vector-clock partial order and lattice ops.
+
+use ftscp_vclock::{order, ClockOrd, ProcessId, VectorClock};
+use proptest::prelude::*;
+
+const WIDTH: usize = 6;
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..32, WIDTH).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    /// `<` is irreflexive.
+    #[test]
+    fn strict_order_irreflexive(a in clock_strategy()) {
+        prop_assert!(!a.strictly_less(&a));
+    }
+
+    /// `<` is antisymmetric: a < b implies !(b < a).
+    #[test]
+    fn strict_order_antisymmetric(a in clock_strategy(), b in clock_strategy()) {
+        if a.strictly_less(&b) {
+            prop_assert!(!b.strictly_less(&a));
+        }
+    }
+
+    /// `<` is transitive.
+    #[test]
+    fn strict_order_transitive(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        if a.strictly_less(&b) && b.strictly_less(&c) {
+            prop_assert!(a.strictly_less(&c));
+        }
+    }
+
+    /// compare() is consistent with strictly_less / concurrency in both directions.
+    #[test]
+    fn compare_consistent(a in clock_strategy(), b in clock_strategy()) {
+        match order::compare(&a, &b) {
+            ClockOrd::Equal => {
+                prop_assert_eq!(a.components(), b.components());
+            }
+            ClockOrd::Less => {
+                prop_assert!(a.strictly_less(&b));
+                prop_assert_eq!(order::compare(&b, &a), ClockOrd::Greater);
+            }
+            ClockOrd::Greater => {
+                prop_assert!(b.strictly_less(&a));
+            }
+            ClockOrd::Concurrent => {
+                prop_assert!(a.concurrent(&b));
+                prop_assert!(b.concurrent(&a));
+            }
+        }
+    }
+
+    /// join is the least upper bound: an upper bound, and below any other upper bound.
+    #[test]
+    fn join_is_lub(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let j = a.join(&b);
+        prop_assert!(a.less_eq(&j));
+        prop_assert!(b.less_eq(&j));
+        if a.less_eq(&c) && b.less_eq(&c) {
+            prop_assert!(j.less_eq(&c));
+        }
+    }
+
+    /// meet is the greatest lower bound.
+    #[test]
+    fn meet_is_glb(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let m = a.meet(&b);
+        prop_assert!(m.less_eq(&a));
+        prop_assert!(m.less_eq(&b));
+        if c.less_eq(&a) && c.less_eq(&b) {
+            prop_assert!(c.less_eq(&m));
+        }
+    }
+
+    /// join/meet are commutative, associative, idempotent, and absorb.
+    #[test]
+    fn lattice_laws(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.meet(&a), a.clone());
+        prop_assert_eq!(a.join(&a.meet(&b)), a.clone());
+        prop_assert_eq!(a.meet(&a.join(&b)), a.clone());
+    }
+
+    /// Counted comparisons agree with the uncounted ones and bill at most
+    /// WIDTH components each.
+    #[test]
+    fn counted_matches_uncounted(a in clock_strategy(), b in clock_strategy()) {
+        let ops = ftscp_vclock::OpCounter::new();
+        prop_assert_eq!(order::compare_counted(&a, &b, &ops), order::compare(&a, &b));
+        prop_assert!(ops.get() <= WIDTH as u64);
+        prop_assert!(ops.get() >= 1);
+    }
+}
+
+/// Simulates a random message-passing execution with the textbook update
+/// rules and checks that causal predecessors' timestamps are strictly less.
+#[test]
+fn update_rules_respect_happens_before() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = 5;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+    // History per process, plus in-flight messages (sender stamp, receiver).
+    let mut history: Vec<Vec<VectorClock>> = vec![Vec::new(); n];
+    let mut inflight: Vec<(usize, VectorClock, usize)> = Vec::new();
+
+    for _ in 0..400 {
+        let p = rng.gen_range(0..n);
+        match rng.gen_range(0..3) {
+            0 => {
+                clocks[p].tick(ProcessId(p as u32));
+                history[p].push(clocks[p].clone());
+            }
+            1 => {
+                let q = (p + rng.gen_range(1..n)) % n;
+                let stamp = clocks[p].ticked(ProcessId(p as u32));
+                history[p].push(stamp.clone());
+                inflight.push((p, stamp, q));
+            }
+            _ => {
+                if !inflight.is_empty() {
+                    // Deliver a random in-flight message: non-FIFO channels.
+                    let idx = rng.gen_range(0..inflight.len());
+                    let (_, stamp, q) = inflight.swap_remove(idx);
+                    clocks[q].receive(ProcessId(q as u32), &stamp);
+                    history[q].push(clocks[q].clone());
+                }
+            }
+        }
+    }
+
+    // Within one process, timestamps are totally ordered by <.
+    for h in &history {
+        for w in h.windows(2) {
+            assert!(
+                w[0].strictly_less(&w[1]),
+                "local history must be monotone: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

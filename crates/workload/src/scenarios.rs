@@ -1,0 +1,248 @@
+//! Executions encoding the paper's worked examples.
+//!
+//! The published figures are images; these constructions reproduce the
+//! *relations* the paper's prose states about them, as genuine executions
+//! built with [`ExecutionBuilder`] (so every timestamp obeys the vector
+//! clock rules — nothing is hand-invented).
+
+use crate::builder::ExecutionBuilder;
+use crate::execution::Execution;
+use ftscp_vclock::ProcessId;
+
+/// Paper process names for the Figure 2 scenario: `P1..P4` map to ids
+/// `0..3`.
+pub mod fig2 {
+    use ftscp_vclock::ProcessId;
+    /// P1 (leaf under P2): owns interval `x1`.
+    pub const P1: ProcessId = ProcessId(0);
+    /// P2 (child of P3, parent of P1): owns `x2`, `x3`.
+    pub const P2: ProcessId = ProcessId(1);
+    /// P3 (root): owns `x4`.
+    pub const P3: ProcessId = ProcessId(2);
+    /// P4 (leaf under P3): owns `x5`.
+    pub const P4: ProcessId = ProcessId(3);
+}
+
+/// The Figure 2 execution. Five intervals with the relations the paper's
+/// §III-A/§III-B narrative requires:
+///
+/// * `x1` (P1) is one long interval spanning the whole scenario;
+/// * `x2` then `x3` occur at P2; `{x1, x2}` and `{x1, x3}` both satisfy
+///   `Definitely` (two successive solutions at node P2), with
+///   `max(x2) < max(x1)` so the repeated-detection prune removes `x2` and
+///   keeps `x1`;
+/// * `x4` (P3) and `x5` (P4) overlap `x1` and `x3` but **not** `x2` —
+///   `{x1, x2, x4, x5}` fails `Definitely` while `{x1, x3, x4, x5}`
+///   satisfies it (the one-shot detector at P2 would doom the global
+///   detection; repeated detection saves it);
+/// * `{x1, x3, x5}` also satisfies `Definitely`, which is what survives
+///   the failure of P3 in Figure 2(c).
+///
+/// Interval identities: `x1 = P1#0`, `x2 = P2#0`, `x3 = P2#1`,
+/// `x4 = P3#0`, `x5 = P4#0`.
+pub fn figure2() -> Execution {
+    use fig2::*;
+    let mut b = ExecutionBuilder::new(4);
+
+    // x1 opens and will stay open until the very end.
+    b.begin_interval(P1);
+
+    // x2 at P2, overlapping x1 through a message in each direction.
+    let m1 = b.send(P1, P2); // inside x1
+    b.begin_interval(P2); // x2 opens
+    b.recv(P2, m1); // inside x2
+    let m2 = b.send(P2, P1); // inside x2
+    b.recv(P1, m2); // inside x1
+    b.end_interval(P2); // x2 closes; max(x2) = stamp of m2's send
+
+    // Post-x2 causality: P2 tells P1 and P3 about x2's end, so that
+    // max(x1) will dominate max(x2) and min(x4) will not precede max(x2).
+    let m3 = b.send(P2, P1);
+    b.recv(P1, m3); // inside x1
+    let m4 = b.send(P2, P3);
+    b.recv(P3, m4); // before x4 opens
+
+    // x4, x3 and x5 open.
+    b.begin_interval(P3); // x4: its min already dominates x2's end at P2
+    b.begin_interval(P2); // x3
+    b.begin_interval(P4); // x5
+
+    // Gossip through P3: everyone's interval "sees into" everyone else's.
+    let g1 = b.send(P1, P3); // inside x1
+    let g2 = b.send(P2, P3); // inside x3
+    let g3 = b.send(P4, P3); // inside x5
+    b.recv(P3, g1);
+    b.recv(P3, g2);
+    b.recv(P3, g3); // all inside x4
+    let r1 = b.send(P3, P1);
+    let r2 = b.send(P3, P2);
+    let r3 = b.send(P3, P4);
+    b.recv(P1, r1); // inside x1
+    b.recv(P2, r2); // inside x3
+    b.recv(P4, r3); // inside x5
+
+    // Close everything; x1 last so its max dominates what it has heard.
+    b.end_interval(P2); // x3
+    b.end_interval(P4); // x5
+    b.end_interval(P3); // x4
+    b.end_interval(P1); // x1
+
+    b.finish()
+}
+
+/// A nested family of intervals as in Figure 1 (the special case the
+/// hierarchical outline of \[7\] assumed): `k` intervals with
+/// `min(x_1) ≺ min(x_2) ≺ … ≺ min(x_k)` and
+/// `max(x_k) ≺ … ≺ max(x_1)` — each interval contains the next.
+///
+/// Process `i` owns `x_{i+1}`; the nesting is created by handshakes:
+/// opening messages travel outward-in, closing messages inner-out.
+pub fn figure1_nested(k: usize) -> Execution {
+    assert!(k >= 2, "nesting needs at least 2 intervals");
+    let mut b = ExecutionBuilder::new(k);
+    // Open outermost-first, threading a message down the chain so each
+    // min happens-before the next min.
+    for i in 0..k {
+        let p = ProcessId(i as u32);
+        b.begin_interval(p);
+        if i + 1 < k {
+            let m = b.send(p, ProcessId(i as u32 + 1));
+            b.recv(ProcessId(i as u32 + 1), m);
+        }
+    }
+    // Close innermost-first, threading a message up the chain so each max
+    // happens-before the enclosing max.
+    for i in (0..k).rev() {
+        let p = ProcessId(i as u32);
+        // The inner interval's closing notification (sent in the previous
+        // iteration) has already been received inside this interval.
+        if i > 0 {
+            let m = b.send(p, ProcessId(i as u32 - 1));
+            b.end_interval(p);
+            b.recv(ProcessId(i as u32 - 1), m);
+        } else {
+            b.end_interval(p);
+        }
+    }
+    b.finish()
+}
+
+/// A **non-nested** but `Definitely`-satisfying set (the case Figure 1's
+/// assumption misses and Figure 3 exhibits): all intervals mutually
+/// overlap, yet no interval contains another — mins and maxes are pairwise
+/// concurrent across processes.
+pub fn figure3_style_overlap(k: usize) -> Execution {
+    assert!(k >= 2);
+    let mut b = ExecutionBuilder::new(k);
+    let procs: Vec<ProcessId> = ProcessId::all(k).collect();
+    for &p in &procs {
+        b.begin_interval(p);
+    }
+    // All-to-coordinator-and-back gossip (coordinator participates too).
+    let coord = procs[0];
+    let mut inbound = Vec::new();
+    for &p in &procs[1..] {
+        inbound.push(b.send(p, coord));
+    }
+    for m in inbound {
+        b.recv(coord, m);
+    }
+    let mut outbound = Vec::new();
+    for &p in &procs[1..] {
+        outbound.push((p, b.send(coord, p)));
+    }
+    for (p, m) in outbound {
+        b.recv(p, m);
+    }
+    for &p in &procs {
+        b.end_interval(p);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_intervals::{definitely_holds, overlap, Interval};
+
+    fn fig2_interval(exec: &Execution, p: ProcessId, seq: usize) -> Interval {
+        exec.intervals_of(p)[seq].clone()
+    }
+
+    #[test]
+    fn figure2_relations_hold() {
+        use fig2::*;
+        let exec = figure2();
+        exec.validate().unwrap();
+        let x1 = fig2_interval(&exec, P1, 0);
+        let x2 = fig2_interval(&exec, P2, 0);
+        let x3 = fig2_interval(&exec, P2, 1);
+        let x4 = fig2_interval(&exec, P3, 0);
+        let x5 = fig2_interval(&exec, P4, 0);
+
+        // First solution at node P2.
+        assert!(definitely_holds(&[x1.clone(), x2.clone()]), "{{x1,x2}}");
+        // The prune keeps x1 (its max dominates x2's max).
+        assert!(x2.hi.strictly_less(&x1.hi), "max(x2) < max(x1)");
+        // Second solution at node P2.
+        assert!(definitely_holds(&[x1.clone(), x3.clone()]), "{{x1,x3}}");
+        // The stale aggregate cannot extend to the upper level...
+        assert!(
+            !definitely_holds(&[x1.clone(), x2.clone(), x4.clone(), x5.clone()]),
+            "{{x1,x2,x4,x5}} must fail"
+        );
+        // ...but the fresh one can.
+        assert!(
+            definitely_holds(&[x1.clone(), x3.clone(), x4.clone(), x5.clone()]),
+            "{{x1,x3,x4,x5}} must hold"
+        );
+        // And it survives P3's failure.
+        assert!(
+            definitely_holds(&[x1.clone(), x3.clone(), x5.clone()]),
+            "{{x1,x3,x5}} must hold after P3 dies"
+        );
+        // Specifically, x2–x4 is the broken pair.
+        assert!(!overlap(&x2, &x4));
+    }
+
+    #[test]
+    fn figure1_nesting_is_strict() {
+        let exec = figure1_nested(4);
+        exec.validate().unwrap();
+        let ivs: Vec<Interval> = (0..4)
+            .map(|i| exec.intervals_of(ProcessId(i))[0].clone())
+            .collect();
+        for w in ivs.windows(2) {
+            assert!(w[0].lo.strictly_less(&w[1].lo), "mins ascend");
+            assert!(w[1].hi.strictly_less(&w[0].hi), "maxes descend");
+        }
+        assert!(
+            definitely_holds(&ivs),
+            "nested intervals satisfy Definitely"
+        );
+    }
+
+    #[test]
+    fn figure3_style_is_definitely_but_not_nested() {
+        let exec = figure3_style_overlap(4);
+        exec.validate().unwrap();
+        let ivs: Vec<Interval> = (0..4)
+            .map(|i| exec.intervals_of(ProcessId(i))[0].clone())
+            .collect();
+        assert!(definitely_holds(&ivs));
+        // Not nested: no pair (i, j) with min_i < min_j and max_j < max_i
+        // for ALL orderings — in particular the non-coordinator intervals
+        // have pairwise concurrent mins.
+        let nested_pairs = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .filter(|&(i, j)| {
+                ivs[i].lo.strictly_less(&ivs[j].lo) && ivs[j].hi.strictly_less(&ivs[i].hi)
+            })
+            .count();
+        assert!(
+            nested_pairs < 4 * 3 / 2,
+            "the set is not a nested chain (Figure 1's assumption fails)"
+        );
+    }
+}

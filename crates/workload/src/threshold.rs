@@ -1,0 +1,315 @@
+//! Threshold predicates over sampled sensor values.
+//!
+//! The paper's introduction motivates conjunctive predicates like
+//! `Φ = "x_i > 20 ∧ y_j < 45"` over process-local variables. This module
+//! closes the gap between *values* and *intervals*: it takes per-process
+//! time series, applies a local threshold predicate, and produces a full
+//! [`Execution`] — predicate rising edges open intervals, falling edges
+//! close them, and a configurable per-step gossip pattern provides the
+//! causal crossings that decide whether simultaneous episodes are
+//! `Definitely` or merely `Possibly`.
+//!
+//! Execution proceeds in *steps* (one sample per process per step, lock-
+//! step for the series but fully asynchronous in the causal sense — only
+//! messages create cross-process order).
+
+use crate::builder::ExecutionBuilder;
+use crate::execution::Execution;
+use ftscp_vclock::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-step communication pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipPattern {
+    /// No messages at all: episodes can only ever be `Possibly`.
+    Silent,
+    /// Each process sends to its ring successor each step; information
+    /// needs `n-1` steps to cross the whole system.
+    Ring,
+    /// Everyone sends to a rotating coordinator which replies to everyone:
+    /// full pairwise crossing within a single step.
+    Coordinator,
+}
+
+/// Builds an [`Execution`] from per-process value series and a threshold
+/// predicate `value > threshold`.
+///
+/// # Panics
+///
+/// Panics if the series are empty or have unequal lengths.
+pub fn from_series(series: &[Vec<f64>], threshold: f64, gossip: GossipPattern) -> Execution {
+    let n = series.len();
+    assert!(n > 0, "need at least one process");
+    let steps = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == steps),
+        "all series must have equal length"
+    );
+
+    let mut b = ExecutionBuilder::new(n);
+    let mut above = vec![false; n];
+
+    for step in 0..steps {
+        // 1. Sample: predicate edges open/close intervals.
+        for (p, serie) in series.iter().enumerate() {
+            let pid = ProcessId(p as u32);
+            let now_above = serie[step] > threshold;
+            match (above[p], now_above) {
+                (false, true) => b.begin_interval(pid),
+                (true, false) => b.end_interval(pid),
+                _ => b.internal(pid),
+            }
+            above[p] = now_above;
+        }
+        // 2. Gossip.
+        match gossip {
+            GossipPattern::Silent => {}
+            GossipPattern::Ring => {
+                if n > 1 {
+                    let sends: Vec<_> = (0..n)
+                        .map(|p| {
+                            let q = (p + 1) % n;
+                            (q, b.send(ProcessId(p as u32), ProcessId(q as u32)))
+                        })
+                        .collect();
+                    for (q, m) in sends {
+                        b.recv(ProcessId(q as u32), m);
+                    }
+                }
+            }
+            GossipPattern::Coordinator => {
+                if n > 1 {
+                    let coord = ProcessId((step % n) as u32);
+                    let inbound: Vec<_> = (0..n)
+                        .filter(|&p| p as u32 != coord.0)
+                        .map(|p| b.send(ProcessId(p as u32), coord))
+                        .collect();
+                    for m in inbound {
+                        b.recv(coord, m);
+                    }
+                    let outbound: Vec<_> = (0..n)
+                        .filter(|&p| p as u32 != coord.0)
+                        .map(|p| (ProcessId(p as u32), b.send(coord, ProcessId(p as u32))))
+                        .collect();
+                    for (p, m) in outbound {
+                        b.recv(p, m);
+                    }
+                }
+            }
+        }
+    }
+    // Close any intervals still open at the end of the trace.
+    for (p, is_above) in above.iter().enumerate() {
+        if *is_above {
+            b.end_interval(ProcessId(p as u32));
+        }
+    }
+    b.finish()
+}
+
+/// Synthetic sensor fleet: values follow a shared square-wave "heat
+/// episode" pattern with per-sensor noise and per-sensor episode dropout.
+///
+/// Every `period` steps, the fleet enters a `high_len`-step episode where
+/// values sit above the threshold (individual sensors miss an episode with
+/// probability `dropout`); between episodes values sit below.
+#[derive(Clone, Debug)]
+pub struct SensorFleet {
+    /// Number of sensors.
+    pub n: usize,
+    /// Total steps to generate.
+    pub steps: usize,
+    /// Steps between episode starts.
+    pub period: usize,
+    /// Steps an episode lasts.
+    pub high_len: usize,
+    /// Baseline value (below threshold).
+    pub low_value: f64,
+    /// Episode value (above threshold).
+    pub high_value: f64,
+    /// Gaussian-ish noise amplitude (uniform ±).
+    pub noise: f64,
+    /// Probability a sensor misses an episode entirely.
+    pub dropout: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SensorFleet {
+    fn default() -> Self {
+        SensorFleet {
+            n: 8,
+            steps: 60,
+            period: 12,
+            high_len: 4,
+            low_value: 15.0,
+            high_value: 30.0,
+            noise: 1.0,
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl SensorFleet {
+    /// Generates the value series (`n × steps`).
+    pub fn series(&self) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = vec![vec![0.0; self.steps]; self.n];
+        // Which sensors participate in which episode.
+        let episodes = self.steps / self.period + 1;
+        let participation: Vec<Vec<bool>> = (0..self.n)
+            .map(|_| {
+                (0..episodes)
+                    .map(|_| rng.gen::<f64>() >= self.dropout)
+                    .collect()
+            })
+            .collect();
+        for (p, serie) in out.iter_mut().enumerate() {
+            for (s, v) in serie.iter_mut().enumerate() {
+                let episode = s / self.period;
+                let in_high = s % self.period < self.high_len && participation[p][episode];
+                let base = if in_high {
+                    self.high_value
+                } else {
+                    self.low_value
+                };
+                *v = base + rng.gen_range(-self.noise..=self.noise);
+            }
+        }
+        out
+    }
+
+    /// Number of episodes in which **every** sensor participates — the
+    /// expected number of global `Definitely` detections under
+    /// [`GossipPattern::Coordinator`].
+    pub fn complete_episodes(&self) -> usize {
+        // Recompute participation with the same RNG stream as `series`.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let episodes = self.steps / self.period + 1;
+        let participation: Vec<Vec<bool>> = (0..self.n)
+            .map(|_| {
+                (0..episodes)
+                    .map(|_| rng.gen::<f64>() >= self.dropout)
+                    .collect()
+            })
+            .collect();
+        // Only count episodes that actually start within the trace and
+        // fit their high phase.
+        let full_episodes = self.steps / self.period;
+        (0..full_episodes)
+            .filter(|&e| (0..self.n).all(|p| participation[p][e]))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_intervals::definitely_holds;
+    use ftscp_intervals::Interval;
+
+    #[test]
+    fn edges_produce_intervals() {
+        // One process: below, above, above, below, above → two intervals.
+        let series = vec![vec![1.0, 5.0, 5.0, 1.0, 5.0]];
+        let exec = from_series(&series, 3.0, GossipPattern::Silent);
+        assert_eq!(exec.intervals_of(ProcessId(0)).len(), 2);
+        exec.validate().unwrap();
+    }
+
+    #[test]
+    fn open_interval_closed_at_trace_end() {
+        let series = vec![vec![1.0, 5.0, 5.0]];
+        let exec = from_series(&series, 3.0, GossipPattern::Silent);
+        assert_eq!(exec.intervals_of(ProcessId(0)).len(), 1);
+    }
+
+    #[test]
+    fn silent_gossip_never_definitely() {
+        let series = vec![vec![1.0, 5.0, 5.0, 1.0], vec![1.0, 5.0, 5.0, 1.0]];
+        let exec = from_series(&series, 3.0, GossipPattern::Silent);
+        let set: Vec<Interval> = (0..2)
+            .map(|p| exec.intervals_of(ProcessId(p))[0].clone())
+            .collect();
+        assert!(!definitely_holds(&set));
+    }
+
+    #[test]
+    fn coordinator_gossip_makes_simultaneous_episodes_definitely() {
+        let series = vec![
+            vec![1.0, 5.0, 5.0, 5.0, 1.0],
+            vec![1.0, 5.0, 5.0, 5.0, 1.0],
+            vec![1.0, 5.0, 5.0, 5.0, 1.0],
+        ];
+        let exec = from_series(&series, 3.0, GossipPattern::Coordinator);
+        let set: Vec<Interval> = (0..3)
+            .map(|p| exec.intervals_of(ProcessId(p))[0].clone())
+            .collect();
+        assert!(definitely_holds(&set));
+    }
+
+    #[test]
+    fn ring_gossip_needs_long_episodes() {
+        // 4 processes, episode of 6 steps: ring crossing completes.
+        let high = vec![1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 1.0];
+        let series = vec![high.clone(), high.clone(), high.clone(), high];
+        let exec = from_series(&series, 3.0, GossipPattern::Ring);
+        let set: Vec<Interval> = (0..4)
+            .map(|p| exec.intervals_of(ProcessId(p))[0].clone())
+            .collect();
+        assert!(definitely_holds(&set), "long episode crosses the ring");
+
+        // A 2-step episode cannot cross 4 ring hops both ways.
+        let short = vec![1.0, 5.0, 5.0, 1.0, 1.0];
+        let series = vec![short.clone(), short.clone(), short.clone(), short];
+        let exec = from_series(&series, 3.0, GossipPattern::Ring);
+        let set: Vec<Interval> = (0..4)
+            .map(|p| exec.intervals_of(ProcessId(p))[0].clone())
+            .collect();
+        assert!(!definitely_holds(&set), "short episode cannot");
+    }
+
+    #[test]
+    fn fleet_series_shape() {
+        let fleet = SensorFleet {
+            n: 4,
+            steps: 24,
+            period: 8,
+            high_len: 3,
+            ..Default::default()
+        };
+        let series = fleet.series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].len(), 24);
+        // High phases exceed 20, low phases stay below.
+        assert!(series[0][0] > 20.0, "step 0 is in the first episode");
+        assert!(series[0][5] < 20.0, "step 5 is between episodes");
+    }
+
+    #[test]
+    fn fleet_complete_episode_count_matches_detection() {
+        use ftscp_intervals::{QueueBank, SlotId};
+        let fleet = SensorFleet {
+            n: 5,
+            steps: 60,
+            period: 10,
+            high_len: 3,
+            dropout: 0.2,
+            seed: 3,
+            ..Default::default()
+        };
+        let exec = from_series(&fleet.series(), 20.0, GossipPattern::Coordinator);
+        exec.validate().unwrap();
+        // Centralized detection over the intervals.
+        let mut bank = QueueBank::new(5);
+        let mut detections = 0;
+        for iv in exec.intervals_interleaved() {
+            detections += bank.enqueue(SlotId(iv.source.0), iv.clone()).len();
+        }
+        assert_eq!(detections, fleet.complete_episodes());
+        assert!(detections > 0, "fixture has complete episodes");
+        assert!(detections < 6, "fixture has dropouts");
+    }
+}

@@ -1,0 +1,86 @@
+//! The paper's Figure 2, end to end: repeated detection at an interior
+//! node, why one-shot detection fails, and failure recovery (Fig. 2(c)).
+//!
+//! ```text
+//! cargo run --example fig2_scenario
+//! ```
+
+use ftscp::baselines::garg_waldecker::one_shot_definitely;
+use ftscp::core::HierarchicalDetector;
+use ftscp::simnet::{NodeId, Topology};
+use ftscp::tree::SpanningTree;
+use ftscp::vclock::ProcessId;
+use ftscp::workload::scenarios;
+
+fn main() {
+    // The exact Figure 2 execution: x1 at P1; x2, x3 at P2; x4 at P3;
+    // x5 at P4 (processes are 0-indexed here).
+    let exec = scenarios::figure2();
+
+    // Spanning tree of Fig. 2(a): P3 roots, P2 and P4 below it, P1 under
+    // P2. The P2–P4 topology link is what Fig. 2(c) reconnects over.
+    let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 3)]);
+    let tree = SpanningTree::from_parents(vec![
+        Some(NodeId(1)),
+        Some(NodeId(2)),
+        None,
+        Some(NodeId(2)),
+    ]);
+
+    // --- Why repeated detection is necessary (§III-A) ------------------
+    // A one-shot detector at P2 freezes on {x1, x2}:
+    let first = one_shot_definitely(&[exec.intervals[0].clone(), exec.intervals[1].clone()])
+        .expect("P2's first solution");
+    println!(
+        "one-shot at P2 reports only {{x1, x2}} (covers {:?}) and hangs;",
+        first.coverage()
+    );
+    println!("but {{x1, x2, x4, x5}} does NOT satisfy Definitely — the global");
+    println!("detection needs P2's *second* solution {{x1, x3}}.\n");
+
+    // --- The hierarchical algorithm handles it -------------------------
+    let mut det = HierarchicalDetector::new(&tree);
+    for iv in exec.intervals_interleaved() {
+        det.feed(iv.clone());
+    }
+    println!("hierarchical run (no failure):");
+    println!(
+        "  P2 found {} subtree solutions",
+        det.solutions_at(ProcessId(1))
+    );
+    for d in det.root_solutions() {
+        println!(
+            "  global detection at {} covering {:?}",
+            d.at_node, d.coverage
+        );
+    }
+
+    // --- Figure 2(c): P3 fails -----------------------------------------
+    let mut det = HierarchicalDetector::new(&tree);
+    let (x1_feed, rest): (Vec<_>, Vec<_>) = exec
+        .intervals_interleaved()
+        .into_iter()
+        .partition(|iv| iv.source == ProcessId(0));
+    for iv in rest {
+        det.feed(iv.clone());
+    }
+    println!("\nP3 (the root) crashes before x1 completes...");
+    det.fail_node(ProcessId(2), &topo);
+    println!(
+        "  tree repaired: new root {}, children of new root: {:?}",
+        det.tree().root(),
+        det.tree().children(det.tree().root())
+    );
+    for iv in x1_feed {
+        det.feed(iv.clone());
+    }
+    for d in det.root_solutions() {
+        println!(
+            "  partial predicate detected at {} covering {:?}",
+            d.at_node, d.coverage
+        );
+    }
+    assert_eq!(det.root_solutions().len(), 1);
+    println!("\nThe failure cost only P3's own interval (x4) — detection of the");
+    println!("predicate over the survivors {{P1, P2, P4}} continued (Fig. 2c).");
+}

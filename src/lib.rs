@@ -1,0 +1,64 @@
+//! # ftscp — Fault-Tolerant Strong Conjunctive Predicate detection
+//!
+//! Facade crate for the `ftscp` workspace: a production-grade Rust
+//! reproduction of
+//!
+//! > Min Shen, Ajay D. Kshemkalyani. *A Fault-Tolerant Strong Conjunctive
+//! > Predicate Detection Algorithm for Large-Scale Networks.* IPDPS
+//! > Workshops 2013.
+//!
+//! The paper's contribution is the first **decentralized, hierarchical,
+//! repeated** detection algorithm for `Definitely(Φ)` where `Φ` is a
+//! conjunctive predicate over an asynchronous distributed execution. This
+//! crate re-exports the whole workspace under one roof:
+//!
+//! * [`vclock`] — vector clocks and the happens-before partial order;
+//! * [`intervals`] — intervals, the `overlap` condition for
+//!   `Definitely(Φ)`, the aggregation function `⊓` (Theorem 1), and the
+//!   repeated-detection prune rules (Theorems 3–4);
+//! * [`tree`] — spanning-tree construction and failure-time reconnection;
+//! * [`simnet`] — a deterministic discrete-event simulator of an
+//!   asynchronous non-FIFO message-passing network;
+//! * [`core`] — the paper's Algorithm 1: the per-node engine, the in-memory
+//!   hierarchical detector, and the fault-tolerant simulated deployment;
+//! * [`baselines`] — the centralized repeated-detection comparator
+//!   \[Kshemkalyani, IPL 2011\], Garg–Waldecker one-shot detectors, and a
+//!   brute-force global-state-lattice oracle;
+//! * [`workload`] — synthetic execution generators with tunable interval
+//!   counts and overlap probability `α`;
+//! * [`analysis`] — the paper's closed-form complexity models (Eqs. 11–14)
+//!   and experiment runners for Table I and Figures 4–5.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ftscp::core::HierarchicalDetector;
+//! use ftscp::tree::SpanningTree;
+//! use ftscp::workload::RandomExecution;
+//!
+//! // A balanced binary spanning tree over 7 processes.
+//! let tree = SpanningTree::balanced_dary(7, 2);
+//! // A seeded random execution: 6 local-predicate intervals per process.
+//! let exec = RandomExecution::builder(7).intervals_per_process(6).seed(1).build();
+//! // Feed every interval, in a causally consistent order, to the detector.
+//! let mut det = HierarchicalDetector::new(&tree);
+//! for iv in exec.intervals_interleaved() {
+//!     det.feed(iv.clone());
+//! }
+//! // Every root-level solution is one satisfaction of Definitely(Φ).
+//! println!("{} global detections", det.root_solutions().len());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ftscp_analysis as analysis;
+pub use ftscp_baselines as baselines;
+pub use ftscp_core as core;
+pub use ftscp_intervals as intervals;
+pub use ftscp_simnet as simnet;
+pub use ftscp_tree as tree;
+pub use ftscp_vclock as vclock;
+pub use ftscp_workload as workload;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
