@@ -121,6 +121,7 @@ pub fn run_paired(cfg: ExperimentConfig) -> PairedRun {
             monitor: MonitorConfig {
                 heartbeat_period: None,
                 retransmit_period: None,
+                ..Default::default()
             },
             repair_delay: SimTime::from_millis(50),
             ..Default::default()
@@ -195,20 +196,19 @@ pub fn run_paired(cfg: ExperimentConfig) -> PairedRun {
 }
 
 /// Runs a batch of paired experiments in parallel (one OS thread per
-/// configuration, scoped via crossbeam), preserving input order. The
+/// configuration, via `std::thread::scope`), preserving input order. The
 /// simulations are independent and deterministic, so parallelism changes
 /// nothing but wall-clock time.
 pub fn run_paired_many(configs: &[ExperimentConfig]) -> Vec<PairedRun> {
     let mut out: Vec<Option<PairedRun>> = Vec::new();
     out.resize_with(configs.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, cfg) in out.iter_mut().zip(configs.iter()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_paired(*cfg));
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
     out.into_iter().map(|r| r.expect("filled")).collect()
 }
 

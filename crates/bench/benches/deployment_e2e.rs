@@ -38,6 +38,7 @@ fn bench_deployments(c: &mut Criterion) {
                         monitor: MonitorConfig {
                             heartbeat_period: None,
                             retransmit_period: None,
+                            ..Default::default()
                         },
                         repair_delay: SimTime::from_millis(50),
                         ..Default::default()

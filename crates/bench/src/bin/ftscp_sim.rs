@@ -155,6 +155,7 @@ fn main() {
             monitor: MonitorConfig {
                 heartbeat_period: Some(SimTime::from_millis(100)),
                 retransmit_period: (args.loss > 0.0).then(|| SimTime::from_millis(25)),
+                ..Default::default()
             },
             repair_delay: SimTime::from_millis(250),
             ..Default::default()

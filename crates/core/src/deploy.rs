@@ -13,7 +13,9 @@ use crate::protocol::DetectMsg;
 use crate::report::GlobalDetection;
 use crate::{nid, pid};
 use ftscp_intervals::Interval;
-use ftscp_simnet::{NetMetrics, NodeId, SimConfig, SimTime, Simulation, Topology};
+use ftscp_simnet::{
+    FaultOp, FaultPlan, NetMetrics, NodeId, SimConfig, SimTime, Simulation, Topology,
+};
 use ftscp_tree::SpanningTree;
 use ftscp_vclock::ProcessId;
 use ftscp_workload::Execution;
@@ -157,6 +159,28 @@ impl Deployment {
     pub fn schedule_recovery(&mut self, node: ProcessId, at: SimTime) {
         self.recovery_plan.push((at, node));
         self.recovery_plan.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Installs a [`FaultPlan`] across both layers of the deployment:
+    /// `Crash` operations become scheduled crash-stops (with maintenance
+    /// tree repair), `Restart` operations become scheduled recoveries
+    /// (checkpoint reboot + leaf rejoin — enable checkpointing first for
+    /// state to survive), and every remaining operation (partitions,
+    /// duplication, reordering, timer skew) is installed directly into the
+    /// network simulation. Like the simulator-level plan, this draws no
+    /// randomness: `(deployment config, seed, plan)` replays identically.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let mut residual = FaultPlan::new();
+        for (at, op) in plan.sorted_ops() {
+            match op {
+                FaultOp::Crash(node) => self.schedule_crash(pid(node), at),
+                FaultOp::Restart(node) => self.schedule_recovery(pid(node), at),
+                other => residual = residual.op_at(at, other),
+            }
+        }
+        if !residual.is_empty() {
+            self.sim.apply_fault_plan(&residual);
+        }
     }
 
     /// Enables write-through engine checkpointing on every node (stable
@@ -422,6 +446,21 @@ impl Deployment {
     /// Access to a node's monitor.
     pub fn app(&self, node: ProcessId) -> &MonitorApp {
         self.sim.app(nid(node))
+    }
+
+    /// True iff `node`'s monitor is currently up.
+    pub fn is_alive(&self, node: ProcessId) -> bool {
+        self.sim.is_alive(nid(node))
+    }
+
+    /// Number of nodes in the deployment.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// True iff the deployment has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
     }
 
     /// Peak intervals resident at any single node (space accounting).

@@ -40,6 +40,7 @@
 
 pub mod deploy;
 pub mod engine;
+pub mod faultcheck;
 pub mod hier;
 pub mod monitor;
 pub mod multi;

@@ -24,6 +24,16 @@ pub struct MonitorConfig {
     /// held until cumulatively acknowledged by the parent and re-sent at
     /// this period. `None` assumes reliable channels (the paper's model).
     pub retransmit_period: Option<SimTime>,
+    /// Maximum unacknowledged outputs re-sent per retransmit firing. A
+    /// bounded burst keeps a long outage (crashed parent, partition) from
+    /// flooding the network with the entire backlog at every firing; the
+    /// cumulative-ack scheme drains the rest over subsequent firings.
+    pub retransmit_burst: usize,
+    /// Cap on the exponential backoff multiplier: after consecutive
+    /// retransmit firings with no acknowledgement progress the period
+    /// doubles up to `retransmit_period × cap`, then resets to the base
+    /// period as soon as an ack makes progress (or a new parent is set).
+    pub retransmit_backoff_cap: u32,
 }
 
 impl Default for MonitorConfig {
@@ -31,6 +41,8 @@ impl Default for MonitorConfig {
         MonitorConfig {
             heartbeat_period: Some(SimTime::from_millis(50)),
             retransmit_period: None,
+            retransmit_burst: 8,
+            retransmit_backoff_cap: 8,
         }
     }
 }
@@ -66,6 +78,9 @@ pub struct MonitorApp {
     /// Reliability layer: outputs not yet acknowledged by the parent,
     /// keyed by output sequence number.
     unacked: BTreeMap<u64, Interval>,
+    /// Current retransmit backoff multiplier (1 = base period); doubles on
+    /// each firing without ack progress up to the configured cap.
+    retransmit_backoff: u32,
     /// Heartbeats observed: peer → last time.
     pub heartbeat_seen: BTreeMap<ProcessId, SimTime>,
     /// Last persisted checkpoint ("stable storage"): taken after every
@@ -98,6 +113,7 @@ impl MonitorApp {
             detections: Vec::new(),
             interval_msgs_sent: 0,
             unacked: BTreeMap::new(),
+            retransmit_backoff: 1,
             heartbeat_seen: BTreeMap::new(),
             stable_checkpoint: None,
             checkpointing: false,
@@ -145,6 +161,7 @@ impl MonitorApp {
         self.parent = None; // the maintenance service will SetParent us
         self.reorder.clear();
         self.unacked.clear();
+        self.retransmit_backoff = 1;
         // Intervals that would have completed during the outage never
         // happened (the node was down): drop them.
         while let Some(&(t, _)) = self.schedule.front() {
@@ -248,12 +265,25 @@ impl MonitorApp {
         }
     }
 
-    /// Re-sends every unacknowledged output to the current parent, oldest
-    /// first, flagging the first as a stream resync.
+    /// Current retransmit backoff multiplier (for tests/telemetry).
+    pub fn retransmit_backoff(&self) -> u32 {
+        self.retransmit_backoff
+    }
+
+    /// Local intervals not yet observed (schedule remainder).
+    pub fn pending_schedule_len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Re-sends unacknowledged outputs to the current parent, oldest
+    /// first, flagging the first as a stream resync. At most
+    /// `retransmit_burst` outputs go out per call — a long outage must not
+    /// flood the network with the whole backlog at once; the cumulative
+    /// ack moves the window so later calls pick up where this one stopped.
     fn retransmit_unacked(&mut self, ctx: &mut Ctx<'_, DetectMsg>, resync_first: bool) {
         let Some(parent) = self.parent else { return };
         let mut first = true;
-        for interval in self.unacked.values() {
+        for interval in self.unacked.values().take(self.config.retransmit_burst) {
             self.interval_msgs_sent += 1;
             ctx.send(
                 nid(parent),
@@ -349,8 +379,20 @@ impl Application for MonitorApp {
             }
             TIMER_RETRANSMIT => {
                 if let Some(period) = self.config.retransmit_period {
-                    self.retransmit_unacked(ctx, false);
-                    ctx.set_timer(period, TIMER_RETRANSMIT);
+                    if self.unacked.is_empty() {
+                        // Nothing outstanding: idle at the base period.
+                        self.retransmit_backoff = 1;
+                    } else {
+                        self.retransmit_unacked(ctx, false);
+                        // No ack progress since the last firing (an ack
+                        // would have reset the multiplier): back off
+                        // exponentially so a dead or partitioned parent
+                        // is not hammered at full rate.
+                        self.retransmit_backoff = (self.retransmit_backoff * 2)
+                            .min(self.config.retransmit_backoff_cap.max(1));
+                    }
+                    let delay = SimTime(period.0 * u64::from(self.retransmit_backoff));
+                    ctx.set_timer(delay, TIMER_RETRANSMIT);
                 }
             }
             TIMER_HEARTBEAT => {
@@ -394,7 +436,13 @@ impl Application for MonitorApp {
                 }
             }
             DetectMsg::Ack { upto, .. } => {
+                let before = self.unacked.len();
                 self.unacked.retain(|&seq, _| seq >= upto);
+                if self.unacked.len() < before {
+                    // Ack progress: the parent is responsive again, so the
+                    // retransmit timer returns to its base period.
+                    self.retransmit_backoff = 1;
+                }
             }
             DetectMsg::Heartbeat { from } => {
                 self.heartbeat_seen.insert(from, ctx.now());
@@ -402,6 +450,8 @@ impl Application for MonitorApp {
             DetectMsg::SetParent { parent } => {
                 self.parent = parent;
                 self.engine.set_root(parent.is_none());
+                // A fresh parent gets a fresh backoff window.
+                self.retransmit_backoff = 1;
                 if self.config.retransmit_period.is_some() && !self.unacked.is_empty() {
                     // Reliability layer: the new parent needs everything
                     // the dead parent never acknowledged.

@@ -274,6 +274,7 @@ fn lossy_links_with_reliability_layer_lose_nothing() {
         monitor: MonitorConfig {
             heartbeat_period: None,
             retransmit_period: Some(SimTime::from_millis(15)),
+            ..Default::default()
         },
         ..Default::default()
     };

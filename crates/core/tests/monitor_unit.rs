@@ -21,6 +21,7 @@ fn cfg_plain() -> MonitorConfig {
     MonitorConfig {
         heartbeat_period: None,
         retransmit_period: None,
+        ..Default::default()
     }
 }
 
@@ -201,6 +202,7 @@ fn ack_clears_unacked_buffer() {
         MonitorConfig {
             heartbeat_period: None,
             retransmit_period: Some(SimTime(1_000)),
+            ..Default::default()
         },
     );
     let effects = testkit::drive(NodeId(2), SimTime(0), 10, &[], |ctx| leaf.on_init(ctx));

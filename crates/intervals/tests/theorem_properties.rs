@@ -2,8 +2,9 @@
 //! interval data, and the on-line bank agrees with the offline reference.
 
 use ftscp_intervals::offline::OfflineDetector;
+use ftscp_intervals::prune::{approximate_removals, exact_removals};
 use ftscp_intervals::{theorems, Interval, PruneRule, QueueBank, SlotId};
-use ftscp_vclock::{ProcessId, VectorClock};
+use ftscp_vclock::{OpCounter, ProcessId, VectorClock};
 use proptest::prelude::*;
 
 const WIDTH: usize = 5;
@@ -122,6 +123,45 @@ proptest! {
         prop_assert_eq!(online.len(), offline.solutions.len());
         for (a, b) in online.iter().zip(&offline.solutions) {
             prop_assert_eq!(a.coverage(), b.coverage());
+        }
+    }
+
+    /// Prune soundness: the approximate on-line rule Eq. (10) never
+    /// removes a head the exact rule Eq. (9) would keep, whenever the
+    /// successors obey the per-queue causal order `max(x) < min(succ(x))`
+    /// (Theorem 2). Approximate removals ⊆ exact removals.
+    #[test]
+    fn approximate_prune_subsumed_by_exact(
+        members in proptest::collection::vec(
+            (interval_strategy(0), proptest::collection::vec(0u32..5, WIDTH)), 2..6),
+    ) {
+        // Each member's successor low: strictly above its own hi in every
+        // component, as causally ordered interval queues guarantee.
+        let pairs: Vec<(Interval, VectorClock)> = members
+            .into_iter()
+            .map(|(iv, gap)| {
+                let succ_lo: Vec<u32> = iv
+                    .hi
+                    .components()
+                    .iter()
+                    .zip(&gap)
+                    .map(|(h, g)| h + g + 1)
+                    .collect();
+                (iv, VectorClock::from_components(succ_lo))
+            })
+            .collect();
+        let solution: Vec<&Interval> = pairs.iter().map(|(iv, _)| iv).collect();
+        let succ_lows: Vec<Option<&VectorClock>> =
+            pairs.iter().map(|(_, lo)| Some(lo)).collect();
+        let ops = OpCounter::new();
+        let approx = approximate_removals(&solution, &ops);
+        let exact = exact_removals(&solution, &succ_lows, &ops);
+        prop_assert!(!approx.is_empty(), "Theorem 4: at least one removal");
+        for i in &approx {
+            prop_assert!(
+                exact.contains(i),
+                "Eq. (10) removed head {} which Eq. (9) keeps", i
+            );
         }
     }
 }

@@ -1,0 +1,362 @@
+//! Deterministic, scriptable fault injection.
+//!
+//! A [`FaultPlan`] is a time-ordered script of fault operations applied to
+//! a [`Simulation`](crate::Simulation) as simulated time advances: process
+//! crashes and restarts, network partitions and heals, message-duplication
+//! and reordering windows, and per-node timer skew. The plan is pure data —
+//! it draws no randomness of its own — so a `(topology, apps, seed, plan)`
+//! quadruple always replays the identical execution, extending the
+//! simulator's determinism guarantee to faulty runs. Replaying a failure
+//! scenario byte-for-byte is what makes the fault-tolerance tests (§III-F
+//! of the paper) debuggable.
+//!
+//! The primitives map onto the paper's system model like so:
+//!
+//! * **Crash / restart** — crash-stop and crash-recovery of monitor nodes,
+//!   the §III-F failure model.
+//! * **Partition / heal** — a cut of the communication graph `(P, L)`;
+//!   messages crossing the cut are undeliverable until healed. Recovery
+//!   relies on the monitor layer's retransmission, not the network.
+//! * **Duplication** — link-layer retransmit duplicates; the monitor's
+//!   per-child sequence numbers must deduplicate them.
+//! * **Reordering** — bursts of extra non-FIFO delay, stressing the
+//!   reorder buffers that restore per-child FIFO order.
+//! * **Timer skew** — clock-rate drift of one node's local timers,
+//!   stressing heartbeat/timeout tuning.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One fault primitive, applied instantaneously at its scheduled time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// Crash-stop `node`: it processes no further events.
+    Crash(NodeId),
+    /// Revive `node`. Its in-memory state is untouched and its pre-crash
+    /// timers stay dead; modelling a reboot (checkpoint restore, timer
+    /// re-arm) is the application/deployment layer's job.
+    Restart(NodeId),
+    /// Install a cut isolating `side` from the complement: every topology
+    /// edge with exactly one endpoint in `side` becomes untraversable.
+    /// Cuts stack — each `Partition` adds one.
+    Partition(Vec<NodeId>),
+    /// Remove every installed cut.
+    Heal,
+    /// Begin duplicating each successfully routed message with probability
+    /// `prob` (the copy arrives later by one extra link-delay sample).
+    DuplicateOn {
+        /// Per-message duplication probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Stop duplicating.
+    DuplicateOff,
+    /// Begin adding an extra uniform delay in `[0, window]` to each routed
+    /// message with probability `prob` — bursts of aggravated non-FIFO
+    /// reordering.
+    ReorderOn {
+        /// Maximum extra delay.
+        window: SimTime,
+        /// Per-message perturbation probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Stop perturbing delays.
+    ReorderOff,
+    /// Scale all timer delays subsequently armed by `node` by `num / den`
+    /// (a slow clock has `num > den`). `num = den` removes the skew.
+    TimerSkew {
+        /// The affected node.
+        node: NodeId,
+        /// Numerator of the scale factor.
+        num: u32,
+        /// Denominator of the scale factor.
+        den: u32,
+    },
+}
+
+/// A deterministic, replayable script of timed fault operations.
+///
+/// Build with the chained `*_at` / `*_between` methods; apply with
+/// [`Simulation::apply_fault_plan`](crate::Simulation::apply_fault_plan).
+/// Operations scheduled at the same instant apply in insertion order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    ops: Vec<(SimTime, FaultOp)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a raw operation.
+    pub fn op_at(mut self, at: SimTime, op: FaultOp) -> Self {
+        self.ops.push((at, op));
+        self
+    }
+
+    /// Crash-stops `node` at `at`.
+    pub fn crash_at(self, at: SimTime, node: NodeId) -> Self {
+        self.op_at(at, FaultOp::Crash(node))
+    }
+
+    /// Revives `node` at `at`.
+    pub fn restart_at(self, at: SimTime, node: NodeId) -> Self {
+        self.op_at(at, FaultOp::Restart(node))
+    }
+
+    /// Isolates `side` from the rest of the network at `at`.
+    pub fn partition_at(self, at: SimTime, side: &[NodeId]) -> Self {
+        self.op_at(at, FaultOp::Partition(side.to_vec()))
+    }
+
+    /// Removes every cut at `at`.
+    pub fn heal_at(self, at: SimTime) -> Self {
+        self.op_at(at, FaultOp::Heal)
+    }
+
+    /// Duplicates messages with probability `prob` during `[from, to)`.
+    pub fn duplicate_between(self, from: SimTime, to: SimTime, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "prob out of [0,1]");
+        assert!(from < to, "empty duplication window");
+        self.op_at(from, FaultOp::DuplicateOn { prob })
+            .op_at(to, FaultOp::DuplicateOff)
+    }
+
+    /// Adds up to `window` extra delay (probability `prob` per message)
+    /// during `[from, to)`.
+    pub fn reorder_between(self, from: SimTime, to: SimTime, window: SimTime, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "prob out of [0,1]");
+        assert!(from < to, "empty reorder window");
+        self.op_at(from, FaultOp::ReorderOn { window, prob })
+            .op_at(to, FaultOp::ReorderOff)
+    }
+
+    /// Scales `node`'s timer delays by `num / den` from `at` on.
+    pub fn skew_timers_at(self, at: SimTime, node: NodeId, num: u32, den: u32) -> Self {
+        assert!(num > 0 && den > 0, "skew factor must be positive");
+        self.op_at(at, FaultOp::TimerSkew { node, num, den })
+    }
+
+    /// The scheduled operations in application order (stable-sorted by
+    /// time, ties by insertion order).
+    pub fn sorted_ops(&self) -> Vec<(SimTime, FaultOp)> {
+        let mut ops = self.ops.clone();
+        ops.sort_by_key(|&(t, _)| t);
+        ops
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All crash times per node — lets deployment layers pre-compute
+    /// repair actions for a plan.
+    pub fn crashes(&self) -> Vec<(SimTime, NodeId)> {
+        let mut out: Vec<(SimTime, NodeId)> = self
+            .ops
+            .iter()
+            .filter_map(|(t, op)| match op {
+                FaultOp::Crash(n) => Some((*t, *n)),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All restart times per node.
+    pub fn restarts(&self) -> Vec<(SimTime, NodeId)> {
+        let mut out: Vec<(SimTime, NodeId)> = self
+            .ops
+            .iter()
+            .filter_map(|(t, op)| match op {
+                FaultOp::Restart(n) => Some((*t, *n)),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// The live fault state a simulation consults while routing and timing.
+/// Mutated only by [`FaultOp`] application; holds no randomness.
+#[derive(Clone, Debug, Default)]
+pub struct ActiveFaults {
+    /// Installed cuts: per-cut membership flags (`true` = in `side`).
+    cuts: Vec<Vec<bool>>,
+    /// Current duplication probability (0 = off).
+    pub duplicate_prob: f64,
+    /// Current reorder window (irrelevant when `reorder_prob` is 0).
+    pub reorder_window: SimTime,
+    /// Current reorder probability (0 = off).
+    pub reorder_prob: f64,
+    /// Per-node timer scale factors (absent = no skew).
+    skew: BTreeMap<u32, (u32, u32)>,
+}
+
+impl ActiveFaults {
+    /// True iff any cut is installed (fast path for routing).
+    pub fn has_cuts(&self) -> bool {
+        !self.cuts.is_empty()
+    }
+
+    /// True iff the undirected edge `{a, b}` crosses an installed cut.
+    pub fn edge_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        self.cuts
+            .iter()
+            .any(|side| side[a.index()] != side[b.index()])
+    }
+
+    /// Applies `node`'s current clock skew to a timer delay.
+    pub fn timer_delay(&self, node: NodeId, delay: SimTime) -> SimTime {
+        match self.skew.get(&node.0) {
+            Some(&(num, den)) => SimTime(delay.0 * u64::from(num) / u64::from(den)),
+            None => delay,
+        }
+    }
+
+    /// Applies one operation. `alive` is the simulation's liveness vector;
+    /// `n` the network size (for building cut membership).
+    pub fn apply(&mut self, op: &FaultOp, alive: &mut [bool], n: usize) {
+        match op {
+            FaultOp::Crash(node) => alive[node.index()] = false,
+            FaultOp::Restart(node) => alive[node.index()] = true,
+            FaultOp::Partition(side) => {
+                let mut member = vec![false; n];
+                for v in side {
+                    member[v.index()] = true;
+                }
+                self.cuts.push(member);
+            }
+            FaultOp::Heal => self.cuts.clear(),
+            FaultOp::DuplicateOn { prob } => self.duplicate_prob = *prob,
+            FaultOp::DuplicateOff => self.duplicate_prob = 0.0,
+            FaultOp::ReorderOn { window, prob } => {
+                self.reorder_window = *window;
+                self.reorder_prob = *prob;
+            }
+            FaultOp::ReorderOff => {
+                self.reorder_window = SimTime::ZERO;
+                self.reorder_prob = 0.0;
+            }
+            FaultOp::TimerSkew { node, num, den } => {
+                if num == den {
+                    self.skew.remove(&node.0);
+                } else {
+                    self.skew.insert(node.0, (*num, *den));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_stably_by_time() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime(50), NodeId(2))
+            .heal_at(SimTime(10))
+            .restart_at(SimTime(50), NodeId(2));
+        let ops = plan.sorted_ops();
+        assert_eq!(ops[0].0, SimTime(10));
+        assert_eq!(ops[1], (SimTime(50), FaultOp::Crash(NodeId(2))));
+        assert_eq!(ops[2], (SimTime(50), FaultOp::Restart(NodeId(2))));
+        assert_eq!(plan.crashes(), vec![(SimTime(50), NodeId(2))]);
+        assert_eq!(plan.restarts(), vec![(SimTime(50), NodeId(2))]);
+    }
+
+    #[test]
+    fn cuts_block_exactly_crossing_edges() {
+        let mut af = ActiveFaults::default();
+        let mut alive = vec![true; 4];
+        af.apply(
+            &FaultOp::Partition(vec![NodeId(0), NodeId(1)]),
+            &mut alive,
+            4,
+        );
+        assert!(af.has_cuts());
+        assert!(af.edge_blocked(NodeId(1), NodeId(2)), "crossing");
+        assert!(!af.edge_blocked(NodeId(0), NodeId(1)), "inside side");
+        assert!(!af.edge_blocked(NodeId(2), NodeId(3)), "outside side");
+        af.apply(&FaultOp::Heal, &mut alive, 4);
+        assert!(!af.has_cuts());
+        assert!(!af.edge_blocked(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn crash_and_restart_toggle_liveness() {
+        let mut af = ActiveFaults::default();
+        let mut alive = vec![true; 2];
+        af.apply(&FaultOp::Crash(NodeId(1)), &mut alive, 2);
+        assert!(!alive[1]);
+        af.apply(&FaultOp::Restart(NodeId(1)), &mut alive, 2);
+        assert!(alive[1]);
+    }
+
+    #[test]
+    fn timer_skew_scales_and_clears() {
+        let mut af = ActiveFaults::default();
+        let mut alive = vec![true; 2];
+        af.apply(
+            &FaultOp::TimerSkew {
+                node: NodeId(0),
+                num: 3,
+                den: 2,
+            },
+            &mut alive,
+            2,
+        );
+        assert_eq!(af.timer_delay(NodeId(0), SimTime(100)), SimTime(150));
+        assert_eq!(af.timer_delay(NodeId(1), SimTime(100)), SimTime(100));
+        af.apply(
+            &FaultOp::TimerSkew {
+                node: NodeId(0),
+                num: 1,
+                den: 1,
+            },
+            &mut alive,
+            2,
+        );
+        assert_eq!(af.timer_delay(NodeId(0), SimTime(100)), SimTime(100));
+    }
+
+    #[test]
+    fn windows_toggle_knobs() {
+        let mut af = ActiveFaults::default();
+        let mut alive = vec![true; 1];
+        af.apply(&FaultOp::DuplicateOn { prob: 0.5 }, &mut alive, 1);
+        assert_eq!(af.duplicate_prob, 0.5);
+        af.apply(&FaultOp::DuplicateOff, &mut alive, 1);
+        assert_eq!(af.duplicate_prob, 0.0);
+        af.apply(
+            &FaultOp::ReorderOn {
+                window: SimTime(9),
+                prob: 1.0,
+            },
+            &mut alive,
+            1,
+        );
+        assert_eq!(af.reorder_window, SimTime(9));
+        af.apply(&FaultOp::ReorderOff, &mut alive, 1);
+        assert_eq!(af.reorder_prob, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty duplication window")]
+    fn degenerate_windows_rejected() {
+        let _ = FaultPlan::new().duplicate_between(SimTime(5), SimTime(5), 0.1);
+    }
+}

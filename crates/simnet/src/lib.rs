@@ -12,7 +12,10 @@
 //!   graph): a message between distant nodes occupies one channel per hop,
 //!   which is exactly how the paper charges message complexity for the
 //!   centralized baseline (§IV-A);
-//! * nodes may **crash** (crash-stop) at scheduled times.
+//! * nodes may **crash** (crash-stop) at scheduled times;
+//! * richer failure scenarios — crash-restart, network partitions,
+//!   message duplication, reordering bursts, timer skew — are scripted
+//!   through a deterministic, replayable [`FaultPlan`] (see [`fault`]).
 //!
 //! Determinism: all randomness comes from one seeded RNG, and simultaneous
 //! events tie-break on a monotone sequence number, so a `(topology, apps,
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod sim;
@@ -35,6 +39,7 @@ pub mod time;
 pub mod topology;
 
 pub use event::TimerToken;
+pub use fault::{ActiveFaults, FaultOp, FaultPlan};
 pub use metrics::{NetMetrics, NodeMetrics};
 pub use node::NodeId;
 pub use sim::{Application, Ctx, LinkModel, SimConfig, Simulation};

@@ -39,6 +39,8 @@ pub struct NetMetrics {
     pub dropped_dead_dst: u64,
     /// Messages lost to per-hop link loss.
     pub lost: u64,
+    /// Extra copies scheduled by fault-injected duplication.
+    pub duplicated: u64,
     /// Per-node counters.
     pub per_node: Vec<NodeMetrics>,
     /// Per-link traffic: messages that traversed each undirected edge
@@ -87,6 +89,11 @@ impl NetMetrics {
     /// Records a message lost to link-level loss.
     pub fn record_lost(&mut self) {
         self.lost += 1;
+    }
+
+    /// Records an extra copy created by fault-injected duplication.
+    pub fn record_duplicate(&mut self) {
+        self.duplicated += 1;
     }
 
     /// Records one traversal of the undirected edge `{a, b}`.

@@ -1,6 +1,7 @@
 //! The discrete-event simulation driver.
 
 use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::fault::{ActiveFaults, FaultOp, FaultPlan};
 use crate::metrics::NetMetrics;
 use crate::node::NodeId;
 use crate::time::SimTime;
@@ -172,6 +173,12 @@ pub struct Simulation<A: Application> {
     config: SimConfig,
     initialized: bool,
     events_processed: u64,
+    /// Scripted fault operations not yet applied, in application order.
+    plan_ops: Vec<(SimTime, FaultOp)>,
+    /// Index of the next unapplied operation in `plan_ops`.
+    next_op: usize,
+    /// Live fault state (cuts, windows, skew) the run loops consult.
+    faults: ActiveFaults,
 }
 
 impl<A: Application> Simulation<A> {
@@ -190,12 +197,51 @@ impl<A: Application> Simulation<A> {
             config,
             initialized: false,
             events_processed: 0,
+            plan_ops: Vec::new(),
+            next_op: 0,
+            faults: ActiveFaults::default(),
         }
     }
 
     /// Schedules `node` to crash-stop at `time`.
     pub fn schedule_crash(&mut self, node: NodeId, time: SimTime) {
         self.queue.push(time, EventKind::Crash { node });
+    }
+
+    /// Installs a [`FaultPlan`]: its operations apply at their scheduled
+    /// times as the run loops advance, interleaved deterministically with
+    /// ordinary events (an operation at time `t` applies before any event
+    /// with time ≥ `t`; ties between operations keep plan insertion order).
+    ///
+    /// May be called repeatedly; later plans merge with the unapplied
+    /// remainder of earlier ones. A plan draws no randomness of its own,
+    /// so `(topology, apps, seed, plan)` always replays identically — and
+    /// an empty/absent plan leaves the RNG stream untouched, so fault-free
+    /// runs are byte-identical to pre-fault-injection builds.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.plan_ops.extend(plan.sorted_ops());
+        self.plan_ops[self.next_op..].sort_by_key(|&(t, _)| t);
+    }
+
+    /// Time of the next unapplied fault operation, if any.
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.plan_ops.get(self.next_op).map(|&(t, _)| t)
+    }
+
+    /// Applies the next fault operation, advancing `now` to its time.
+    fn apply_next_fault(&mut self) {
+        let (at, op) = self.plan_ops[self.next_op].clone();
+        self.next_op += 1;
+        if self.now < at {
+            self.now = at;
+        }
+        let n = self.apps.len();
+        self.faults.apply(&op, &mut self.alive, n);
+    }
+
+    /// The live fault state (for assertions in tests).
+    pub fn active_faults(&self) -> &ActiveFaults {
+        &self.faults
     }
 
     /// Revives a crashed node immediately (crash-*recovery* support): the
@@ -275,18 +321,27 @@ impl<A: Application> Simulation<A> {
     }
 
     /// Runs until the event queue drains or `deadline` passes, whichever is
-    /// first. Returns the number of events processed by this call.
+    /// first. Returns the number of events processed by this call (fault
+    /// operations are applied but not counted).
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.ensure_init();
         let mut processed = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
+        loop {
+            // A fault op due no later than the next event (and within the
+            // deadline) applies first — ties go to the fault, so a crash
+            // at `t` suppresses deliveries at `t`.
+            match (self.queue.peek_time(), self.next_fault_time()) {
+                (ev_t, Some(op_t)) if op_t <= deadline && ev_t.is_none_or(|t| op_t <= t) => {
+                    self.apply_next_fault();
+                }
+                (Some(t), _) if t <= deadline => {
+                    let ev = self.queue.pop().expect("peeked");
+                    self.now = ev.time;
+                    self.dispatch(ev.kind);
+                    processed += 1;
+                }
+                _ => break,
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.time;
-            self.dispatch(ev.kind);
-            processed += 1;
         }
         // Time always advances to the deadline even if the queue drained.
         if self.now < deadline {
@@ -296,16 +351,26 @@ impl<A: Application> Simulation<A> {
         processed
     }
 
-    /// Runs until the event queue is empty (quiescence). `max_events`
-    /// bounds runaway applications.
+    /// Runs until the event queue is empty and no fault operations remain
+    /// (quiescence). `max_events` bounds runaway applications.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
         self.ensure_init();
         let mut processed = 0;
         while processed < max_events {
-            let Some(ev) = self.queue.pop() else { break };
-            self.now = ev.time;
-            self.dispatch(ev.kind);
-            processed += 1;
+            match (self.queue.peek_time(), self.next_fault_time()) {
+                (ev_t, Some(op_t)) if ev_t.is_none_or(|t| op_t <= t) => {
+                    self.apply_next_fault();
+                }
+                (Some(_), _) => {
+                    let ev = self.queue.pop().expect("peeked");
+                    self.now = ev.time;
+                    self.dispatch(ev.kind);
+                    processed += 1;
+                }
+                // (None, Some) is absorbed by the first arm (its guard is
+                // vacuously true with no event pending).
+                _ => break,
+            }
         }
         self.events_processed += processed;
         processed
@@ -329,6 +394,12 @@ impl<A: Application> Simulation<A> {
             return;
         }
         self.initialized = true;
+        // Operations scheduled at time zero precede everything — including
+        // `on_init` callbacks (which run at time zero): a skew or window
+        // starting at zero covers a node's very first sends and timers.
+        while self.next_fault_time() == Some(SimTime::ZERO) {
+            self.apply_next_fault();
+        }
         for i in 0..self.apps.len() {
             let node = NodeId(i as u32);
             self.with_ctx(node, |app, ctx| app.on_init(ctx));
@@ -377,6 +448,9 @@ impl<A: Application> Simulation<A> {
             self.route_and_schedule(node, dst, msg);
         }
         for (at, token) in timers {
+            // Fault-injected clock skew stretches/shrinks this node's timer
+            // delays (identity when no skew is installed).
+            let at = self.now + self.faults.timer_delay(node, at - self.now);
             self.queue.push(at, EventKind::Timer { node, token });
         }
     }
@@ -390,7 +464,17 @@ impl<A: Application> Simulation<A> {
                 .push(self.now + SimTime(1), EventKind::Deliver { src, dst, msg });
             return;
         }
-        match self.topology.shortest_path(src, dst, &self.alive) {
+        // Partition cuts filter routing without mutating the topology; the
+        // unfiltered path is the common case and takes the original code
+        // path (no closure, no extra work).
+        let path = if self.faults.has_cuts() {
+            let faults = &self.faults;
+            self.topology
+                .shortest_path_filtered(src, dst, &self.alive, |a, b| faults.edge_blocked(a, b))
+        } else {
+            self.topology.shortest_path(src, dst, &self.alive)
+        };
+        match path {
             Some(path) => {
                 let mut delay = SimTime::ZERO;
                 let mut survived_hops = 0usize;
@@ -408,10 +492,32 @@ impl<A: Application> Simulation<A> {
                 self.metrics.record_send(src, survived_hops, size);
                 if lost {
                     self.metrics.record_lost();
-                } else {
-                    self.queue
-                        .push(self.now + delay, EventKind::Deliver { src, dst, msg });
+                    return;
                 }
+                // Fault windows. Each draw below is gated on its window
+                // being active, so an inactive plan consumes zero RNG and
+                // fault-free runs replay pre-existing seeded streams.
+                if self.faults.reorder_prob > 0.0
+                    && self.rng.gen::<f64>() < self.faults.reorder_prob
+                {
+                    delay += SimTime(self.rng.gen_range(0..=self.faults.reorder_window.0));
+                }
+                if self.faults.duplicate_prob > 0.0
+                    && self.rng.gen::<f64>() < self.faults.duplicate_prob
+                {
+                    let extra = self.config.link.sample(&mut self.rng);
+                    self.metrics.record_duplicate();
+                    self.queue.push(
+                        self.now + delay + extra,
+                        EventKind::Deliver {
+                            src,
+                            dst,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.queue
+                    .push(self.now + delay, EventKind::Deliver { src, dst, msg });
             }
             None => {
                 self.metrics.record_undeliverable();
@@ -606,6 +712,157 @@ mod tests {
         let mut sim = flood_sim(5);
         sim.run_until(SimTime(100));
         assert_eq!(sim.time(), SimTime(100));
+    }
+
+    #[test]
+    fn fault_plan_replays_identically() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new()
+            .crash_at(SimTime(2_000), NodeId(5))
+            .partition_at(SimTime(1_000), &[NodeId(0), NodeId(1), NodeId(4)])
+            .heal_at(SimTime(6_000))
+            .duplicate_between(SimTime::ZERO, SimTime(20_000), 0.3)
+            .reorder_between(SimTime(500), SimTime(10_000), SimTime(4_000), 0.5)
+            .restart_at(SimTime(9_000), NodeId(5))
+            .skew_timers_at(SimTime::ZERO, NodeId(2), 3, 2);
+        let run = |()| {
+            let mut sim = flood_sim(77);
+            sim.apply_fault_plan(&plan);
+            sim.run_to_quiescence(100_000);
+            (sim.metrics().clone(), sim.time())
+        };
+        assert_eq!(run(()), run(()), "same seed + same plan ⇒ same run");
+    }
+
+    #[test]
+    fn fault_free_plan_does_not_perturb_seeded_streams() {
+        // An installed-but-empty plan must leave the execution identical
+        // to no plan at all (no extra RNG draws, no timing changes).
+        use crate::fault::FaultPlan;
+        let mut a = flood_sim(11);
+        let mut b = flood_sim(11);
+        b.apply_fault_plan(&FaultPlan::new());
+        a.run_to_quiescence(100_000);
+        b.run_to_quiescence(100_000);
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.time(), b.time());
+    }
+
+    #[test]
+    fn partition_blocks_crossing_traffic_until_heal() {
+        use crate::fault::FaultPlan;
+        struct Repeater;
+        impl Application for Repeater {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.set_timer(SimTime(1_000), 1);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerToken) {
+                ctx.send(NodeId(1), ());
+                ctx.set_timer(SimTime(1_000), 1);
+            }
+        }
+        let mut sim = Simulation::new(
+            Topology::line(2),
+            vec![Repeater, Repeater],
+            SimConfig::default(),
+        );
+        sim.apply_fault_plan(
+            &FaultPlan::new()
+                .partition_at(SimTime::ZERO, &[NodeId(0)])
+                .heal_at(SimTime(10_500)),
+        );
+        sim.run_until(SimTime(10_000));
+        assert_eq!(sim.metrics().delivered, 0, "cut blocks everything");
+        assert_eq!(sim.metrics().undeliverable, 10);
+        sim.run_until(SimTime(30_000));
+        assert!(sim.metrics().delivered > 0, "heal restores the route");
+    }
+
+    #[test]
+    fn duplication_window_schedules_extra_copies() {
+        use crate::fault::FaultPlan;
+        let mut sim = flood_sim(3);
+        sim.apply_fault_plan(&FaultPlan::new().duplicate_between(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            1.0,
+        ));
+        sim.run_to_quiescence(100_000);
+        let m = sim.metrics();
+        assert_eq!(m.duplicated, m.sends, "every send duplicated");
+        assert_eq!(m.delivered, m.sends + m.duplicated);
+        assert!(sim.apps().iter().all(|a| a.seen));
+    }
+
+    #[test]
+    fn plan_crash_suppresses_then_restart_restores_delivery() {
+        use crate::fault::FaultPlan;
+        struct Repeater;
+        impl Application for Repeater {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.set_timer(SimTime(1_000), 1);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerToken) {
+                ctx.send(NodeId(1), ());
+                ctx.set_timer(SimTime(1_000), 1);
+            }
+        }
+        let mut sim = Simulation::new(
+            Topology::line(2),
+            vec![Repeater, Repeater],
+            SimConfig::default(),
+        );
+        sim.apply_fault_plan(
+            &FaultPlan::new()
+                .crash_at(SimTime(500), NodeId(1))
+                .restart_at(SimTime(10_500), NodeId(1)),
+        );
+        sim.run_until(SimTime(10_000));
+        assert_eq!(sim.metrics().delivered, 0);
+        assert!(!sim.is_alive(NodeId(1)));
+        sim.run_until(SimTime(30_000));
+        assert!(sim.is_alive(NodeId(1)));
+        assert!(sim.metrics().delivered > 0, "restart restores delivery");
+    }
+
+    #[test]
+    fn timer_skew_stretches_local_timers() {
+        use crate::fault::FaultPlan;
+        #[derive(Default)]
+        struct OneShot {
+            fired_at: Option<SimTime>,
+        }
+        impl Application for OneShot {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime(1_000), 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerToken) {
+                self.fired_at = Some(ctx.now());
+            }
+        }
+        let mut sim = Simulation::new(
+            Topology::line(2),
+            vec![OneShot::default(), OneShot::default()],
+            SimConfig::default(),
+        );
+        sim.apply_fault_plan(&FaultPlan::new().skew_timers_at(SimTime::ZERO, NodeId(1), 3, 1));
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.app(NodeId(0)).fired_at, Some(SimTime(1_000)));
+        assert_eq!(
+            sim.app(NodeId(1)).fired_at,
+            Some(SimTime(3_000)),
+            "3x slow clock"
+        );
     }
 
     #[test]

@@ -277,6 +277,20 @@ impl Topology {
     /// `alive` is true (endpoints must be alive). Returns the full node
     /// sequence including both endpoints, or `None` if unreachable.
     pub fn shortest_path(&self, src: NodeId, dst: NodeId, alive: &[bool]) -> Option<Vec<NodeId>> {
+        self.shortest_path_filtered(src, dst, alive, |_, _| false)
+    }
+
+    /// [`shortest_path`](Self::shortest_path) with an additional edge
+    /// filter: an edge `{u, v}` for which `blocked(u, v)` returns true is
+    /// untraversable. Fault injection uses this to realize network
+    /// partitions without mutating the topology.
+    pub fn shortest_path_filtered(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        alive: &[bool],
+        mut blocked: impl FnMut(NodeId, NodeId) -> bool,
+    ) -> Option<Vec<NodeId>> {
         if !alive[src.index()] || !alive[dst.index()] {
             return None;
         }
@@ -291,7 +305,7 @@ impl Topology {
         q.push_back(src);
         while let Some(u) = q.pop_front() {
             for &v in &self.adj[u.index()] {
-                if !seen[v.index()] && alive[v.index()] {
+                if !seen[v.index()] && alive[v.index()] && !blocked(u, v) {
                     seen[v.index()] = true;
                     prev[v.index()] = Some(u);
                     if v == dst {

@@ -104,10 +104,16 @@ impl SpanningTree {
         };
 
         // Orphans waiting to re-attach. Iterate until no orphan can attach.
+        // The dead node's former parent is the preferred adopter: when the
+        // topology allows it (grandparent cross-links), the grandparent
+        // takes over the crashed child's subtrees directly, so the interval
+        // stream keeps flowing through the node that already aggregated the
+        // dead child's queue — the parent-takeover of §III-F.
         let pending = self.attach_orphan_loop(
             orphan_roots,
             topology,
             alive,
+            former_parent,
             &mut connected,
             &mut affected,
             &mut report,
@@ -151,6 +157,7 @@ impl SpanningTree {
             live_orphans,
             topology,
             alive,
+            None,
             &mut connected,
             &mut affected,
             &mut report,
@@ -160,11 +167,13 @@ impl SpanningTree {
         report
     }
 
+    #[allow(clippy::too_many_arguments)] // internal worker threading three accumulators
     fn attach_orphan_loop(
         &mut self,
         orphan_roots: Vec<NodeId>,
         topology: &Topology,
         alive: &[bool],
+        preferred: Option<NodeId>,
         connected: &mut BTreeSet<NodeId>,
         affected: &mut BTreeSet<NodeId>,
         report: &mut ReconnectReport,
@@ -174,7 +183,7 @@ impl SpanningTree {
             let mut attached_this_round = false;
             let mut still_pending = Vec::new();
             for orphan_root in pending {
-                match self.find_attach_point(orphan_root, topology, alive, connected) {
+                match self.find_attach_point(orphan_root, topology, alive, connected, preferred) {
                     Some((u, v)) => {
                         // Re-root the orphan subtree at u, then hang it off v.
                         let members = self.subtree(orphan_root);
@@ -204,15 +213,29 @@ impl SpanningTree {
     }
 
     /// Finds `(u, v)`: `u` inside the subtree rooted at `orphan_root`, `v`
-    /// an alive topology neighbor of `u` inside `connected`. Prefers the
-    /// shallowest `u` (fewest re-rooted edges).
+    /// an alive topology neighbor of `u` inside `connected`. When
+    /// `preferred` (the failed node's former parent) is adoptable, it wins
+    /// over any other candidate — grandparent adoption keeps the orphan's
+    /// interval stream flowing through the aggregator that already held
+    /// its dead parent's queue. Otherwise prefers the shallowest `u`
+    /// (fewest re-rooted edges).
     fn find_attach_point(
         &self,
         orphan_root: NodeId,
         topology: &Topology,
         alive: &[bool],
         connected: &BTreeSet<NodeId>,
+        preferred: Option<NodeId>,
     ) -> Option<(NodeId, NodeId)> {
+        if let Some(pref) = preferred {
+            if alive[pref.index()] && connected.contains(&pref) {
+                for u in self.subtree(orphan_root) {
+                    if topology.neighbors(u).contains(&pref) {
+                        return Some((u, pref));
+                    }
+                }
+            }
+        }
         for u in self.subtree(orphan_root) {
             for &v in topology.neighbors(u) {
                 if alive[v.index()] && connected.contains(&v) {
@@ -367,6 +390,25 @@ mod tests {
         let report = tree.handle_failure(NodeId(0), &topo, &alive);
         assert!(report.new_root.is_none());
         assert_eq!(tree.node_count(), 0);
+    }
+
+    #[test]
+    fn grandparent_adopts_orphans_when_linked() {
+        // dary_tree(_, _, 1) has grandparent cross-links: when node 1 dies,
+        // its children 3 and 4 can reach node 0 (their grandparent)
+        // directly, and the preference must route them there rather than
+        // to sibling subtrees.
+        let (topo, mut tree) = setup();
+        let mut alive = vec![true; 7];
+        let failed = NodeId(1);
+        let grandparent = tree.parent(failed).unwrap();
+        alive[failed.index()] = false;
+        let report = tree.handle_failure(failed, &topo, &alive);
+        assert!(report.partitioned.is_empty());
+        for &(_, adopter) in &report.reattached {
+            assert_eq!(adopter, grandparent, "grandparent takeover preferred");
+        }
+        assert!(tree.is_subgraph_of(&topo));
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn main() {
             monitor: MonitorConfig {
                 heartbeat_period: Some(SimTime::from_millis(200)),
                 retransmit_period: None,
+                ..Default::default()
             },
             repair_delay: SimTime::from_millis(450),
             ..Default::default()

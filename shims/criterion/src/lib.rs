@@ -1,0 +1,307 @@
+//! Workspace-local, API-compatible subset of `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the benchmark-harness surface the `ftscp-bench` targets use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], and
+//! [`Throughput`].
+//!
+//! Like upstream, the harness has two modes, selected by the `--bench`
+//! CLI flag that `cargo bench` passes to `harness = false` targets:
+//!
+//! - **bench mode** (`--bench` present): calibrates an iteration count,
+//!   takes `sample_size` timed samples, and prints min/mean/max per
+//!   benchmark (plus throughput when declared).
+//! - **test mode** (no `--bench`, i.e. `cargo test`): runs each routine
+//!   once to prove it works, with no timing and no output.
+//!
+//! There is no statistical analysis, plotting, or baseline comparison —
+//! the repo's real measurements flow through `ftscp-analysis`, and these
+//! benches are for interactive spot-checks.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum total time one calibrated sample should take in bench mode.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// Names one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Declares how much work one iteration performs, so bench mode can print
+/// a rate alongside the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Shared harness state handed to every benchmark function.
+pub struct Criterion {
+    bench_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.bench_mode, self.sample_size);
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(self.criterion.bench_mode, samples);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Closes the group (kept for API parity; drop would do).
+    pub fn finish(self) {}
+}
+
+/// Timing state for one benchmark routine.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(bench_mode: bool, sample_size: usize) -> Self {
+        Bencher {
+            bench_mode,
+            sample_size,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times the routine. In test mode it runs once, unmeasured.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: double the batch size until one batch clears the
+        // target sample time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || batch >= 1 << 30 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if !self.bench_mode || self.samples_ns.is_empty() {
+            return;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 / mean * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / mean * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<48} time: [{} {} {}]{rate}",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forced_bench() -> Criterion {
+        Criterion {
+            bench_mode: true,
+            sample_size: 3,
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            ..Criterion::default()
+        };
+        let mut runs = 0u32;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut b = Bencher::new(true, 4);
+        b.iter(|| std::hint::black_box(7u64.wrapping_mul(13)));
+        assert_eq!(b.samples_ns.len(), 4);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn groups_apply_config_and_ids() {
+        let mut c = forced_bench();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut seen: Option<usize> = None;
+        group.bench_with_input(BenchmarkId::new("f", 8), &vec![1, 2, 3], |b, v| {
+            seen = Some(v.len());
+            b.iter(|| std::hint::black_box(v.iter().sum::<i32>()));
+        });
+        group.finish();
+        assert_eq!(seen, Some(3));
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+        assert_eq!(BenchmarkId::new("join", 8).label, "join/8");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12e9).ends_with('s'));
+    }
+}

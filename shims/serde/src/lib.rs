@@ -1,0 +1,17 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The workspace tags its data types with `#[derive(Serialize,
+//! Deserialize)]` as forward-looking markers, but nothing serializes
+//! through serde at runtime (the real wire format is
+//! `ftscp-intervals::codec`). Because the build environment cannot reach
+//! crates.io, this shim provides the trait names and no-op derives so the
+//! annotations compile. Swapping back to upstream serde is a two-line
+//! `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+/// Marker: the type opts into serialization (no-op in the offline build).
+pub use serde_derive::Serialize;
+
+/// Marker: the type opts into deserialization (no-op in the offline build).
+pub use serde_derive::Deserialize;

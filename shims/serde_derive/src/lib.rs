@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace uses serde derives purely as forward-looking markers on
+//! its data types; nothing serializes through serde at runtime (the wire
+//! codec lives in `ftscp-intervals::codec`). Offline builds therefore
+//! accept the derive attributes and emit no code. If real serialization
+//! is ever needed, swap these shims for the upstream crates.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers), emits
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers), emits
+/// nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,94 @@
+//! Differential testing: three independent implementations of repeated
+//! `Definitely(Φ)` detection — the hierarchical detector (the paper's
+//! Algorithm 1), the centralized baseline \[Kshemkalyani 2011\], and the
+//! offline whole-trace oracle — must report the *identical* solution
+//! sequence on any fault-free execution.
+
+use ftscp::baselines::CentralizedDetector;
+use ftscp::core::HierarchicalDetector;
+use ftscp::intervals::offline::OfflineDetector;
+use ftscp::intervals::PruneRule;
+use ftscp::tree::SpanningTree;
+use ftscp::workload::{Execution, RandomExecution};
+use proptest::prelude::*;
+
+type Coverages = Vec<Vec<(u32, u64)>>;
+
+fn hierarchical(exec: &Execution, arity: usize) -> Coverages {
+    let tree = SpanningTree::balanced_dary(exec.n, arity.max(2));
+    let mut det = HierarchicalDetector::new(&tree);
+    for iv in exec.intervals_interleaved() {
+        det.feed(iv.clone());
+    }
+    det.root_solutions()
+        .iter()
+        .map(|d| d.coverage.iter().map(|r| (r.process.0, r.seq)).collect())
+        .collect()
+}
+
+fn centralized(exec: &Execution) -> Coverages {
+    let mut det = CentralizedDetector::new(exec.n);
+    for iv in exec.intervals_interleaved() {
+        det.feed(iv.clone());
+    }
+    det.solutions()
+        .iter()
+        .map(|s| s.coverage().iter().map(|r| (r.process.0, r.seq)).collect())
+        .collect()
+}
+
+fn offline(exec: &Execution) -> Coverages {
+    let out = OfflineDetector::new(exec.intervals.clone(), PruneRule::Approximate).run();
+    out.solutions
+        .iter()
+        .map(|s| s.coverage().iter().map(|r| (r.process.0, r.seq)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three implementations agree — same occurrences, same
+    /// constituent intervals, same order — across random executions of
+    /// varying size, sparsity, and communication density.
+    #[test]
+    fn three_way_agreement(
+        (n, rounds, arity) in (2usize..9, 1usize..7, 2usize..4),
+        (skip, solo, noise) in (0u32..4, 0u32..4, 0u32..5),
+        seed in 0u64..10_000,
+    ) {
+        let exec = RandomExecution::builder(n)
+            .intervals_per_process(rounds)
+            .skip_prob(f64::from(skip) * 0.1)
+            .solo_prob(f64::from(solo) * 0.1)
+            .noise_msg_prob(f64::from(noise) * 0.1)
+            .seed(seed)
+            .build();
+        let h = hierarchical(&exec, arity);
+        let c = centralized(&exec);
+        let o = offline(&exec);
+        prop_assert_eq!(&h, &c, "hierarchical vs centralized");
+        prop_assert_eq!(&c, &o, "centralized vs offline oracle");
+    }
+
+    /// Agreement is tree-shape independent: two different hierarchy
+    /// shapes bracket the same centralized sequence.
+    #[test]
+    fn shape_independent_agreement(
+        n in 3usize..10,
+        rounds in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let exec = RandomExecution::builder(n)
+            .intervals_per_process(rounds)
+            .skip_prob(0.15)
+            .noise_msg_prob(0.3)
+            .seed(seed)
+            .build();
+        let flat = hierarchical(&exec, n.max(2)); // star: root sees all
+        let deep = hierarchical(&exec, 2); // binary: maximal depth
+        let c = centralized(&exec);
+        prop_assert_eq!(&flat, &c, "star hierarchy vs centralized");
+        prop_assert_eq!(&deep, &c, "binary hierarchy vs centralized");
+    }
+}
