@@ -9,6 +9,12 @@
 //!     --nodes 31 --degree 2 --rounds 8 --skip 0.1 --seed 7 \
 //!     --crash 5@200ms --crash 0@400ms --baseline --loss 0.1
 //! ```
+//!
+//! `--bench-json` instead runs the zero-copy data-plane measurement suite
+//! (Figure 5 workload shape, full 4-ary trees at n ∈ {64, 256, 1024}) and
+//! writes `BENCH_hotpath.json` at the repository root: overlap
+//! comparisons full vs incremental sweep, logical vs deep clock clones,
+//! and encoded bytes per interval dense vs delta.
 
 use ftscp_analysis::report::render_table;
 use ftscp_baselines::centralized::CentralizedDeployment;
@@ -54,9 +60,194 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftscp_sim [--nodes N] [--degree D] [--rounds P] [--skip F] \
          [--solo F] [--seed S] [--loss F] [--crash NODE@MSms]... \
-         [--topology tree|grid|geometric|smallworld|scalefree] [--baseline]"
+         [--topology tree|grid|geometric|smallworld|scalefree] [--baseline] \
+         | --bench-json"
     );
     std::process::exit(2);
+}
+
+/// One measured size point of the `--bench-json` suite.
+struct BenchPoint {
+    n: usize,
+    h: u32,
+    skip: f64,
+    solo: f64,
+    intervals: usize,
+    detections: usize,
+    ops_full: u64,
+    ops_incr: u64,
+    clones_logical: u64,
+    clones_deep: u64,
+    dense_bytes: usize,
+    standalone_bytes: usize,
+    stateful_bytes: usize,
+    elapsed_full_ms: u128,
+    elapsed_incr_ms: u128,
+}
+
+fn pct_saved(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        100.0 * (before.saturating_sub(after)) as f64 / before as f64
+    }
+}
+
+/// Runs one Figure 5 workload row (full `d = 4` tree, `p = 6`, seed 7)
+/// at one height and measures the data-plane hot paths before/after
+/// style: the full pairwise sweep and per-message dense encoding are what
+/// the seed implementation paid; the incremental sweep and delta codec
+/// are what this tree pays. The clean row (`skip = solo = 0`) makes the
+/// conjunction hold repeatedly (solution emission + Eq. (10) prune
+/// exercised); the sparse row (`skip = 0.3`, `solo = 0.2`) keeps heads
+/// resident longer, which is where the verdict cache earns its keep.
+fn bench_point(h: u32, skip: f64, solo: f64) -> BenchPoint {
+    use ftscp_core::{ConnCodec, HierarchicalDetector};
+    use ftscp_intervals::codec::{encoded_interval_delta_len, encoded_interval_len};
+    use ftscp_intervals::{Interval, SweepMode};
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    let n = 4usize.pow(h);
+    let exec = RandomExecution::builder(n)
+        .intervals_per_process(6)
+        .skip_prob(skip)
+        .solo_prob(solo)
+        .seed(7)
+        .build();
+    let intervals: Vec<Interval> = exec.intervals_interleaved().into_iter().cloned().collect();
+    let tree = SpanningTree::balanced_dary(n, 4);
+
+    // Before: every enqueue re-runs the full pairwise head sweep.
+    let t0 = Instant::now();
+    let mut full = HierarchicalDetector::new(&tree).with_sweep_mode(SweepMode::Full);
+    for iv in &intervals {
+        full.feed(iv.clone());
+    }
+    let elapsed_full_ms = t0.elapsed().as_millis();
+    let ops_full = full.ops().get();
+
+    // After: cached pairwise verdicts; also the run we charge the clone
+    // counters to (logical = what a Vec-backed clock layout would deep
+    // copy, deep = CoW breaks the pooled layout actually performs).
+    ftscp_vclock::reset_clone_stats();
+    let t0 = Instant::now();
+    let mut incr = HierarchicalDetector::new(&tree).with_sweep_mode(SweepMode::Incremental);
+    for iv in &intervals {
+        incr.feed(iv.clone());
+    }
+    let elapsed_incr_ms = t0.elapsed().as_millis();
+    let ops_incr = incr.ops().get();
+    let (clones_logical, clones_deep) = ftscp_vclock::clone_stats();
+
+    assert_eq!(
+        ftscp_core::faultcheck::detection_fingerprint(full.root_solutions()),
+        ftscp_core::faultcheck::detection_fingerprint(incr.root_solutions()),
+        "sweep modes diverged on the bench workload"
+    );
+    assert!(
+        ops_incr < ops_full,
+        "incremental sweep must do strictly fewer comparisons ({ops_incr} >= {ops_full})"
+    );
+
+    // Wire sizes over the same interval stream: legacy dense, delta with
+    // no base (retransmit/resync frames), and delta over per-source
+    // connection state (the live stream).
+    let mut dense_bytes = 0usize;
+    let mut standalone_bytes = 0usize;
+    let mut stateful_bytes = 0usize;
+    let mut conns: BTreeMap<u32, ConnCodec> = BTreeMap::new();
+    for iv in &intervals {
+        dense_bytes += encoded_interval_len(iv);
+        standalone_bytes += encoded_interval_delta_len(iv, None);
+        let codec = conns.entry(iv.source.0).or_default();
+        stateful_bytes += codec.stateful_len(iv);
+        codec.note_sent(iv);
+    }
+
+    BenchPoint {
+        n,
+        h,
+        skip,
+        solo,
+        intervals: intervals.len(),
+        detections: incr.root_solutions().len(),
+        ops_full,
+        ops_incr,
+        clones_logical,
+        clones_deep,
+        dense_bytes,
+        standalone_bytes,
+        stateful_bytes,
+        elapsed_full_ms,
+        elapsed_incr_ms,
+    }
+}
+
+fn run_bench_json() {
+    let mut points = Vec::new();
+    for &(skip, solo) in &[(0.0f64, 0.0f64), (0.3, 0.2)] {
+        for h in [3u32, 4, 5] {
+            eprintln!(
+                "measuring h = {h} (n = {}), skip = {skip}, solo = {solo} ...",
+                4usize.pow(h)
+            );
+            points.push(bench_point(h, skip, solo));
+        }
+    }
+    // Hand-formatted JSON: the build environment has no serde_json.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str(
+        "  \"workload\": {\"tree_degree\": 4, \"intervals_per_process\": 6, \"seed\": 7},\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let per_iv = |total: usize| total as f64 / p.intervals.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"h\": {}, \"skip_prob\": {:.1}, \"solo_prob\": {:.1}, \
+             \"intervals\": {}, \"detections\": {},\n",
+            p.n, p.h, p.skip, p.solo, p.intervals, p.detections
+        ));
+        out.push_str(&format!(
+            "     \"overlap_comparisons\": {{\"full_sweep\": {}, \"incremental\": {}, \"saved_pct\": {:.1}}},\n",
+            p.ops_full,
+            p.ops_incr,
+            pct_saved(p.ops_full, p.ops_incr)
+        ));
+        out.push_str(&format!(
+            "     \"clock_clones\": {{\"logical\": {}, \"deep_copies\": {}, \"elided_pct\": {:.1}}},\n",
+            p.clones_logical,
+            p.clones_deep,
+            pct_saved(p.clones_logical, p.clones_deep)
+        ));
+        out.push_str(&format!(
+            "     \"bytes_per_interval\": {{\"dense\": {:.1}, \"delta_standalone\": {:.1}, \"delta_stateful\": {:.1}}},\n",
+            per_iv(p.dense_bytes),
+            per_iv(p.standalone_bytes),
+            per_iv(p.stateful_bytes)
+        ));
+        out.push_str(&format!(
+            "     \"elapsed_ms\": {{\"full\": {}, \"incremental\": {}}}}}{}\n",
+            p.elapsed_full_ms,
+            p.elapsed_incr_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, &out).expect("write BENCH_hotpath.json");
+    print!("{out}");
+    eprintln!("written to {path}");
+
+    let last = points.last().expect("three points");
+    assert!(
+        last.stateful_bytes < last.dense_bytes && last.standalone_bytes < last.dense_bytes,
+        "delta encoding must beat dense at n = {}",
+        last.n
+    );
 }
 
 fn parse_args() -> Args {
@@ -94,6 +285,10 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--bench-json") {
+        run_bench_json();
+        return;
+    }
     let args = parse_args();
     let n = args.nodes;
 

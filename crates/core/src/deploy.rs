@@ -330,8 +330,14 @@ impl Deployment {
             }
             let tree_children: std::collections::BTreeSet<ProcessId> =
                 self.tree.children(aff).iter().map(|&c| pid(c)).collect();
-            let engine_children: std::collections::BTreeSet<ProcessId> =
-                self.sim.app(aff).engine().children().into_iter().collect();
+            let engine_children: std::collections::BTreeSet<ProcessId> = self
+                .sim
+                .app(aff)
+                .engine()
+                .children()
+                .iter()
+                .copied()
+                .collect();
             for &gone in engine_children.difference(&tree_children) {
                 if gone == failed {
                     continue; // already handled above

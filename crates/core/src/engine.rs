@@ -35,6 +35,10 @@ pub struct NodeEngine {
     bank: QueueBank,
     local_slot: SlotId,
     child_slots: BTreeMap<ProcessId, SlotId>,
+    /// Sorted mirror of `child_slots`' keys, kept so [`children`](Self::children)
+    /// can hand out a borrow instead of allocating per call (the engine hot
+    /// path queries it on every output flush).
+    children: Vec<ProcessId>,
     is_root: bool,
     /// Hierarchy level for tagging aggregations (leaf = 1).
     level: u32,
@@ -59,11 +63,13 @@ impl NodeEngine {
         for &c in children {
             child_slots.insert(c, bank.add_queue());
         }
+        let children: Vec<ProcessId> = child_slots.keys().copied().collect();
         NodeEngine {
             node,
             bank,
             local_slot,
             child_slots,
+            children,
             is_root,
             level: 1,
             solutions_found: 0,
@@ -76,6 +82,14 @@ impl NodeEngine {
     /// Installs a shared comparison counter (distributed cost accounting).
     pub fn with_ops_counter(mut self, ops: OpCounter) -> Self {
         self.bank = self.bank.with_ops_counter(ops);
+        self
+    }
+
+    /// Selects the queue bank's sweep strategy (see
+    /// [`ftscp_intervals::SweepMode`]); detection outcomes are identical
+    /// either way, only the comparison count differs.
+    pub fn with_sweep_mode(mut self, mode: ftscp_intervals::SweepMode) -> Self {
+        self.bank = self.bank.with_sweep_mode(mode);
         self
     }
 
@@ -111,9 +125,9 @@ impl NodeEngine {
         self.is_root = is_root;
     }
 
-    /// Current children.
-    pub fn children(&self) -> Vec<ProcessId> {
-        self.child_slots.keys().copied().collect()
+    /// Current children, sorted ascending. Borrowed — no allocation.
+    pub fn children(&self) -> &[ProcessId] {
+        &self.children
     }
 
     /// Number of solutions found in this node's subtree so far.
@@ -181,6 +195,7 @@ impl NodeEngine {
         let Some(slot) = self.child_slots.remove(&child) else {
             return Vec::new();
         };
+        self.children.retain(|&c| c != child);
         let solutions = self.bank.remove_queue(slot);
         self.emit(solutions)
     }
@@ -195,6 +210,8 @@ impl NodeEngine {
         );
         let slot = self.bank.add_queue();
         self.child_slots.insert(child, slot);
+        let at = self.children.partition_point(|&c| c < child);
+        self.children.insert(at, child);
     }
 
     /// True iff `child` currently has a queue here.
@@ -248,11 +265,14 @@ impl NodeEngine {
 
     /// Restores an engine from a [`checkpoint`](Self::checkpoint).
     pub fn restore(cp: EngineCheckpoint) -> NodeEngine {
+        let child_slots: BTreeMap<ProcessId, SlotId> = cp.child_slots.into_iter().collect();
+        let children: Vec<ProcessId> = child_slots.keys().copied().collect();
         NodeEngine {
             node: cp.node,
             bank: QueueBank::restore(cp.bank),
             local_slot: cp.local_slot,
-            child_slots: cp.child_slots.into_iter().collect(),
+            child_slots,
+            children,
             is_root: cp.is_root,
             level: cp.level,
             solutions_found: cp.solutions_found,

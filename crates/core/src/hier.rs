@@ -57,6 +57,20 @@ impl HierarchicalDetector {
         }
     }
 
+    /// Sets the head-overlap sweep mode of every engine (see
+    /// [`ftscp_intervals::SweepMode`]). Detection outcomes are identical
+    /// in both modes; only the number of clock comparisons billed to the
+    /// shared [`ops`](Self::ops) counter differs — this is the knob the
+    /// benchmark harness flips for its before/after comparison.
+    pub fn with_sweep_mode(mut self, mode: ftscp_intervals::SweepMode) -> Self {
+        for slot in self.engines.iter_mut() {
+            if let Some(e) = slot.take() {
+                *slot = Some(e.with_sweep_mode(mode));
+            }
+        }
+        self
+    }
+
     /// Enables per-node solution logging: every subtree-level solution is
     /// retained, queryable via [`solution_log_at`](Self::solution_log_at).
     /// This is the "finer-grained monitoring at the group level" interface
@@ -227,7 +241,7 @@ impl HierarchicalDetector {
                 .collect();
             // Remove engine children no longer in the tree.
             let mut removal_outputs = Vec::new();
-            for c in engine.children() {
+            for c in engine.children().to_vec() {
                 if !tree_children.contains(&c) {
                     removal_outputs.extend(engine.remove_child(c));
                 }
@@ -318,7 +332,7 @@ impl HierarchicalDetector {
         engine.set_root(false);
         engine.set_level(1);
         let mut outputs = Vec::new();
-        for child in engine.children() {
+        for child in engine.children().to_vec() {
             outputs.extend(engine.remove_child(child));
         }
         let last = engine.last_output().cloned();

@@ -50,6 +50,7 @@ pub mod report;
 pub use engine::{EngineOutput, NodeEngine};
 pub use hier::HierarchicalDetector;
 pub use multi::{MultiDetector, PredicateId};
+pub use protocol::{ConnCodec, DetectMsg};
 pub use report::GlobalDetection;
 
 use ftscp_simnet::NodeId;

@@ -2,7 +2,7 @@
 
 use crate::engine::{EngineCheckpoint, EngineOutput, NodeEngine};
 use crate::nid;
-use crate::protocol::DetectMsg;
+use crate::protocol::{ConnCodec, DetectMsg, INTERVAL_MSG_OVERHEAD};
 use crate::report::GlobalDetection;
 use ftscp_intervals::Interval;
 use ftscp_simnet::{Application, Ctx, NodeId, SimTime, TimerToken};
@@ -81,6 +81,12 @@ pub struct MonitorApp {
     /// Current retransmit backoff multiplier (1 = base period); doubles on
     /// each firing without ack progress up to the configured cap.
     retransmit_backoff: u32,
+    /// Delta-codec state of the uplink to the current parent: fresh
+    /// reports go out as stateful frames against the previous report's
+    /// `lo`; retransmissions and re-reports are standalone and leave this
+    /// untouched. Determines only the byte sizes charged to the simulated
+    /// network — the detection path carries structured messages.
+    uplink_codec: ConnCodec,
     /// Heartbeats observed: peer → last time.
     pub heartbeat_seen: BTreeMap<ProcessId, SimTime>,
     /// Last persisted checkpoint ("stable storage"): taken after every
@@ -114,6 +120,7 @@ impl MonitorApp {
             interval_msgs_sent: 0,
             unacked: BTreeMap::new(),
             retransmit_backoff: 1,
+            uplink_codec: ConnCodec::new(),
             heartbeat_seen: BTreeMap::new(),
             stable_checkpoint: None,
             checkpointing: false,
@@ -154,7 +161,7 @@ impl MonitorApp {
         engine.set_level(1);
         // Drop stale child queues; discard any released (stale) outputs —
         // they refer to children that now live elsewhere.
-        for child in engine.children() {
+        for child in engine.children().to_vec() {
             let _ = engine.remove_child(child);
         }
         self.engine = engine;
@@ -162,8 +169,9 @@ impl MonitorApp {
         self.reorder.clear();
         self.unacked.clear();
         self.retransmit_backoff = 1;
-        // Intervals that would have completed during the outage never
-        // happened (the node was down): drop them.
+        self.uplink_codec.reset(); // connection state is volatile
+                                   // Intervals that would have completed during the outage never
+                                   // happened (the node was down): drop them.
         while let Some(&(t, _)) = self.schedule.front() {
             if t <= ctx.now() {
                 self.schedule.pop_front();
@@ -219,7 +227,7 @@ impl MonitorApp {
     /// heard from at all are suspected once a full timeout has elapsed
     /// since the start of time.
     pub fn suspects(&self, now: SimTime, timeout: SimTime) -> Vec<ProcessId> {
-        let mut peers: Vec<ProcessId> = self.engine.children();
+        let mut peers: Vec<ProcessId> = self.engine.children().to_vec();
         if let Some(p) = self.parent {
             peers.push(p);
         }
@@ -245,13 +253,19 @@ impl MonitorApp {
                     }
                     if let Some(parent) = self.parent {
                         self.interval_msgs_sent += 1;
-                        ctx.send(
+                        // Fresh report: the next stateful frame of the
+                        // uplink stream, charged at its delta-coded size.
+                        let size =
+                            INTERVAL_MSG_OVERHEAD + self.uplink_codec.stateful_len(&interval);
+                        self.uplink_codec.note_sent(&interval);
+                        ctx.send_sized(
                             nid(parent),
                             DetectMsg::Interval {
                                 from: self.me,
                                 interval,
                                 resync: false,
                             },
+                            size,
                         );
                     }
                     // No parent (orphan root): the detection is recorded at
@@ -285,13 +299,18 @@ impl MonitorApp {
         let mut first = true;
         for interval in self.unacked.values().take(self.config.retransmit_burst) {
             self.interval_msgs_sent += 1;
-            ctx.send(
+            // Retransmissions are standalone frames (decodable by a parent
+            // that missed the originals) and do not advance the uplink
+            // codec — the live stream's base is unaffected by re-sends.
+            let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(interval);
+            ctx.send_sized(
                 nid(parent),
                 DetectMsg::Interval {
                     from: self.me,
                     interval: interval.clone(),
                     resync: resync_first && first,
                 },
+                size,
             );
             first = false;
         }
@@ -398,7 +417,7 @@ impl Application for MonitorApp {
             TIMER_HEARTBEAT => {
                 if let Some(period) = self.config.heartbeat_period {
                     let me = self.me;
-                    let mut peers: Vec<ProcessId> = self.engine.children();
+                    let mut peers: Vec<ProcessId> = self.engine.children().to_vec();
                     if let Some(p) = self.parent {
                         peers.push(p);
                     }
@@ -450,23 +469,29 @@ impl Application for MonitorApp {
             DetectMsg::SetParent { parent } => {
                 self.parent = parent;
                 self.engine.set_root(parent.is_none());
-                // A fresh parent gets a fresh backoff window.
+                // A fresh parent gets a fresh backoff window and a cold
+                // uplink codec (the old connection's base is meaningless
+                // to the new parent's decoder).
                 self.retransmit_backoff = 1;
+                self.uplink_codec.reset();
                 if self.config.retransmit_period.is_some() && !self.unacked.is_empty() {
                     // Reliability layer: the new parent needs everything
                     // the dead parent never acknowledged.
                     self.retransmit_unacked(ctx, true);
                 } else if let (Some(p), Some(last)) = (parent, self.engine.last_output().cloned()) {
                     // Re-report the latest output so the new parent's
-                    // fresh queue is seeded (§III-B).
+                    // fresh queue is seeded (§III-B). Standalone frame:
+                    // the new parent's decoder is cold.
                     self.interval_msgs_sent += 1;
-                    ctx.send(
+                    let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(&last);
+                    ctx.send_sized(
                         nid(p),
                         DetectMsg::Interval {
                             from: self.me,
                             interval: last,
                             resync: true,
                         },
+                        size,
                     );
                 }
             }

@@ -1,7 +1,12 @@
-//! Wire messages of the distributed monitor.
+//! Wire messages of the distributed monitor, and the per-connection
+//! delta codec that shrinks them.
 
+use bytes::{Bytes, BytesMut};
+use ftscp_intervals::codec::{
+    decode_interval_auto, encode_interval_delta, encoded_interval_delta_len, DecodeError,
+};
 use ftscp_intervals::Interval;
-use ftscp_vclock::ProcessId;
+use ftscp_vclock::{ProcessId, VectorClock};
 use serde::{Deserialize, Serialize};
 
 /// Messages exchanged by [`crate::monitor::MonitorApp`]s.
@@ -82,6 +87,125 @@ impl DetectMsg {
     }
 }
 
+/// Fixed per-message overhead of an interval report on the wire: the
+/// `from` process id (the same 8 bytes [`DetectMsg::wire_size`] charges).
+pub(crate) const INTERVAL_MSG_OVERHEAD: usize = 8;
+
+/// Per-connection delta codec for the child → parent interval stream.
+///
+/// A tree edge carries a FIFO stream of intervals whose `lo` clocks creep
+/// forward a few components at a time, so encoding each `lo` as varint
+/// deltas against the previous frame's `lo` collapses most components to a
+/// single `0x00` byte (see `ftscp_intervals::codec` for the frame format).
+/// `ConnCodec` holds that one piece of state — *base := `lo` of the last
+/// frame* — for each direction of a connection.
+///
+/// # Contract
+///
+/// * **FIFO**: stateful frames must be decoded in the order they were
+///   encoded. The monitor's reliability layer already guarantees in-order
+///   delivery to the engine; the codec rides the same stream.
+/// * **Resync**: a [`standalone`](Self::encode_standalone) frame depends
+///   on no prior state and may be decoded cold. Both halves reset their
+///   base to that frame's `lo`, so retransmissions and re-reports after a
+///   tree repair double as codec resync points.
+/// * Frames are self-describing (a base flag distinguishes stateful from
+///   standalone), so a decoder never misapplies a base — at worst it
+///   reports a missing one.
+#[derive(Clone, Debug, Default)]
+pub struct ConnCodec {
+    /// `lo` of the last frame encoded or decoded on this connection.
+    base: Option<VectorClock>,
+}
+
+impl ConnCodec {
+    /// A fresh codec with no base (the next frame must be standalone, or
+    /// a stateful encode will fall back to standalone automatically).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the base, as when a connection is torn down and re-opened
+    /// (e.g. the monitor is re-parented).
+    pub fn reset(&mut self) {
+        self.base = None;
+    }
+
+    /// The base the next stateful frame would be encoded against, if the
+    /// connection has one of the right width for `iv`.
+    fn usable_base(&self, iv: &Interval) -> Option<&VectorClock> {
+        self.base.as_ref().filter(|b| b.len() == iv.lo.len())
+    }
+
+    /// Encodes `iv` as the next frame of the stream and advances the base.
+    /// Uses the stateful (smaller) form when a base of matching width is
+    /// available, and the standalone form otherwise.
+    pub fn encode(&mut self, iv: &Interval, buf: &mut BytesMut) {
+        encode_interval_delta(iv, self.usable_base(iv), buf);
+        self.note_sent(iv);
+    }
+
+    /// Encodes `iv` standalone (no dependence on connection state) and
+    /// resets the base to `iv.lo`. Use for retransmissions and re-reports
+    /// to a new parent.
+    pub fn encode_standalone(&mut self, iv: &Interval, buf: &mut BytesMut) {
+        encode_interval_delta(iv, None, buf);
+        self.note_sent(iv);
+    }
+
+    /// Decodes the next frame of the stream (either form, including the
+    /// legacy dense format) and advances the base to its `lo`.
+    pub fn decode(&mut self, buf: &mut Bytes) -> Result<Interval, DecodeError> {
+        let iv = decode_interval_auto(buf, self.base.as_ref())?;
+        self.note_sent(&iv);
+        Ok(iv)
+    }
+
+    /// Size `iv` would occupy as the next stateful frame. Pure query: does
+    /// not advance the base — pair with [`note_sent`](Self::note_sent)
+    /// when only sizes are needed (the simulator ships structured messages
+    /// and charges bytes separately).
+    pub fn stateful_len(&self, iv: &Interval) -> usize {
+        encoded_interval_delta_len(iv, self.usable_base(iv))
+    }
+
+    /// Size of `iv` as a standalone frame; independent of any connection.
+    pub fn standalone_len(iv: &Interval) -> usize {
+        encoded_interval_delta_len(iv, None)
+    }
+
+    /// Advances the base as if `iv` had just been sent (or received) on
+    /// this connection.
+    pub fn note_sent(&mut self, iv: &Interval) {
+        self.base = Some(iv.lo.clone());
+    }
+
+    /// Compact wire size of a whole [`DetectMsg`] as the next frame on
+    /// this connection: interval payloads get the delta codec (stateful
+    /// here; use [`standalone_msg_size`](Self::standalone_msg_size) for
+    /// retransmissions), everything else its fixed [`DetectMsg::wire_size`].
+    /// Pure query, like [`stateful_len`](Self::stateful_len).
+    pub fn msg_size(&self, msg: &DetectMsg) -> usize {
+        match msg {
+            DetectMsg::Interval { interval, .. } => {
+                INTERVAL_MSG_OVERHEAD + self.stateful_len(interval)
+            }
+            other => other.wire_size(),
+        }
+    }
+
+    /// Compact wire size of `msg` as a standalone frame (retransmission /
+    /// resync); connection-independent.
+    pub fn standalone_msg_size(msg: &DetectMsg) -> usize {
+        match msg {
+            DetectMsg::Interval { interval, .. } => {
+                INTERVAL_MSG_OVERHEAD + Self::standalone_len(interval)
+            }
+            other => other.wire_size(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +225,104 @@ mod tests {
         };
         assert!(wide.wire_size() > narrow.wire_size());
         assert!(DetectMsg::Heartbeat { from: ProcessId(0) }.wire_size() < narrow.wire_size());
+    }
+
+    fn iv(seq: u64, lo: Vec<u32>, hi: Vec<u32>) -> Interval {
+        Interval::local(
+            ProcessId(3),
+            seq,
+            VectorClock::from_components(lo),
+            VectorClock::from_components(hi),
+        )
+    }
+
+    #[test]
+    fn conn_codec_fifo_roundtrip() {
+        let stream = vec![
+            iv(0, vec![1, 0, 0, 0], vec![4, 2, 0, 0]),
+            iv(1, vec![5, 2, 0, 0], vec![7, 2, 1, 0]),
+            iv(2, vec![8, 2, 1, 0], vec![9, 3, 1, 1]),
+        ];
+        let mut tx = ConnCodec::new();
+        let mut rx = ConnCodec::new();
+        for (i, original) in stream.iter().enumerate() {
+            let mut buf = BytesMut::new();
+            let predicted = tx.stateful_len(original);
+            tx.encode(original, &mut buf);
+            assert_eq!(buf.len(), predicted, "size query matches encoder");
+            let mut frame = buf.freeze();
+            let decoded = rx.decode(&mut frame).expect("frame decodes");
+            assert_eq!(&decoded, original, "frame {i} roundtrips");
+        }
+    }
+
+    #[test]
+    fn stateful_frames_beat_standalone_on_slow_moving_streams() {
+        let a = iv(0, vec![900, 800, 700, 600], vec![905, 800, 700, 600]);
+        let b = iv(1, vec![906, 800, 701, 600], vec![910, 801, 701, 600]);
+        let mut tx = ConnCodec::new();
+        tx.note_sent(&a);
+        assert!(
+            tx.stateful_len(&b) < ConnCodec::standalone_len(&b),
+            "deltas against the previous lo are smaller than against zero"
+        );
+    }
+
+    #[test]
+    fn standalone_frame_resyncs_a_cold_decoder() {
+        let a = iv(0, vec![3, 1], vec![4, 1]);
+        let b = iv(1, vec![5, 1], vec![6, 2]);
+        let mut tx = ConnCodec::new();
+        let mut buf = BytesMut::new();
+        tx.encode(&a, &mut buf); // consumed by a decoder that later died
+        let mut buf = BytesMut::new();
+        tx.encode_standalone(&b, &mut buf);
+        // A brand-new decoder (no base) handles the standalone frame...
+        let mut rx = ConnCodec::new();
+        let decoded = rx.decode(&mut buf.clone().freeze()).expect("cold decode");
+        assert_eq!(decoded, b);
+        // ...and is synced for the next stateful frame.
+        let c = iv(2, vec![6, 2], vec![7, 3]);
+        let mut buf = BytesMut::new();
+        tx.encode(&c, &mut buf);
+        assert_eq!(rx.decode(&mut buf.freeze()).expect("warm decode"), c);
+    }
+
+    #[test]
+    fn stateful_decode_without_base_is_an_error_not_garbage() {
+        let a = iv(0, vec![3, 1], vec![4, 1]);
+        let b = iv(1, vec![5, 1], vec![6, 2]);
+        let mut tx = ConnCodec::new();
+        let mut buf = BytesMut::new();
+        tx.encode(&a, &mut buf); // establishes tx base; frame dropped
+        let mut buf = BytesMut::new();
+        tx.encode(&b, &mut buf); // stateful frame
+        let mut rx = ConnCodec::new(); // never saw the first frame
+        assert!(rx.decode(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn codec_decodes_legacy_dense_frames() {
+        let a = iv(0, vec![3, 1], vec![4, 1]);
+        let bytes = ftscp_intervals::codec::interval_to_bytes(&a);
+        let mut rx = ConnCodec::new();
+        assert_eq!(rx.decode(&mut bytes.clone()).expect("dense decode"), a);
+    }
+
+    #[test]
+    fn compact_msg_sizes_track_the_payload_codec() {
+        let msg = DetectMsg::Interval {
+            from: ProcessId(3),
+            interval: iv(0, vec![1, 0, 0, 0], vec![4, 2, 0, 0]),
+            resync: false,
+        };
+        let codec = ConnCodec::new();
+        assert!(codec.msg_size(&msg) < msg.wire_size());
+        assert_eq!(
+            ConnCodec::standalone_msg_size(&DetectMsg::PromoteRoot),
+            DetectMsg::PromoteRoot.wire_size(),
+            "non-interval traffic is unaffected"
+        );
     }
 
     #[test]

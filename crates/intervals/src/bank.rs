@@ -26,6 +26,7 @@ use crate::solution::Solution;
 use ftscp_vclock::{order, OpCounter};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::collections::HashMap;
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
@@ -61,6 +62,38 @@ pub struct BankStats {
     pub peak_resident: usize,
     /// Peak length of any single queue.
     pub peak_queue_len: usize,
+    /// Head-pair verdicts answered from the incremental cache (each hit
+    /// skips two vector-clock comparisons).
+    pub cache_hits: u64,
+    /// Head-pair verdicts computed and cached.
+    pub cache_misses: u64,
+}
+
+/// How the pairwise sweep (lines (1)–(17)) evaluates head-overlap checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Recompute both directed comparisons on every visit — the original
+    /// behavior, kept for before/after benchmarking and differential tests.
+    Full,
+    /// Cache the pairwise verdict per (queue pair, head generations): a
+    /// head-pair whose heads are unchanged since its last evaluation is
+    /// answered from the cache with zero comparison cost. Deletion and
+    /// emission decisions are bit-identical to [`SweepMode::Full`] — only
+    /// the operation count changes.
+    #[default]
+    Incremental,
+}
+
+/// Cached directed-overlap verdict for the heads of one queue pair,
+/// valid only while both head generations match.
+#[derive(Clone, Copy, Debug)]
+struct PairVerdict {
+    gen_lo: u64,
+    gen_hi: u64,
+    /// `min(head(lo_slot)) < max(head(hi_slot))`.
+    lo_lt: bool,
+    /// `min(head(hi_slot)) < max(head(lo_slot))`.
+    hi_lt: bool,
 }
 
 /// Serializable image of one queue (see [`QueueBank::snapshot`]).
@@ -213,6 +246,16 @@ pub struct QueueBank {
     emitted: HashSet<(u32, u64, bool)>,
     /// Decision trace (None = disabled).
     trace: Option<Vec<BankEvent>>,
+    /// Sweep evaluation strategy.
+    mode: SweepMode,
+    /// Per-slot head generation: bumped whenever a slot's head changes
+    /// (new head enqueued into an empty queue, head popped, slot reused).
+    /// Indexed like `slots`; survives slot removal so stale cache entries
+    /// can never match a reused slot id.
+    head_gens: Vec<u64>,
+    /// Pairwise verdict cache keyed by `(min_idx, max_idx)`. Transient:
+    /// never snapshotted, rebuilt on demand after a restore.
+    pair_cache: HashMap<(usize, usize), PairVerdict>,
 }
 
 impl QueueBank {
@@ -226,7 +269,23 @@ impl QueueBank {
             solution_counter: 0,
             emitted: HashSet::new(),
             trace: None,
+            mode: SweepMode::default(),
+            head_gens: vec![0; queues],
+            pair_cache: HashMap::new(),
         }
+    }
+
+    /// Selects the sweep evaluation strategy; returns `self` for
+    /// builder-style use. Detection outcomes are identical either way —
+    /// only the comparison count differs.
+    pub fn with_sweep_mode(mut self, mode: SweepMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active sweep evaluation strategy.
+    pub fn sweep_mode(&self) -> SweepMode {
+        self.mode
     }
 
     /// Enables decision tracing; events accumulate until drained with
@@ -304,12 +363,14 @@ impl QueueBank {
             if self.slots[i].is_none() {
                 self.slots[i] = Some(QueueSlot::default());
                 self.active += 1;
+                self.head_gens[i] += 1;
                 let slot = SlotId(i as u32);
                 self.record(BankEvent::QueueAdded { slot });
                 return slot;
             }
         }
         self.slots.push(Some(QueueSlot::default()));
+        self.head_gens.push(0);
         self.active += 1;
         let slot = SlotId((self.slots.len() - 1) as u32);
         self.record(BankEvent::QueueAdded { slot });
@@ -328,6 +389,9 @@ impl QueueBank {
             return Vec::new();
         }
         self.active -= 1;
+        let idx = slot.0 as usize;
+        self.head_gens[idx] += 1;
+        self.pair_cache.retain(|&(a, b), _| a != idx && b != idx);
         self.record(BankEvent::QueueRemoved { slot });
         if self.active == 0 {
             return Vec::new();
@@ -373,6 +437,7 @@ impl QueueBank {
         self.record(BankEvent::Enqueued { slot, id });
 
         if new_len == 1 {
+            self.head_gens[idx] += 1;
             self.run_detection(BTreeSet::from([idx]))
         } else {
             Vec::new()
@@ -389,6 +454,7 @@ impl QueueBank {
         let mut vanished = false;
         if let Some(q) = self.slots[idx].as_mut() {
             if let Some(iv) = q.items.pop_front() {
+                self.head_gens[idx] += 1;
                 popped = Some(trace_id(&iv));
                 q.discarded += 1;
                 if swept {
@@ -467,6 +533,7 @@ impl QueueBank {
             })
             .collect();
         let active = slots.iter().filter(|s| s.is_some()).count();
+        let gens = slots.len();
         QueueBank {
             slots,
             active,
@@ -475,7 +542,60 @@ impl QueueBank {
             solution_counter: snapshot.solution_counter,
             emitted: snapshot.emitted.into_iter().collect(),
             trace: None,
+            mode: SweepMode::default(),
+            // The verdict cache is transient: start cold with fresh
+            // generations and let it warm back up.
+            head_gens: vec![0; gens],
+            pair_cache: HashMap::new(),
         }
+    }
+
+    /// Returns `(min(x) < max(y), min(y) < max(x))` for `x = head(a)`,
+    /// `y = head(b)`, or `None` if either queue lacks a head.
+    ///
+    /// In [`SweepMode::Incremental`] the answer is served from the pair
+    /// cache when both head generations are unchanged since the verdict
+    /// was computed — billing zero comparison units — and computed (and
+    /// cached) otherwise. [`SweepMode::Full`] always recomputes, exactly
+    /// like the pre-cache sweep.
+    fn head_verdict(&mut self, a: usize, b: usize) -> Option<(bool, bool)> {
+        let x = self.slots.get(a)?.as_ref()?.items.front()?;
+        let y = self.slots.get(b)?.as_ref()?.items.front()?;
+        if matches!(self.mode, SweepMode::Full) {
+            let x_lt = order::strictly_less_counted(&x.lo, &y.hi, &self.ops);
+            let y_lt = order::strictly_less_counted(&y.lo, &x.hi, &self.ops);
+            return Some((x_lt, y_lt));
+        }
+        let key = (a.min(b), a.max(b));
+        let (gen_lo, gen_hi) = (self.head_gens[key.0], self.head_gens[key.1]);
+        if let Some(v) = self.pair_cache.get(&key) {
+            if v.gen_lo == gen_lo && v.gen_hi == gen_hi {
+                self.stats.cache_hits += 1;
+                return Some(if a == key.0 {
+                    (v.lo_lt, v.hi_lt)
+                } else {
+                    (v.hi_lt, v.lo_lt)
+                });
+            }
+        }
+        let (p, q) = if a == key.0 { (x, y) } else { (y, x) };
+        let lo_lt = order::strictly_less_counted(&p.lo, &q.hi, &self.ops);
+        let hi_lt = order::strictly_less_counted(&q.lo, &p.hi, &self.ops);
+        self.pair_cache.insert(
+            key,
+            PairVerdict {
+                gen_lo,
+                gen_hi,
+                lo_lt,
+                hi_lt,
+            },
+        );
+        self.stats.cache_misses += 1;
+        Some(if a == key.0 {
+            (lo_lt, hi_lt)
+        } else {
+            (hi_lt, lo_lt)
+        })
     }
 
     /// The main loop: pairwise sweep to fixpoint, then solution emission and
@@ -489,27 +609,35 @@ impl QueueBank {
                 let mut culprits: std::collections::BTreeMap<usize, TraceId> =
                     std::collections::BTreeMap::new();
                 for &a in &updated {
-                    let Some(x) = self.slots[a].as_ref().and_then(|q| q.items.front()) else {
+                    let Some(x_id) = self.slots[a]
+                        .as_ref()
+                        .and_then(|q| q.items.front())
+                        .map(trace_id)
+                    else {
                         continue;
                     };
-                    let x_id = trace_id(x);
                     for b in 0..self.slots.len() {
                         if b == a {
                             continue;
                         }
-                        let Some(y) = self.slots[b].as_ref().and_then(|q| q.items.front()) else {
+                        let Some((x_lt, y_lt)) = self.head_verdict(a, b) else {
                             continue;
                         };
                         // Line (12): min(x) ≮ max(y) ⇒ y can never join a
                         // solution with x or any successor of x.
-                        if !order::strictly_less_counted(&x.lo, &y.hi, &self.ops) {
+                        if !x_lt {
                             new_updated.insert(b);
                             culprits.entry(b).or_insert(x_id);
                         }
                         // Line (14): min(y) ≮ max(x) ⇒ x is doomed likewise.
-                        if !order::strictly_less_counted(&y.lo, &x.hi, &self.ops) {
+                        if !y_lt {
                             new_updated.insert(a);
-                            culprits.entry(a).or_insert(trace_id(y));
+                            let y_id = self.slots[b]
+                                .as_ref()
+                                .and_then(|q| q.items.front())
+                                .map(trace_id)
+                                .expect("head_verdict saw a head");
+                            culprits.entry(a).or_insert(y_id);
                         }
                     }
                 }
@@ -875,6 +1003,112 @@ mod tests {
         let sols = bank.enqueue(SlotId(1), iv(1, 0, &[6, 5], &[7, 8]));
         assert_eq!(sols.len(), 1, "stale seed did not block");
         assert_eq!(bank.queue_count(), 2);
+    }
+
+    /// Drives the same interval sequence through a Full and an Incremental
+    /// bank, returning `(full, incremental)` with their emitted solutions.
+    fn run_both(
+        queues: usize,
+        feed: impl Fn(&mut QueueBank) -> Vec<Solution>,
+    ) -> ((QueueBank, Vec<Solution>), (QueueBank, Vec<Solution>)) {
+        let mut full = QueueBank::new(queues).with_sweep_mode(SweepMode::Full);
+        let mut incr = QueueBank::new(queues).with_sweep_mode(SweepMode::Incremental);
+        let sols_full = feed(&mut full);
+        let sols_incr = feed(&mut incr);
+        ((full, sols_full), (incr, sols_incr))
+    }
+
+    #[test]
+    fn incremental_sweep_matches_full_and_costs_strictly_less() {
+        // A workload with multi-queue sweep rounds and a queue removal —
+        // the situations where the seed recomputes verdicts it already
+        // knows. 4 queues, interleaved arrivals, then a failure.
+        let feed = |bank: &mut QueueBank| {
+            let mut sols = Vec::new();
+            let seqs: [(u32, u64, [u32; 4], [u32; 4]); 10] = [
+                (0, 0, [1, 0, 0, 0], [9, 8, 8, 8]),
+                (1, 0, [2, 1, 0, 0], [8, 9, 8, 8]),
+                (2, 0, [2, 1, 1, 0], [8, 8, 9, 8]),
+                (3, 0, [2, 1, 1, 1], [3, 3, 3, 4]),
+                (3, 1, [4, 4, 4, 5], [6, 6, 6, 7]),
+                (0, 1, [10, 9, 9, 9], [12, 11, 11, 11]),
+                (1, 1, [11, 10, 10, 10], [11, 12, 11, 11]),
+                (2, 1, [11, 10, 11, 10], [11, 11, 12, 11]),
+                (3, 2, [11, 10, 11, 11], [11, 11, 11, 12]),
+                (1, 2, [13, 13, 13, 13], [14, 14, 14, 14]),
+            ];
+            for (p, seq, lo, hi) in seqs {
+                sols.extend(bank.enqueue(SlotId(p), iv(p, seq, &lo, &hi)));
+            }
+            sols.extend(bank.remove_queue(SlotId(3)));
+            sols
+        };
+        let ((full, sols_full), (incr, sols_incr)) = run_both(4, feed);
+
+        // Identical outcomes, bit for bit.
+        assert_eq!(sols_full.len(), sols_incr.len());
+        for (a, b) in sols_full.iter().zip(&sols_incr) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.intervals, b.intervals);
+        }
+        let fs = full.stats();
+        let is = incr.stats();
+        assert_eq!(
+            (fs.swept, fs.pruned, fs.solutions),
+            (is.swept, is.pruned, is.solutions)
+        );
+
+        // Strictly fewer comparison units, with real cache traffic.
+        assert!(is.cache_hits > 0, "workload must exercise the cache");
+        assert!(
+            incr.ops().get() < full.ops().get(),
+            "incremental ({}) must beat full ({})",
+            incr.ops().get(),
+            full.ops().get()
+        );
+        assert_eq!(fs.cache_hits, 0, "full mode never touches the cache");
+    }
+
+    #[test]
+    fn queue_removal_rerun_is_answered_from_cache() {
+        // After a failure, remove_queue re-marks every non-empty queue as
+        // updated; the surviving heads were already compared against each
+        // other, so the re-run should be pure cache hits.
+        let mut bank = QueueBank::new(3);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[4, 3, 0]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[3, 4, 0]));
+        let hits_before = bank.stats().cache_hits;
+        let misses_before = bank.stats().cache_misses;
+        let sols = bank.remove_queue(SlotId(2));
+        assert_eq!(sols.len(), 1, "removal unblocks the solution");
+        assert!(bank.stats().cache_hits > hits_before);
+        assert_eq!(
+            bank.stats().cache_misses,
+            misses_before,
+            "surviving pair verdict must come from the cache, not recomparison"
+        );
+    }
+
+    #[test]
+    fn slot_reuse_invalidates_cached_verdicts() {
+        // Queue 2 stays empty throughout so no solutions fire and the
+        // cached pair (0,1) verdict is the only state in play.
+        let mut bank = QueueBank::new(3);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[9, 8, 0]));
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[8, 9, 0]));
+        let misses_after_warmup = bank.stats().cache_misses;
+        assert!(misses_after_warmup > 0, "pair (0,1) verdict cached");
+        // Remove slot 1 and reuse it for a different child.
+        bank.remove_queue(SlotId(1));
+        let s = bank.add_queue();
+        assert_eq!(s, SlotId(1));
+        // The reused slot's new head must be freshly compared, not served
+        // the stale (0, old-1) verdict.
+        bank.enqueue(s, iv(7, 0, &[3, 2, 0], &[7, 7, 0]));
+        assert!(
+            bank.stats().cache_misses > misses_after_warmup,
+            "reused slot's new head must recompute the pair verdict"
+        );
     }
 
     #[test]

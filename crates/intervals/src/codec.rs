@@ -1,21 +1,70 @@
 //! Binary wire codec for intervals and timestamps.
 //!
 //! The simulator's byte accounting — and any real transport a library
-//! user brings — needs an actual serialized form, not an estimate. The
-//! format is little-endian, length-prefixed, and self-contained:
+//! user brings — needs an actual serialized form, not an estimate. Two
+//! formats share one decoder, discriminated by the *top byte of the
+//! leading little-endian `u32`* (the version byte):
+//!
+//! * **Dense** (version byte `0x00`, the legacy format): little-endian,
+//!   length-prefixed, self-contained. Every capture written before the
+//!   delta codec existed starts with a length or process id below
+//!   [`MAX_PROCESSES`] `< 2^24`, so its top byte is always zero.
+//! * **Delta** (version bytes [`CLOCK_DELTA_TAG`]/[`INTERVAL_DELTA_TAG`]):
+//!   varint + zigzag component deltas. Clock components are encoded
+//!   against a *base* clock — either the all-zeros clock (standalone
+//!   frames, decodable in isolation) or a caller-supplied base such as the
+//!   previous interval's `lo` on the same connection (stateful frames, see
+//!   `core::protocol::ConnCodec`). An interval's `hi` is always encoded
+//!   against its own `lo`, which is nearly free because an interval's
+//!   bounds differ in only a few components.
 //!
 //! ```text
-//! VectorClock := u32 len, len × u32 components
-//! IntervalRef := u32 process, u64 seq
-//! Interval    := u32 source, u64 seq, u8 kind, [u32 level if aggregated],
-//!                VectorClock lo, VectorClock hi,
-//!                u32 coverage_len, coverage_len × IntervalRef
+//! Dense:
+//!   VectorClock := u32 len, len × u32 components
+//!   IntervalRef := u32 process, u64 seq
+//!   Interval    := u32 source, u64 seq, u8 kind, [u32 level if aggregated],
+//!                  VectorClock lo, VectorClock hi,
+//!                  u32 coverage_len, coverage_len × IntervalRef
+//!
+//! Delta:
+//!   DClock      := u32 (0xD1<<24 | len), u8 base_flag,
+//!                  len × varint(zigzag(c[i] − base[i]))
+//!   DInterval   := u32 (0xD2<<24 | source), varint seq,
+//!                  u8 kind, [varint level if aggregated],
+//!                  DClock lo (against caller base),
+//!                  len × varint(zigzag(hi[i] − lo[i])),
+//!                  varint coverage_len, coverage_len × (varint process, varint seq)
 //! ```
+//!
+//! `base_flag` is `0` for a standalone frame (base = zero clock) and `1`
+//! for a stateful frame (the decoder must be handed the same base the
+//! encoder used, or decoding fails instead of silently corrupting).
+//!
+//! All length prefixes are validated against [`MAX_PROCESSES`] /
+//! [`MAX_COVERAGE`] *before* any allocation, so a corrupt or hostile
+//! header cannot trigger a multi-GB `Vec::with_capacity`.
 
 use crate::interval::{Interval, IntervalKind, IntervalRef};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ftscp_vclock::{ProcessId, VectorClock};
 use std::fmt;
+
+/// Upper bound on the number of processes a decoded clock may cover.
+///
+/// Anything larger is rejected as hostile input before allocation. The
+/// bound also guarantees every dense length/process header fits in 24
+/// bits, which is what frees the top byte for format versioning.
+pub const MAX_PROCESSES: usize = 1 << 20;
+
+/// Upper bound on the number of coverage entries a decoded interval may
+/// carry. Same rationale as [`MAX_PROCESSES`].
+pub const MAX_COVERAGE: usize = 1 << 20;
+
+/// Version byte of a delta-encoded clock frame.
+pub const CLOCK_DELTA_TAG: u8 = 0xD1;
+
+/// Version byte of a delta-encoded interval frame.
+pub const INTERVAL_DELTA_TAG: u8 = 0xD2;
 
 /// Decoding error: the buffer did not contain a well-formed value.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,20 +78,83 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Encodes a vector clock into `buf`.
-pub fn encode_clock(clock: &VectorClock, buf: &mut BytesMut) {
-    buf.put_u32_le(clock.len() as u32);
-    for i in 0..clock.len() {
-        buf.put_u32_le(clock.get(i));
+// ---------------------------------------------------------------------------
+// varint / zigzag primitives
+// ---------------------------------------------------------------------------
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
     }
 }
 
-/// Decodes a vector clock from `buf`.
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(DecodeError("varint truncated"));
+        }
+        let byte = buf.get_u8();
+        let bits = u64::from(byte & 0x7f);
+        if shift == 63 && bits > 1 {
+            return Err(DecodeError("varint overflows u64"));
+        }
+        v |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError("varint too long"))
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Dense format (legacy, version byte 0x00)
+// ---------------------------------------------------------------------------
+
+/// Encodes a vector clock into `buf` in the dense format.
+pub fn encode_clock(clock: &VectorClock, buf: &mut BytesMut) {
+    debug_assert!(
+        clock.len() <= MAX_PROCESSES,
+        "clock wider than MAX_PROCESSES"
+    );
+    buf.put_u32_le(clock.len() as u32);
+    for &c in clock.components() {
+        buf.put_u32_le(c);
+    }
+}
+
+/// Decodes a dense vector clock from `buf`.
 pub fn decode_clock(buf: &mut Bytes) -> Result<VectorClock, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError("clock length header truncated"));
     }
     let len = buf.get_u32_le() as usize;
+    if len > MAX_PROCESSES {
+        return Err(DecodeError("clock length exceeds MAX_PROCESSES"));
+    }
     if buf.remaining() < 4 * len {
         return Err(DecodeError("clock components truncated"));
     }
@@ -53,7 +165,7 @@ pub fn decode_clock(buf: &mut Bytes) -> Result<VectorClock, DecodeError> {
     Ok(VectorClock::from_components(components))
 }
 
-/// Encodes an interval into `buf`.
+/// Encodes an interval into `buf` in the dense format.
 pub fn encode_interval(iv: &Interval, buf: &mut BytesMut) {
     buf.put_u32_le(iv.source.0);
     buf.put_u64_le(iv.seq);
@@ -73,7 +185,7 @@ pub fn encode_interval(iv: &Interval, buf: &mut BytesMut) {
     }
 }
 
-/// Decodes an interval from `buf`.
+/// Decodes a dense interval from `buf`.
 pub fn decode_interval(buf: &mut Bytes) -> Result<Interval, DecodeError> {
     if buf.remaining() < 13 {
         return Err(DecodeError("interval header truncated"));
@@ -98,6 +210,9 @@ pub fn decode_interval(buf: &mut Bytes) -> Result<Interval, DecodeError> {
         return Err(DecodeError("coverage length truncated"));
     }
     let cov_len = buf.get_u32_le() as usize;
+    if cov_len > MAX_COVERAGE {
+        return Err(DecodeError("coverage length exceeds MAX_COVERAGE"));
+    }
     if buf.remaining() < 12 * cov_len {
         return Err(DecodeError("coverage entries truncated"));
     }
@@ -117,26 +232,268 @@ pub fn decode_interval(buf: &mut Bytes) -> Result<Interval, DecodeError> {
     })
 }
 
-/// Convenience: encode an interval into a fresh buffer.
-pub fn interval_to_bytes(iv: &Interval) -> Bytes {
-    let mut buf = BytesMut::with_capacity(iv.wire_size());
-    encode_interval(iv, &mut buf);
-    buf.freeze()
-}
-
-/// Convenience: decode an interval from a standalone buffer.
-pub fn interval_from_bytes(bytes: &Bytes) -> Result<Interval, DecodeError> {
-    let mut buf = bytes.clone();
-    decode_interval(&mut buf)
-}
-
-/// Exact encoded size of an interval in this codec.
+/// Exact encoded size of an interval in the dense codec.
 pub fn encoded_interval_len(iv: &Interval) -> usize {
     let kind = match iv.kind {
         IntervalKind::Local => 1,
         IntervalKind::Aggregated { .. } => 5,
     };
     4 + 8 + kind + (4 + 4 * iv.lo.len()) + (4 + 4 * iv.hi.len()) + 4 + 12 * iv.coverage.len()
+}
+
+// ---------------------------------------------------------------------------
+// Delta format (version bytes 0xD1 / 0xD2)
+// ---------------------------------------------------------------------------
+
+fn delta_components<'a>(
+    clock: &'a VectorClock,
+    base: Option<&'a VectorClock>,
+) -> impl Iterator<Item = u64> + 'a {
+    (0..clock.len()).map(move |i| {
+        let b = base.map_or(0, |b| b.get(i));
+        zigzag(i64::from(clock.get(i)) - i64::from(b))
+    })
+}
+
+/// Encodes a clock as a delta frame. With `base = None` the frame is
+/// standalone (deltas against the zero clock); with `base = Some(b)` the
+/// decoder must supply the same `b`.
+pub fn encode_clock_delta(clock: &VectorClock, base: Option<&VectorClock>, buf: &mut BytesMut) {
+    debug_assert!(
+        clock.len() <= MAX_PROCESSES,
+        "clock wider than MAX_PROCESSES"
+    );
+    if let Some(b) = base {
+        debug_assert_eq!(b.len(), clock.len(), "delta base width mismatch");
+    }
+    buf.put_u32_le((u32::from(CLOCK_DELTA_TAG) << 24) | clock.len() as u32);
+    buf.put_u8(u8::from(base.is_some()));
+    for d in delta_components(clock, base) {
+        put_varint(buf, d);
+    }
+}
+
+/// Decodes a delta clock frame. `base` must match what the encoder used:
+/// a stateful frame (`base_flag = 1`) without a base is an error, and a
+/// standalone frame ignores any base passed.
+pub fn decode_clock_delta(
+    buf: &mut Bytes,
+    base: Option<&VectorClock>,
+) -> Result<VectorClock, DecodeError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeError("delta clock header truncated"));
+    }
+    let header = buf.get_u32_le();
+    if (header >> 24) as u8 != CLOCK_DELTA_TAG {
+        return Err(DecodeError("not a delta clock frame"));
+    }
+    let len = (header & 0x00ff_ffff) as usize;
+    if len > MAX_PROCESSES {
+        return Err(DecodeError("clock length exceeds MAX_PROCESSES"));
+    }
+    let base = match buf.get_u8() {
+        0 => None,
+        1 => Some(base.ok_or(DecodeError("stateful delta frame but no base supplied"))?),
+        _ => return Err(DecodeError("unknown delta base flag")),
+    };
+    if let Some(b) = base {
+        if b.len() != len {
+            return Err(DecodeError("delta base width mismatch"));
+        }
+    }
+    let mut components = Vec::with_capacity(len);
+    for i in 0..len {
+        let d = unzigzag(get_varint(buf)?);
+        let b = base.map_or(0, |b| b.get(i));
+        let v = i64::from(b) + d;
+        let v = u32::try_from(v).map_err(|_| DecodeError("delta component out of range"))?;
+        components.push(v);
+    }
+    Ok(VectorClock::from_components(components))
+}
+
+/// Encoded size of a clock delta frame.
+pub fn encoded_clock_delta_len(clock: &VectorClock, base: Option<&VectorClock>) -> usize {
+    5 + delta_components(clock, base).map(varint_len).sum::<usize>()
+}
+
+/// Encodes an interval as a delta frame. `base` (if any) is the base for
+/// `lo`; `hi` is always encoded against `lo`.
+///
+/// # Panics
+///
+/// Panics if `source` does not fit in 24 bits (callers stay below
+/// [`MAX_PROCESSES`]) or if `lo` and `hi` have different widths.
+pub fn encode_interval_delta(iv: &Interval, base: Option<&VectorClock>, buf: &mut BytesMut) {
+    assert!(iv.source.0 < 1 << 24, "source id exceeds 24 bits");
+    assert_eq!(iv.lo.len(), iv.hi.len(), "interval bound width mismatch");
+    buf.put_u32_le((u32::from(INTERVAL_DELTA_TAG) << 24) | iv.source.0);
+    put_varint(buf, iv.seq);
+    match iv.kind {
+        IntervalKind::Local => buf.put_u8(0),
+        IntervalKind::Aggregated { level } => {
+            buf.put_u8(1);
+            put_varint(buf, u64::from(level));
+        }
+    }
+    encode_clock_delta(&iv.lo, base, buf);
+    for d in delta_components(&iv.hi, Some(&iv.lo)) {
+        put_varint(buf, d);
+    }
+    put_varint(buf, iv.coverage.len() as u64);
+    for r in &iv.coverage {
+        put_varint(buf, u64::from(r.process.0));
+        put_varint(buf, r.seq);
+    }
+}
+
+/// Decodes a delta interval frame (see [`encode_interval_delta`] for the
+/// base contract).
+pub fn decode_interval_delta(
+    buf: &mut Bytes,
+    base: Option<&VectorClock>,
+) -> Result<Interval, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError("interval header truncated"));
+    }
+    let header = buf.get_u32_le();
+    if (header >> 24) as u8 != INTERVAL_DELTA_TAG {
+        return Err(DecodeError("not a delta interval frame"));
+    }
+    let source = ProcessId(header & 0x00ff_ffff);
+    let seq = get_varint(buf)?;
+    if !buf.has_remaining() {
+        return Err(DecodeError("interval kind truncated"));
+    }
+    let kind = match buf.get_u8() {
+        0 => IntervalKind::Local,
+        1 => {
+            let level = get_varint(buf)?;
+            let level =
+                u32::try_from(level).map_err(|_| DecodeError("aggregation level out of range"))?;
+            IntervalKind::Aggregated { level }
+        }
+        _ => return Err(DecodeError("unknown interval kind tag")),
+    };
+    let lo = decode_clock_delta(buf, base)?;
+    let mut hi_components = Vec::with_capacity(lo.len());
+    for i in 0..lo.len() {
+        let d = unzigzag(get_varint(buf)?);
+        let v = i64::from(lo.get(i)) + d;
+        let v = u32::try_from(v).map_err(|_| DecodeError("delta component out of range"))?;
+        hi_components.push(v);
+    }
+    let hi = VectorClock::from_components(hi_components);
+    let cov_len = get_varint(buf)? as usize;
+    if cov_len > MAX_COVERAGE {
+        return Err(DecodeError("coverage length exceeds MAX_COVERAGE"));
+    }
+    // Each entry is at least two varint bytes — cheap sanity bound before
+    // the allocation.
+    if buf.remaining() < 2 * cov_len {
+        return Err(DecodeError("coverage entries truncated"));
+    }
+    let mut coverage = Vec::with_capacity(cov_len);
+    for _ in 0..cov_len {
+        let process = get_varint(buf)?;
+        let process =
+            u32::try_from(process).map_err(|_| DecodeError("coverage process out of range"))?;
+        let seq = get_varint(buf)?;
+        coverage.push(IntervalRef {
+            process: ProcessId(process),
+            seq,
+        });
+    }
+    Ok(Interval {
+        source,
+        seq,
+        lo,
+        hi,
+        kind,
+        coverage,
+    })
+}
+
+/// Exact encoded size of an interval in the delta codec for a given base.
+pub fn encoded_interval_delta_len(iv: &Interval, base: Option<&VectorClock>) -> usize {
+    let kind = match iv.kind {
+        IntervalKind::Local => 1,
+        IntervalKind::Aggregated { level } => 1 + varint_len(u64::from(level)),
+    };
+    4 + varint_len(iv.seq)
+        + kind
+        + encoded_clock_delta_len(&iv.lo, base)
+        + delta_components(&iv.hi, Some(&iv.lo))
+            .map(varint_len)
+            .sum::<usize>()
+        + varint_len(iv.coverage.len() as u64)
+        + iv.coverage
+            .iter()
+            .map(|r| varint_len(u64::from(r.process.0)) + varint_len(r.seq))
+            .sum::<usize>()
+}
+
+// ---------------------------------------------------------------------------
+// Version-dispatching decoders
+// ---------------------------------------------------------------------------
+
+fn peek_version_byte(buf: &Bytes) -> Result<u8, DecodeError> {
+    let s = buf.as_slice();
+    if s.len() < 4 {
+        return Err(DecodeError("frame header truncated"));
+    }
+    Ok(s[3]) // most-significant byte of the leading little-endian u32
+}
+
+/// Decodes a clock in either format, dispatching on the version byte.
+pub fn decode_clock_auto(
+    buf: &mut Bytes,
+    base: Option<&VectorClock>,
+) -> Result<VectorClock, DecodeError> {
+    match peek_version_byte(buf)? {
+        0 => decode_clock(buf),
+        CLOCK_DELTA_TAG => decode_clock_delta(buf, base),
+        _ => Err(DecodeError("unknown clock format version")),
+    }
+}
+
+/// Decodes an interval in either format, dispatching on the version byte.
+/// Dense frames ignore `base`; stateful delta frames require it.
+pub fn decode_interval_auto(
+    buf: &mut Bytes,
+    base: Option<&VectorClock>,
+) -> Result<Interval, DecodeError> {
+    match peek_version_byte(buf)? {
+        0 => decode_interval(buf),
+        INTERVAL_DELTA_TAG => decode_interval_delta(buf, base),
+        _ => Err(DecodeError("unknown interval format version")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers
+// ---------------------------------------------------------------------------
+
+/// Convenience: encode an interval into a fresh buffer (dense format).
+pub fn interval_to_bytes(iv: &Interval) -> Bytes {
+    let mut buf = BytesMut::with_capacity(iv.wire_size());
+    encode_interval(iv, &mut buf);
+    buf.freeze()
+}
+
+/// Convenience: decode an interval from a standalone buffer (either
+/// format; stateful delta frames cannot appear standalone).
+pub fn interval_from_bytes(bytes: &Bytes) -> Result<Interval, DecodeError> {
+    let mut buf = bytes.clone();
+    decode_interval_auto(&mut buf, None)
+}
+
+/// Convenience: encode an interval into a fresh buffer as a standalone
+/// delta frame (zero base — decodable with no connection state).
+pub fn interval_to_bytes_delta(iv: &Interval) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_interval_delta_len(iv, None));
+    encode_interval_delta(iv, None, &mut buf);
+    buf.freeze()
 }
 
 #[cfg(test)]
@@ -230,5 +587,280 @@ mod tests {
         assert_eq!(decode_interval(&mut bytes).unwrap(), a);
         assert_eq!(decode_interval(&mut bytes).unwrap(), b);
         assert!(!bytes.has_remaining());
+    }
+
+    // --- hostile length prefixes -------------------------------------------
+
+    #[test]
+    fn hostile_clock_length_rejected_before_allocation() {
+        // Top byte 0x00 so it looks dense, but the claimed length is far
+        // above MAX_PROCESSES. Must fail fast, not allocate gigabytes.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&((MAX_PROCESSES as u32 + 1).to_le_bytes()));
+        let mut buf = Bytes::from(raw);
+        assert_eq!(
+            decode_clock(&mut buf),
+            Err(DecodeError("clock length exceeds MAX_PROCESSES"))
+        );
+    }
+
+    #[test]
+    fn hostile_coverage_length_rejected() {
+        let iv = sample_local();
+        let mut raw = interval_to_bytes(&iv).to_vec();
+        // coverage length precedes the single self-coverage entry (12 bytes)
+        let at = raw.len() - 12 - 4;
+        raw[at..at + 4].copy_from_slice(&0x00ff_ffff_u32.to_le_bytes());
+        let mut buf = Bytes::from(raw);
+        assert_eq!(
+            decode_interval(&mut buf),
+            Err(DecodeError("coverage length exceeds MAX_COVERAGE"))
+        );
+    }
+
+    #[test]
+    fn hostile_delta_clock_length_rejected() {
+        let mut raw = Vec::new();
+        let header = (u32::from(CLOCK_DELTA_TAG) << 24) | 0x00ff_ffff;
+        raw.extend_from_slice(&header.to_le_bytes());
+        raw.push(0); // base flag
+        let mut buf = Bytes::from(raw);
+        assert_eq!(
+            decode_clock_delta(&mut buf, None),
+            Err(DecodeError("clock length exceeds MAX_PROCESSES"))
+        );
+    }
+
+    // --- varint primitives -------------------------------------------------
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v));
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::from(u32::MAX),
+            -i64::from(u32::MAX),
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // small magnitudes stay small
+        assert!(varint_len(zigzag(-1)) == 1);
+        assert!(varint_len(zigzag(1)) == 1);
+    }
+
+    #[test]
+    fn varint_truncation_and_overflow_rejected() {
+        let mut truncated = Bytes::from(vec![0x80, 0x80]);
+        assert_eq!(
+            get_varint(&mut truncated),
+            Err(DecodeError("varint truncated"))
+        );
+        let mut too_big = Bytes::from(vec![
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ]);
+        assert_eq!(
+            get_varint(&mut too_big),
+            Err(DecodeError("varint overflows u64"))
+        );
+    }
+
+    // --- delta clock -------------------------------------------------------
+
+    #[test]
+    fn delta_clock_standalone_round_trip() {
+        let c = VectorClock::from_components(vec![0, u32::MAX, 17, 3]);
+        let mut buf = BytesMut::new();
+        encode_clock_delta(&c, None, &mut buf);
+        assert_eq!(buf.len(), encoded_clock_delta_len(&c, None));
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_clock_delta(&mut bytes, None).unwrap(), c);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn delta_clock_stateful_round_trip() {
+        let base = VectorClock::from_components(vec![100, 200, 300]);
+        let c = VectorClock::from_components(vec![101, 199, 300]);
+        let mut buf = BytesMut::new();
+        encode_clock_delta(&c, Some(&base), &mut buf);
+        let stateful_len = buf.len();
+        assert_eq!(stateful_len, encoded_clock_delta_len(&c, Some(&base)));
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_clock_delta(&mut bytes, Some(&base)).unwrap(), c);
+
+        // near-identical clocks encode to ~1 byte per component
+        assert_eq!(stateful_len, 5 + 3);
+        // the same clock standalone is bigger (multi-byte varints)
+        assert!(encoded_clock_delta_len(&c, None) > stateful_len);
+    }
+
+    #[test]
+    fn stateful_frame_without_base_errors() {
+        let base = VectorClock::from_components(vec![5, 5]);
+        let c = VectorClock::from_components(vec![6, 5]);
+        let mut buf = BytesMut::new();
+        encode_clock_delta(&c, Some(&base), &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_clock_delta(&mut bytes, None),
+            Err(DecodeError("stateful delta frame but no base supplied"))
+        );
+    }
+
+    #[test]
+    fn wrong_base_width_errors() {
+        let base = VectorClock::from_components(vec![5, 5]);
+        let c = VectorClock::from_components(vec![6, 5]);
+        let mut buf = BytesMut::new();
+        encode_clock_delta(&c, Some(&base), &mut buf);
+        let mut bytes = buf.freeze();
+        let narrow = VectorClock::from_components(vec![5]);
+        assert_eq!(
+            decode_clock_delta(&mut bytes, Some(&narrow)),
+            Err(DecodeError("delta base width mismatch"))
+        );
+    }
+
+    #[test]
+    fn negative_component_after_base_rejected() {
+        // encoder base says 10, decoder base says 0 with flag 0 is
+        // impossible (flag mismatch caught), but a hostile frame can carry
+        // a delta driving the component negative.
+        let mut raw = Vec::new();
+        let header = (u32::from(CLOCK_DELTA_TAG) << 24) | 1;
+        raw.extend_from_slice(&header.to_le_bytes());
+        raw.push(0); // standalone, base = 0
+        raw.push(0x01); // zigzag(-1)
+        let mut buf = Bytes::from(raw);
+        assert_eq!(
+            decode_clock_delta(&mut buf, None),
+            Err(DecodeError("delta component out of range"))
+        );
+    }
+
+    // --- delta interval ----------------------------------------------------
+
+    #[test]
+    fn delta_interval_standalone_round_trip() {
+        for iv in [sample_local(), sample_aggregated()] {
+            let bytes = interval_to_bytes_delta(&iv);
+            assert_eq!(bytes.len(), encoded_interval_delta_len(&iv, None));
+            let mut buf = bytes.clone();
+            assert_eq!(decode_interval_delta(&mut buf, None).unwrap(), iv);
+            assert!(!buf.has_remaining());
+        }
+    }
+
+    #[test]
+    fn delta_interval_stateful_round_trip() {
+        let iv = sample_local();
+        let base = VectorClock::from_components(vec![1, 2, 3, 3]);
+        let mut buf = BytesMut::new();
+        encode_interval_delta(&iv, Some(&base), &mut buf);
+        assert_eq!(buf.len(), encoded_interval_delta_len(&iv, Some(&base)));
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_interval_delta(&mut bytes, Some(&base)).unwrap(), iv);
+    }
+
+    #[test]
+    fn auto_decoder_handles_both_formats() {
+        let iv = sample_aggregated();
+        let dense = interval_to_bytes(&iv);
+        let delta = interval_to_bytes_delta(&iv);
+        assert_eq!(interval_from_bytes(&dense).unwrap(), iv);
+        assert_eq!(interval_from_bytes(&delta).unwrap(), iv);
+
+        let mut unknown = Bytes::from(vec![0, 0, 0, 0x42, 0, 0, 0, 0]);
+        assert_eq!(
+            decode_interval_auto(&mut unknown, None),
+            Err(DecodeError("unknown interval format version"))
+        );
+    }
+
+    #[test]
+    fn auto_decoder_clock_both_formats() {
+        let c = VectorClock::from_components(vec![9, 0, 4]);
+        let mut dense = BytesMut::new();
+        encode_clock(&c, &mut dense);
+        let mut delta = BytesMut::new();
+        encode_clock_delta(&c, None, &mut delta);
+        assert_eq!(decode_clock_auto(&mut dense.freeze(), None).unwrap(), c);
+        assert_eq!(decode_clock_auto(&mut delta.freeze(), None).unwrap(), c);
+    }
+
+    #[test]
+    fn delta_beats_dense_at_scale() {
+        // A realistic wide interval: n = 1024, bounds close to each other,
+        // sent against a recent per-connection base.
+        let n = 1024;
+        let mut lo = vec![0u32; n];
+        for (i, c) in lo.iter_mut().enumerate() {
+            *c = (i as u32 % 7) * 100;
+        }
+        let mut hi = lo.clone();
+        for c in hi.iter_mut().take(16) {
+            *c += 3; // the interval advanced a handful of components
+        }
+        let mut base = lo.clone();
+        for c in base.iter_mut().take(8) {
+            *c = c.saturating_sub(2); // connection base slightly behind
+        }
+        let iv = Interval::local(
+            ProcessId(5),
+            40,
+            VectorClock::from_components(lo),
+            VectorClock::from_components(hi),
+        );
+        let base = VectorClock::from_components(base);
+        let dense = encoded_interval_len(&iv);
+        let standalone = encoded_interval_delta_len(&iv, None);
+        let stateful = encoded_interval_delta_len(&iv, Some(&base));
+        assert!(
+            standalone < dense,
+            "standalone delta ({standalone}) should beat dense ({dense})"
+        );
+        assert!(
+            stateful < standalone,
+            "stateful delta ({stateful}) should beat standalone ({standalone})"
+        );
+    }
+
+    #[test]
+    fn delta_interval_truncations_error_cleanly() {
+        let iv = sample_aggregated();
+        let bytes = interval_to_bytes_delta(&iv);
+        for cut in 0..bytes.len() {
+            let mut truncated = bytes.clone();
+            truncated.truncate(cut);
+            let mut buf = truncated;
+            assert!(
+                decode_interval_delta(&mut buf, None).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 }

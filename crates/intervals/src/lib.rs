@@ -44,7 +44,8 @@ pub mod theorems;
 
 pub use aggregate::{aggregate, aggregate_checked, AggregateError};
 pub use bank::{
-    render_trace, BankEvent, BankSnapshot, BankStats, QueueBank, SlotId, SlotSnapshot, TraceId,
+    render_trace, BankEvent, BankSnapshot, BankStats, QueueBank, SlotId, SlotSnapshot, SweepMode,
+    TraceId,
 };
 pub use interval::{Interval, IntervalKind, IntervalRef};
 pub use overlap::{definitely_holds, overlap, possibly_holds};

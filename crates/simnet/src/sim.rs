@@ -82,7 +82,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     n: usize,
     neighbors: &'a [NodeId],
-    outbox: Vec<(NodeId, M)>,
+    outbox: Vec<(NodeId, M, Option<usize>)>,
     timers: Vec<(SimTime, TimerToken)>,
 }
 
@@ -109,9 +109,19 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Sends `msg` to `dst`; the network routes it over the shortest alive
-    /// path and delivers it after per-hop random delays.
+    /// path and delivers it after per-hop random delays. Byte accounting
+    /// charges [`Application::msg_size`].
     pub fn send(&mut self, dst: NodeId, msg: M) {
-        self.outbox.push((dst, msg));
+        self.outbox.push((dst, msg, None));
+    }
+
+    /// Like [`send`](Self::send), but charges `size` bytes instead of
+    /// [`Application::msg_size`]. For applications whose on-the-wire
+    /// encoding is stateful (e.g. a per-connection delta codec), where the
+    /// size of a message depends on what the connection already carried —
+    /// a static size function cannot express that.
+    pub fn send_sized(&mut self, dst: NodeId, msg: M, size: usize) {
+        self.outbox.push((dst, msg, Some(size)));
     }
 
     /// Arms a one-shot timer `delay` from now.
@@ -130,6 +140,9 @@ pub mod testkit {
     pub struct Effects<M> {
         /// Messages the app sent: `(dst, msg)`.
         pub sends: Vec<(NodeId, M)>,
+        /// Per-send byte-size overrides, index-aligned with `sends`:
+        /// `Some(bytes)` for [`Ctx::send_sized`], `None` for [`Ctx::send`].
+        pub send_sizes: Vec<Option<usize>>,
         /// Timers armed: `(fire_at, token)`.
         pub timers: Vec<(SimTime, TimerToken)>,
     }
@@ -153,8 +166,14 @@ pub mod testkit {
             timers: Vec::new(),
         };
         f(&mut ctx);
+        let (sends, send_sizes) = ctx
+            .outbox
+            .into_iter()
+            .map(|(dst, msg, size)| ((dst, msg), size))
+            .unzip();
         Effects {
-            sends: ctx.outbox,
+            sends,
+            send_sizes,
             timers: ctx.timers,
         }
     }
@@ -444,8 +463,8 @@ impl<A: Application> Simulation<A> {
         let apps = &mut self.apps;
         f(&mut apps[node.index()], &mut ctx);
         let Ctx { outbox, timers, .. } = ctx;
-        for (dst, msg) in outbox {
-            self.route_and_schedule(node, dst, msg);
+        for (dst, msg, size) in outbox {
+            self.route_and_schedule(node, dst, msg, size);
         }
         for (at, token) in timers {
             // Fault-injected clock skew stretches/shrinks this node's timer
@@ -455,8 +474,14 @@ impl<A: Application> Simulation<A> {
         }
     }
 
-    fn route_and_schedule(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
-        let size = A::msg_size(&msg);
+    fn route_and_schedule(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        msg: A::Msg,
+        size_override: Option<usize>,
+    ) {
+        let size = size_override.unwrap_or_else(|| A::msg_size(&msg));
         if src == dst {
             // Loopback: no channel occupied.
             self.metrics.record_send(src, 0, size);
@@ -672,6 +697,40 @@ mod tests {
         assert_eq!(sim.metrics().sends, 1);
         assert_eq!(sim.metrics().hop_messages, 3, "3 hops end-to-end");
         assert_eq!(sim.metrics().hop_bytes, 30);
+    }
+
+    #[test]
+    fn send_sized_overrides_byte_accounting() {
+        struct SizedSender;
+        impl Application for SizedSender {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(1), ()); // charged msg_size() = 10
+                    ctx.send_sized(NodeId(1), (), 3); // charged 3
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn msg_size(_: &()) -> usize {
+                10
+            }
+        }
+        let topo = Topology::line(2);
+        let mut sim = Simulation::new(topo, vec![SizedSender, SizedSender], SimConfig::default());
+        sim.run_to_quiescence(1000);
+        assert_eq!(sim.metrics().sends, 2);
+        assert_eq!(sim.metrics().hop_bytes, 13, "10 default + 3 override");
+        assert_eq!(sim.metrics().per_node[0].bytes_sent, 13);
+    }
+
+    #[test]
+    fn testkit_surfaces_size_overrides() {
+        let effects = testkit::drive::<u32>(NodeId(0), SimTime(0), 2, &[], |ctx| {
+            ctx.send(NodeId(1), 7);
+            ctx.send_sized(NodeId(1), 8, 42);
+        });
+        assert_eq!(effects.sends, vec![(NodeId(1), 7), (NodeId(1), 8)]);
+        assert_eq!(effects.send_sizes, vec![None, Some(42)]);
     }
 
     #[test]

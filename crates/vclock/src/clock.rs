@@ -1,5 +1,6 @@
 //! The [`VectorClock`] type and its update rules.
 
+use crate::pool::ClockHandle;
 use crate::process::ProcessId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -13,6 +14,12 @@ use std::ops::Index;
 /// *cut* identifier (produced by the component-wise
 /// [`join`](VectorClock::join) / [`meet`](VectorClock::meet) used by interval
 /// aggregation, Eq. (5)/(6) of the paper).
+///
+/// Storage is a shared, immutable [`ClockHandle`]: cloning a clock is an
+/// `O(1)` refcount bump and mutation is copy-on-write, so passing timestamps
+/// between queues, codecs, and aggregation stages no longer costs an `O(n)`
+/// allocation per move. The API below is unchanged from the dense
+/// representation — callers see a plain vector clock.
 ///
 /// # Examples
 ///
@@ -29,14 +36,14 @@ use std::ops::Index;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VectorClock {
-    components: Box<[u32]>,
+    components: ClockHandle,
 }
 
 impl VectorClock {
     /// A zero clock for an `n`-process system.
     pub fn new(n: usize) -> Self {
         VectorClock {
-            components: vec![0; n].into_boxed_slice(),
+            components: ClockHandle::zeros(n),
         }
     }
 
@@ -44,8 +51,27 @@ impl VectorClock {
     /// worked examples from the paper (Figure 3).
     pub fn from_components(components: impl Into<Vec<u32>>) -> Self {
         VectorClock {
-            components: components.into().into_boxed_slice(),
+            components: ClockHandle::new(components.into()),
         }
+    }
+
+    /// Builds a clock around an existing (possibly pooled) handle.
+    pub fn from_handle(handle: ClockHandle) -> Self {
+        VectorClock { components: handle }
+    }
+
+    /// The underlying shared storage handle.
+    #[inline]
+    pub fn handle(&self) -> &ClockHandle {
+        &self.components
+    }
+
+    /// True iff `self` and `other` share the same allocation (e.g. both came
+    /// from the same [`crate::ClockPool`] intern or one is a clone of the
+    /// other). Equality of contents in `O(1)`.
+    #[inline]
+    pub fn shares_storage_with(&self, other: &VectorClock) -> bool {
+        self.components.ptr_eq(&other.components)
     }
 
     /// Number of processes this clock covers.
@@ -63,25 +89,25 @@ impl VectorClock {
     /// Read component `i`.
     #[inline]
     pub fn get(&self, i: usize) -> u32 {
-        self.components[i]
+        self.components.as_slice()[i]
     }
 
     /// Overwrite component `i`.
     #[inline]
     pub fn set(&mut self, i: usize, v: u32) {
-        self.components[i] = v;
+        self.components.make_mut()[i] = v;
     }
 
     /// Raw view of the components.
     #[inline]
     pub fn components(&self) -> &[u32] {
-        &self.components
+        self.components.as_slice()
     }
 
     /// Rule 1: advance the local component before an internal event.
     #[inline]
     pub fn tick(&mut self, me: ProcessId) {
-        self.components[me.index()] += 1;
+        self.components.make_mut()[me.index()] += 1;
     }
 
     /// Ticks and returns a copy — the timestamp to piggyback on a message
@@ -101,7 +127,22 @@ impl VectorClock {
     /// Component-wise maximum with `other`, in place (no tick).
     pub fn merge(&mut self, other: &VectorClock) {
         debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
-        for (c, o) in self.components.iter_mut().zip(other.components.iter()) {
+        // Merging with an aliased or dominated clock is a no-op; skip the
+        // copy-on-write break in that case.
+        if self.components.ptr_eq(&other.components) {
+            return;
+        }
+        let other_slice = other.components.as_slice();
+        if self
+            .components
+            .as_slice()
+            .iter()
+            .zip(other_slice.iter())
+            .all(|(c, o)| c >= o)
+        {
+            return;
+        }
+        for (c, o) in self.components.make_mut().iter_mut().zip(other_slice) {
             *c = (*c).max(*o);
         }
     }
@@ -111,13 +152,17 @@ impl VectorClock {
     /// aggregation function ⊓ (Eq. (5)).
     pub fn join(&self, other: &VectorClock) -> VectorClock {
         debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        if self.components.ptr_eq(&other.components) {
+            return self.clone();
+        }
         VectorClock {
-            components: self
-                .components
-                .iter()
-                .zip(other.components.iter())
-                .map(|(a, b)| *a.max(b))
-                .collect(),
+            components: ClockHandle::new(
+                self.components()
+                    .iter()
+                    .zip(other.components())
+                    .map(|(a, b)| *a.max(b))
+                    .collect(),
+            ),
         }
     }
 
@@ -126,13 +171,17 @@ impl VectorClock {
     /// aggregation function ⊓ (Eq. (6)).
     pub fn meet(&self, other: &VectorClock) -> VectorClock {
         debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        if self.components.ptr_eq(&other.components) {
+            return self.clone();
+        }
         VectorClock {
-            components: self
-                .components
-                .iter()
-                .zip(other.components.iter())
-                .map(|(a, b)| *a.min(b))
-                .collect(),
+            components: ClockHandle::new(
+                self.components()
+                    .iter()
+                    .zip(other.components())
+                    .map(|(a, b)| *a.min(b))
+                    .collect(),
+            ),
         }
     }
 
@@ -162,10 +211,12 @@ impl VectorClock {
     /// Non-strict component order: every component `≤`.
     pub fn less_eq(&self, other: &VectorClock) -> bool {
         debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
-        self.components
-            .iter()
-            .zip(other.components.iter())
-            .all(|(a, b)| a <= b)
+        self.components.ptr_eq(&other.components)
+            || self
+                .components()
+                .iter()
+                .zip(other.components())
+                .all(|(a, b)| a <= b)
     }
 
     /// True iff the two clocks are incomparable (concurrent events).
@@ -173,8 +224,10 @@ impl VectorClock {
         crate::order::concurrent(self, other)
     }
 
-    /// Approximate serialized size in bytes, used by the simulator's
-    /// message-size accounting.
+    /// Approximate serialized size in bytes under the *dense* wire format
+    /// (`u32` length prefix + one `u32` per component), used by the
+    /// simulator's message-size accounting when no per-connection delta
+    /// state is available.
     pub fn wire_size(&self) -> usize {
         4 * self.len() + 4
     }
@@ -184,14 +237,14 @@ impl Index<usize> for VectorClock {
     type Output = u32;
 
     fn index(&self, i: usize) -> &u32 {
-        &self.components[i]
+        &self.components.as_slice()[i]
     }
 }
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, c) in self.components.iter().enumerate() {
+        for (i, c) in self.components().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -297,5 +350,42 @@ mod tests {
     #[test]
     fn display_is_angle_bracketed() {
         assert_eq!(vc(&[1, 2]).to_string(), "⟨1,2⟩");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = vc(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutation_after_clone_is_copy_on_write() {
+        let a = vc(&[1, 2, 3]);
+        let mut b = a.clone();
+        b.tick(ProcessId(0));
+        assert_eq!(a.components(), &[1, 2, 3], "original untouched");
+        assert_eq!(b.components(), &[2, 2, 3]);
+        assert!(!a.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn merge_with_dominated_clock_keeps_storage() {
+        let big = vc(&[5, 5]);
+        let small = vc(&[1, 2]);
+        let before = big.clone();
+        let mut merged = big.clone();
+        merged.merge(&small);
+        assert!(merged.shares_storage_with(&before), "no-op merge is free");
+        assert_eq!(merged.components(), &[5, 5]);
+    }
+
+    #[test]
+    fn join_meet_of_aliased_clock_is_identity() {
+        let a = vc(&[3, 1]);
+        let b = a.clone();
+        assert!(a.join(&b).shares_storage_with(&a));
+        assert!(a.meet(&b).shares_storage_with(&a));
     }
 }

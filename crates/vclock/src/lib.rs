@@ -42,9 +42,11 @@
 pub mod clock;
 pub mod counter;
 pub mod order;
+pub mod pool;
 pub mod process;
 
 pub use clock::VectorClock;
 pub use counter::OpCounter;
 pub use order::{concurrent, dominates, strictly_less, ClockOrd};
+pub use pool::{clone_stats, reset_clone_stats, ClockHandle, ClockPool};
 pub use process::ProcessId;

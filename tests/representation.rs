@@ -1,0 +1,122 @@
+//! Representation invariance: changing how intervals are *represented* —
+//! dense vs delta wire encoding, full vs incremental sweep scheduling —
+//! must not change *what is detected*. Each property pushes a random
+//! execution through two representations and demands byte-identical
+//! [`detection_fingerprint`]s and identical solution sequences.
+
+use bytes::BytesMut;
+use ftscp::core::faultcheck::detection_fingerprint;
+use ftscp::core::{ConnCodec, HierarchicalDetector};
+use ftscp::intervals::codec::{interval_from_bytes, interval_to_bytes};
+use ftscp::intervals::{Interval, SweepMode};
+use ftscp::tree::SpanningTree;
+use ftscp::workload::{Execution, RandomExecution};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Coverages = Vec<Vec<(u32, u64)>>;
+
+/// Runs the hierarchical detector over `intervals` and returns
+/// (fingerprint, solution coverages, clock-comparison ops billed).
+fn detect(exec: &Execution, intervals: &[Interval], mode: SweepMode) -> (u64, Coverages, u64) {
+    let tree = SpanningTree::balanced_dary(exec.n, 3);
+    let mut det = HierarchicalDetector::new(&tree).with_sweep_mode(mode);
+    for iv in intervals {
+        det.feed(iv.clone());
+    }
+    let coverages = det
+        .root_solutions()
+        .iter()
+        .map(|d| d.coverage.iter().map(|r| (r.process.0, r.seq)).collect())
+        .collect();
+    (
+        detection_fingerprint(det.root_solutions()),
+        coverages,
+        det.ops().get(),
+    )
+}
+
+fn random_exec(n: usize, rounds: usize, skip: u32, noise: u32, seed: u64) -> Execution {
+    RandomExecution::builder(n)
+        .intervals_per_process(rounds)
+        .skip_prob(f64::from(skip) * 0.1)
+        .noise_msg_prob(f64::from(noise) * 0.1)
+        .seed(seed)
+        .build()
+}
+
+/// Round-trips every interval through the legacy dense codec.
+fn via_dense(intervals: &[Interval]) -> Vec<Interval> {
+    intervals
+        .iter()
+        .map(|iv| interval_from_bytes(&interval_to_bytes(iv)).expect("dense roundtrip"))
+        .collect()
+}
+
+/// Round-trips every interval through per-source [`ConnCodec`] streams —
+/// one encoder/decoder pair per originating process, frames decoded in
+/// FIFO order, exactly as a tree edge would carry them. Returns the
+/// decoded stream and the total encoded payload bytes.
+fn via_delta_streams(intervals: &[Interval]) -> (Vec<Interval>, usize) {
+    let mut conns: BTreeMap<u32, (ConnCodec, ConnCodec)> = BTreeMap::new();
+    let mut total = 0usize;
+    let decoded = intervals
+        .iter()
+        .map(|iv| {
+            let (tx, rx) = conns.entry(iv.source.0).or_default();
+            let mut buf = BytesMut::new();
+            tx.encode(iv, &mut buf);
+            total += buf.len();
+            rx.decode(&mut buf.freeze()).expect("delta roundtrip")
+        })
+        .collect();
+    (decoded, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense and delta wire codecs are interchangeable: the decoded
+    /// streams are identical interval-for-interval, and detection over
+    /// either stream produces byte-identical fingerprints and the same
+    /// solution sequence.
+    #[test]
+    fn codec_choice_never_changes_detection(
+        (n, rounds) in (2usize..9, 1usize..7),
+        (skip, noise) in (0u32..4, 0u32..5),
+        seed in 0u64..10_000,
+    ) {
+        let exec = random_exec(n, rounds, skip, noise, seed);
+        let original: Vec<Interval> = exec.intervals_interleaved().into_iter().cloned().collect();
+        let dense = via_dense(&original);
+        let (delta, _) = via_delta_streams(&original);
+        prop_assert_eq!(&dense, &original, "dense codec is the identity");
+        prop_assert_eq!(&delta, &original, "delta codec is the identity");
+
+        let (fp_dense, sols_dense, _) = detect(&exec, &dense, SweepMode::default());
+        let (fp_delta, sols_delta, _) = detect(&exec, &delta, SweepMode::default());
+        prop_assert_eq!(fp_dense, fp_delta, "fingerprints diverged across codecs");
+        prop_assert_eq!(sols_dense, sols_delta, "solution sequences diverged");
+    }
+
+    /// The incremental head-overlap sweep detects exactly what the full
+    /// sweep detects — same fingerprint, same solutions — while billing
+    /// no more clock-comparison work.
+    #[test]
+    fn sweep_mode_never_changes_detection(
+        (n, rounds) in (2usize..9, 2usize..7),
+        (skip, noise) in (0u32..4, 0u32..5),
+        seed in 0u64..10_000,
+    ) {
+        let exec = random_exec(n, rounds, skip, noise, seed);
+        let original: Vec<Interval> = exec.intervals_interleaved().into_iter().cloned().collect();
+        let (fp_full, sols_full, ops_full) = detect(&exec, &original, SweepMode::Full);
+        let (fp_incr, sols_incr, ops_incr) = detect(&exec, &original, SweepMode::Incremental);
+        prop_assert_eq!(fp_full, fp_incr, "fingerprints diverged across sweep modes");
+        prop_assert_eq!(sols_full, sols_incr, "solution sequences diverged");
+        prop_assert!(
+            ops_incr <= ops_full,
+            "incremental sweep billed more ops ({} > {})", ops_incr, ops_full
+        );
+    }
+}
