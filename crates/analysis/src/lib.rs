@@ -13,7 +13,10 @@
 //!   message counts, vector-clock comparison counts, and queue residency —
 //!   the validation layer the paper lacks;
 //! * [`report`] — plain-text/markdown table rendering for the
-//!   reproduction binaries in `ftscp-bench`.
+//!   reproduction binaries in `ftscp-bench`;
+//! * [`shard`] — the bounded-worker parallel runner the experiment
+//!   batches (and the `ftscp_sim` bench harness) use to spread
+//!   independent deployments across the machine's cores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,8 @@
 pub mod complexity;
 pub mod measure;
 pub mod report;
+pub mod shard;
 
 pub use complexity::{central_messages_eq14, hier_messages_eq11, Table1Row};
 pub use measure::{ExperimentConfig, Measurement, PairedRun};
+pub use shard::{run_sharded, worker_count};

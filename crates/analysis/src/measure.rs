@@ -195,21 +195,12 @@ pub fn run_paired(cfg: ExperimentConfig) -> PairedRun {
     }
 }
 
-/// Runs a batch of paired experiments in parallel (one OS thread per
-/// configuration, via `std::thread::scope`), preserving input order. The
-/// simulations are independent and deterministic, so parallelism changes
-/// nothing but wall-clock time.
+/// Runs a batch of paired experiments across a bounded worker pool
+/// ([`crate::shard::run_sharded`], capped at the machine's available
+/// parallelism), preserving input order. The simulations are independent
+/// and deterministic, so parallelism changes nothing but wall-clock time.
 pub fn run_paired_many(configs: &[ExperimentConfig]) -> Vec<PairedRun> {
-    let mut out: Vec<Option<PairedRun>> = Vec::new();
-    out.resize_with(configs.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, cfg) in out.iter_mut().zip(configs.iter()) {
-            scope.spawn(move || {
-                *slot = Some(run_paired(*cfg));
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    crate::shard::run_sharded(configs.len(), |i| run_paired(configs[i]))
 }
 
 #[cfg(test)]

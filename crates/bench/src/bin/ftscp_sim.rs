@@ -10,11 +10,17 @@
 //!     --crash 5@200ms --crash 0@400ms --baseline --loss 0.1
 //! ```
 //!
-//! `--bench-json` instead runs the zero-copy data-plane measurement suite
-//! (Figure 5 workload shape, full 4-ary trees at n ∈ {64, 256, 1024}) and
-//! writes `BENCH_hotpath.json` at the repository root: overlap
-//! comparisons full vs incremental sweep, logical vs deep clock clones,
-//! and encoded bytes per interval dense vs delta.
+//! `--bench-json` instead runs the data-plane measurement suite (Figure 5
+//! workload shape, full 4-ary trees at n ∈ {64, 256, 1024}), sharding the
+//! independent `(point × sweep mode)` deployments across the machine's
+//! cores, and writes `BENCH_hotpath.json` at the repository root: overlap
+//! comparisons full vs incremental vs aggregate sweep (with runtime
+//! assertions that all three produce bit-identical detections), logical
+//! vs deep clock clones, and encoded bytes per interval dense vs delta.
+//!
+//! `--bench-check` regenerates the same grid in memory and exits nonzero
+//! if any deterministic cost counter regressed more than 10% against the
+//! committed `BENCH_hotpath.json` — the CI regression gate.
 
 use ftscp_analysis::report::render_table;
 use ftscp_baselines::centralized::CentralizedDeployment;
@@ -61,12 +67,44 @@ fn usage() -> ! {
         "usage: ftscp_sim [--nodes N] [--degree D] [--rounds P] [--skip F] \
          [--solo F] [--seed S] [--loss F] [--crash NODE@MSms]... \
          [--topology tree|grid|geometric|smallworld|scalefree] [--baseline] \
-         | --bench-json"
+         | --bench-json | --bench-check"
     );
     std::process::exit(2);
 }
 
-/// One measured size point of the `--bench-json` suite.
+/// The `(skip, solo) × h` grid of the `--bench-json` suite.
+const BENCH_GRID: [(f64, f64); 2] = [(0.0, 0.0), (0.3, 0.2)];
+const BENCH_HEIGHTS: [u32; 3] = [3, 4, 5];
+
+/// One sweep-mode deployment of one workload point: a self-contained
+/// simulation with its own workload, detector tree, interned clock pools,
+/// and (per-thread) clone counters, so the sharded driver can run it on
+/// any worker.
+struct ModeRun {
+    ops: u64,
+    elapsed_ms: f64,
+    fingerprint: u64,
+    /// `(solution index, coverage refs)` in emission order — the explicit
+    /// solution sequence behind the fingerprint, for the bit-identity
+    /// assertion across sweep modes.
+    solutions: Vec<(u64, Vec<(u32, u64)>)>,
+    detections: usize,
+    clones_logical: u64,
+    clones_deep: u64,
+    gate_hits: u64,
+    gate_misses: u64,
+}
+
+/// Wire-size measurement of one workload point's interval stream.
+struct CodecRun {
+    intervals: usize,
+    dense_bytes: usize,
+    standalone_bytes: usize,
+    stateful_bytes: usize,
+}
+
+/// One measured size point of the `--bench-json` suite, assembled from
+/// its three [`ModeRun`]s and one [`CodecRun`].
 struct BenchPoint {
     n: usize,
     h: u32,
@@ -76,13 +114,17 @@ struct BenchPoint {
     detections: usize,
     ops_full: u64,
     ops_incr: u64,
+    ops_agg: u64,
+    gate_hits: u64,
+    gate_misses: u64,
     clones_logical: u64,
     clones_deep: u64,
     dense_bytes: usize,
     standalone_bytes: usize,
     stateful_bytes: usize,
-    elapsed_full_ms: u128,
-    elapsed_incr_ms: u128,
+    elapsed_full_ms: f64,
+    elapsed_incr_ms: f64,
+    elapsed_agg_ms: f64,
 }
 
 fn pct_saved(before: u64, after: u64) -> f64 {
@@ -93,21 +135,7 @@ fn pct_saved(before: u64, after: u64) -> f64 {
     }
 }
 
-/// Runs one Figure 5 workload row (full `d = 4` tree, `p = 6`, seed 7)
-/// at one height and measures the data-plane hot paths before/after
-/// style: the full pairwise sweep and per-message dense encoding are what
-/// the seed implementation paid; the incremental sweep and delta codec
-/// are what this tree pays. The clean row (`skip = solo = 0`) makes the
-/// conjunction hold repeatedly (solution emission + Eq. (10) prune
-/// exercised); the sparse row (`skip = 0.3`, `solo = 0.2`) keeps heads
-/// resident longer, which is where the verdict cache earns its keep.
-fn bench_point(h: u32, skip: f64, solo: f64) -> BenchPoint {
-    use ftscp_core::{ConnCodec, HierarchicalDetector};
-    use ftscp_intervals::codec::{encoded_interval_delta_len, encoded_interval_len};
-    use ftscp_intervals::{Interval, SweepMode};
-    use std::collections::BTreeMap;
-    use std::time::Instant;
-
+fn bench_workload(h: u32, skip: f64, solo: f64) -> Vec<ftscp_intervals::Interval> {
     let n = 4usize.pow(h);
     let exec = RandomExecution::builder(n)
         .intervals_per_process(6)
@@ -115,44 +143,58 @@ fn bench_point(h: u32, skip: f64, solo: f64) -> BenchPoint {
         .solo_prob(solo)
         .seed(7)
         .build();
-    let intervals: Vec<Interval> = exec.intervals_interleaved().into_iter().cloned().collect();
-    let tree = SpanningTree::balanced_dary(n, 4);
+    exec.intervals_interleaved().into_iter().cloned().collect()
+}
 
-    // Before: every enqueue re-runs the full pairwise head sweep.
-    let t0 = Instant::now();
-    let mut full = HierarchicalDetector::new(&tree).with_sweep_mode(SweepMode::Full);
-    for iv in &intervals {
-        full.feed(iv.clone());
-    }
-    let elapsed_full_ms = t0.elapsed().as_millis();
-    let ops_full = full.ops().get();
+/// Runs one sweep mode over one Figure 5 workload row (full `d = 4` tree,
+/// `p = 6`, seed 7). Clone counters are thread-local, so resetting here
+/// charges exactly this deployment no matter which shard worker runs it.
+fn bench_mode(h: u32, skip: f64, solo: f64, mode: ftscp_intervals::SweepMode) -> ModeRun {
+    use ftscp_core::HierarchicalDetector;
+    use std::time::Instant;
 
-    // After: cached pairwise verdicts; also the run we charge the clone
-    // counters to (logical = what a Vec-backed clock layout would deep
-    // copy, deep = CoW breaks the pooled layout actually performs).
+    let intervals = bench_workload(h, skip, solo);
+    let tree = SpanningTree::balanced_dary(4usize.pow(h), 4);
     ftscp_vclock::reset_clone_stats();
     let t0 = Instant::now();
-    let mut incr = HierarchicalDetector::new(&tree).with_sweep_mode(SweepMode::Incremental);
+    let mut det = HierarchicalDetector::new(&tree).with_sweep_mode(mode);
     for iv in &intervals {
-        incr.feed(iv.clone());
+        det.feed(iv.clone());
     }
-    let elapsed_incr_ms = t0.elapsed().as_millis();
-    let ops_incr = incr.ops().get();
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
     let (clones_logical, clones_deep) = ftscp_vclock::clone_stats();
+    let stats = det.bank_stats_total();
+    ModeRun {
+        ops: det.ops().get(),
+        elapsed_ms,
+        fingerprint: ftscp_core::faultcheck::detection_fingerprint(det.root_solutions()),
+        solutions: det
+            .root_solutions()
+            .iter()
+            .map(|d| {
+                (
+                    d.solution.index,
+                    d.coverage.iter().map(|r| (r.process.0, r.seq)).collect(),
+                )
+            })
+            .collect(),
+        detections: det.root_solutions().len(),
+        clones_logical,
+        clones_deep,
+        gate_hits: stats.gate_hits,
+        gate_misses: stats.gate_misses,
+    }
+}
 
-    assert_eq!(
-        ftscp_core::faultcheck::detection_fingerprint(full.root_solutions()),
-        ftscp_core::faultcheck::detection_fingerprint(incr.root_solutions()),
-        "sweep modes diverged on the bench workload"
-    );
-    assert!(
-        ops_incr < ops_full,
-        "incremental sweep must do strictly fewer comparisons ({ops_incr} >= {ops_full})"
-    );
+/// Wire sizes over one point's interval stream: legacy dense, delta with
+/// no base (retransmit/resync frames), and delta over per-source
+/// connection state (the live stream).
+fn bench_codec(h: u32, skip: f64, solo: f64) -> CodecRun {
+    use ftscp_core::ConnCodec;
+    use ftscp_intervals::codec::{encoded_interval_delta_len, encoded_interval_len};
+    use std::collections::BTreeMap;
 
-    // Wire sizes over the same interval stream: legacy dense, delta with
-    // no base (retransmit/resync frames), and delta over per-source
-    // connection state (the live stream).
+    let intervals = bench_workload(h, skip, solo);
     let mut dense_bytes = 0usize;
     let mut standalone_bytes = 0usize;
     let mut stateful_bytes = 0usize;
@@ -164,37 +206,121 @@ fn bench_point(h: u32, skip: f64, solo: f64) -> BenchPoint {
         stateful_bytes += codec.stateful_len(iv);
         codec.note_sent(iv);
     }
-
-    BenchPoint {
-        n,
-        h,
-        skip,
-        solo,
+    CodecRun {
         intervals: intervals.len(),
-        detections: incr.root_solutions().len(),
-        ops_full,
-        ops_incr,
-        clones_logical,
-        clones_deep,
         dense_bytes,
         standalone_bytes,
         stateful_bytes,
-        elapsed_full_ms,
-        elapsed_incr_ms,
     }
 }
 
-fn run_bench_json() {
-    let mut points = Vec::new();
-    for &(skip, solo) in &[(0.0f64, 0.0f64), (0.3, 0.2)] {
-        for h in [3u32, 4, 5] {
-            eprintln!(
-                "measuring h = {h} (n = {}), skip = {skip}, solo = {solo} ...",
-                4usize.pow(h)
-            );
-            points.push(bench_point(h, skip, solo));
-        }
+/// Runs the whole measurement grid — every `(point, sweep mode)`
+/// deployment plus one codec pass per point — as independent jobs on the
+/// sharded worker pool, then assembles and cross-checks the points.
+///
+/// The cross-checks are the bit-identity contract of the sweep modes,
+/// asserted at runtime on every point: identical faultcheck fingerprints
+/// *and* identical solution sequences across `Full`, `Incremental`, and
+/// `Aggregate`. The clean `h = 5` row must also show the headline
+/// `≥ 10×` comparison saving of the aggregate-summary gate.
+fn bench_points() -> Vec<BenchPoint> {
+    use ftscp_intervals::SweepMode;
+
+    let grid: Vec<(u32, f64, f64)> = BENCH_GRID
+        .iter()
+        .flat_map(|&(skip, solo)| BENCH_HEIGHTS.iter().map(move |&h| (h, skip, solo)))
+        .collect();
+    const MODES: [SweepMode; 3] = [
+        SweepMode::Full,
+        SweepMode::Incremental,
+        SweepMode::Aggregate,
+    ];
+    const JOBS_PER_POINT: usize = MODES.len() + 1; // 3 sweep modes + codec
+
+    enum JobOut {
+        Mode(ModeRun),
+        Codec(CodecRun),
     }
+    eprintln!(
+        "measuring {} deployments on {} workers ...",
+        grid.len() * JOBS_PER_POINT,
+        ftscp_analysis::worker_count(grid.len() * JOBS_PER_POINT)
+    );
+    let outs = ftscp_analysis::run_sharded(grid.len() * JOBS_PER_POINT, |i| {
+        let (h, skip, solo) = grid[i / JOBS_PER_POINT];
+        match i % JOBS_PER_POINT {
+            m if m < MODES.len() => JobOut::Mode(bench_mode(h, skip, solo, MODES[m])),
+            _ => JobOut::Codec(bench_codec(h, skip, solo)),
+        }
+    });
+
+    let mut points = Vec::new();
+    for (pi, chunk) in outs.chunks(JOBS_PER_POINT).enumerate() {
+        let (h, skip, solo) = grid[pi];
+        let n = 4usize.pow(h);
+        let [JobOut::Mode(full), JobOut::Mode(incr), JobOut::Mode(agg), JobOut::Codec(codec)] =
+            chunk
+        else {
+            unreachable!("job kinds arrive in per-point order");
+        };
+        // Bit-identity across all three sweep modes: same fingerprint,
+        // same explicit solution sequence.
+        for (name, run) in [("incremental", incr), ("aggregate", agg)] {
+            assert_eq!(
+                full.fingerprint, run.fingerprint,
+                "{name} sweep fingerprint diverged at n = {n}, skip = {skip}"
+            );
+            assert_eq!(
+                full.solutions, run.solutions,
+                "{name} sweep solution sequence diverged at n = {n}, skip = {skip}"
+            );
+        }
+        assert!(
+            incr.ops < full.ops,
+            "incremental sweep must do strictly fewer comparisons ({} >= {})",
+            incr.ops,
+            full.ops
+        );
+        assert!(
+            agg.ops < full.ops,
+            "aggregate sweep must do strictly fewer comparisons ({} >= {})",
+            agg.ops,
+            full.ops
+        );
+        if skip == 0.0 && h == 5 {
+            assert!(
+                full.ops >= 10 * agg.ops,
+                "headline row (n = {n} dense) lost the ≥10× saving: {} vs {}",
+                full.ops,
+                agg.ops
+            );
+        }
+        points.push(BenchPoint {
+            n,
+            h,
+            skip,
+            solo,
+            intervals: codec.intervals,
+            detections: agg.detections,
+            ops_full: full.ops,
+            ops_incr: incr.ops,
+            ops_agg: agg.ops,
+            gate_hits: agg.gate_hits,
+            gate_misses: agg.gate_misses,
+            clones_logical: incr.clones_logical,
+            clones_deep: incr.clones_deep,
+            dense_bytes: codec.dense_bytes,
+            standalone_bytes: codec.standalone_bytes,
+            stateful_bytes: codec.stateful_bytes,
+            elapsed_full_ms: full.elapsed_ms,
+            elapsed_incr_ms: incr.elapsed_ms,
+            elapsed_agg_ms: agg.elapsed_ms,
+        });
+    }
+    points
+}
+
+fn render_bench_json(points: &[BenchPoint]) -> String {
     // Hand-formatted JSON: the build environment has no serde_json.
     let mut out = String::new();
     out.push_str("{\n");
@@ -211,10 +337,17 @@ fn run_bench_json() {
             p.n, p.h, p.skip, p.solo, p.intervals, p.detections
         ));
         out.push_str(&format!(
-            "     \"overlap_comparisons\": {{\"full_sweep\": {}, \"incremental\": {}, \"saved_pct\": {:.1}}},\n",
+            "     \"overlap_comparisons\": {{\"full_sweep\": {}, \"incremental\": {}, \
+             \"aggregate\": {}, \"saved_pct\": {:.1}, \"aggregate_saved_pct\": {:.1}}},\n",
             p.ops_full,
             p.ops_incr,
-            pct_saved(p.ops_full, p.ops_incr)
+            p.ops_agg,
+            pct_saved(p.ops_full, p.ops_incr),
+            pct_saved(p.ops_full, p.ops_agg)
+        ));
+        out.push_str(&format!(
+            "     \"aggregate_gate\": {{\"hits\": {}, \"misses\": {}}},\n",
+            p.gate_hits, p.gate_misses
         ));
         out.push_str(&format!(
             "     \"clock_clones\": {{\"logical\": {}, \"deep_copies\": {}, \"elided_pct\": {:.1}}},\n",
@@ -229,25 +362,113 @@ fn run_bench_json() {
             per_iv(p.stateful_bytes)
         ));
         out.push_str(&format!(
-            "     \"elapsed_ms\": {{\"full\": {}, \"incremental\": {}}}}}{}\n",
+            "     \"elapsed_ms\": {{\"full\": {:.3}, \"incremental\": {:.3}, \"aggregate\": {:.3}}}}}{}\n",
             p.elapsed_full_ms,
             p.elapsed_incr_ms,
+            p.elapsed_agg_ms,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    std::fs::write(path, &out).expect("write BENCH_hotpath.json");
+const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+
+fn run_bench_json() {
+    let points = bench_points();
+    let out = render_bench_json(&points);
+    std::fs::write(BENCH_JSON_PATH, &out).expect("write BENCH_hotpath.json");
     print!("{out}");
-    eprintln!("written to {path}");
+    eprintln!("written to {BENCH_JSON_PATH}");
 
-    let last = points.last().expect("three points");
+    let last = points.last().expect("six points");
     assert!(
         last.stateful_bytes < last.dense_bytes && last.standalone_bytes < last.dense_bytes,
         "delta encoding must beat dense at n = {}",
         last.n
     );
+}
+
+/// Every numeric value of `"key"` inside each `"section": {...}` object,
+/// in file order — a deliberately dumb extractor for the regression gate
+/// (no serde_json in the build environment; the file is our own
+/// hand-formatted flat output). Scoping to the section keeps key names
+/// like `"incremental"` from matching in `elapsed_ms`, which is
+/// machine-dependent and must not be gated.
+fn extract_all(json: &str, section: &str, key: &str) -> Vec<f64> {
+    let sec_pat = format!("\"{section}\": {{");
+    let key_pat = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&sec_pat) {
+        let body_start = pos + sec_pat.len();
+        let body_end = body_start
+            + rest[body_start..]
+                .find('}')
+                .expect("section object is closed");
+        let body = &rest[body_start..body_end];
+        if let Some(kpos) = body.find(&key_pat) {
+            let tail = &body[kpos + key_pat.len()..];
+            let end = tail
+                .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+                .unwrap_or(tail.len());
+            if let Ok(v) = tail[..end].parse() {
+                out.push(v);
+            }
+        }
+        rest = &rest[body_end..];
+    }
+    out
+}
+
+/// `--bench-check`: regenerates the measurement grid in memory and fails
+/// (exit 1) if any deterministic cost counter — overlap comparisons per
+/// sweep mode, bytes per interval per codec — regressed by more than 10%
+/// against the committed `BENCH_hotpath.json`. Wall-clock times are
+/// machine-dependent and deliberately not gated.
+fn run_bench_check() {
+    const GATED_KEYS: [(&str, &str); 6] = [
+        ("overlap_comparisons", "full_sweep"),
+        ("overlap_comparisons", "incremental"),
+        ("overlap_comparisons", "aggregate"),
+        ("bytes_per_interval", "dense"),
+        ("bytes_per_interval", "delta_standalone"),
+        ("bytes_per_interval", "delta_stateful"),
+    ];
+    let committed = std::fs::read_to_string(BENCH_JSON_PATH)
+        .unwrap_or_else(|e| panic!("read committed {BENCH_JSON_PATH}: {e}"));
+    let current = render_bench_json(&bench_points());
+
+    let mut failures = Vec::new();
+    for (section, key) in GATED_KEYS {
+        let was = extract_all(&committed, section, key);
+        let now = extract_all(&current, section, key);
+        assert!(
+            !was.is_empty() && was.len() == now.len(),
+            "committed bench JSON lacks {} values for \"{section}.{key}\" (has {})",
+            now.len(),
+            was.len()
+        );
+        for (i, (w, n)) in was.iter().zip(&now).enumerate() {
+            if *n > w * 1.10 {
+                failures.push(format!(
+                    "point {i}: \"{section}.{key}\" regressed {w:.1} -> {n:.1} (+{:.1}%)",
+                    100.0 * (n - w) / w
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "bench check passed: no gated counter regressed >10% vs committed BENCH_hotpath.json"
+        );
+    } else {
+        for f in &failures {
+            eprintln!("bench regression: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn parse_args() -> Args {
@@ -287,6 +508,10 @@ fn parse_args() -> Args {
 fn main() {
     if std::env::args().any(|a| a == "--bench-json") {
         run_bench_json();
+        return;
+    }
+    if std::env::args().any(|a| a == "--bench-check") {
+        run_bench_check();
         return;
     }
     let args = parse_args();

@@ -120,6 +120,27 @@ impl HierarchicalDetector {
         self.engines.iter().flatten().map(|e| e.resident()).sum()
     }
 
+    /// Sum of every engine's queue-bank statistics (enqueues, sweeps,
+    /// prunes, solutions, cache traffic) — the whole-tree cost picture the
+    /// benchmark harness reports alongside [`ops`](Self::ops).
+    pub fn bank_stats_total(&self) -> ftscp_intervals::BankStats {
+        let mut total = ftscp_intervals::BankStats::default();
+        for e in self.engines.iter().flatten() {
+            let s = e.bank_stats();
+            total.enqueued += s.enqueued;
+            total.swept += s.swept;
+            total.pruned += s.pruned;
+            total.solutions += s.solutions;
+            total.peak_resident = total.peak_resident.max(s.peak_resident);
+            total.peak_queue_len = total.peak_queue_len.max(s.peak_queue_len);
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.gate_hits += s.gate_hits;
+            total.gate_misses += s.gate_misses;
+        }
+        total
+    }
+
     /// Peak resident intervals at any single node.
     pub fn peak_queue_len(&self) -> usize {
         self.engines

@@ -23,6 +23,7 @@
 use crate::interval::Interval;
 use crate::prune;
 use crate::solution::Solution;
+use crate::summary::SweepSummary;
 use ftscp_vclock::{order, OpCounter};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -67,6 +68,12 @@ pub struct BankStats {
     pub cache_hits: u64,
     /// Head-pair verdicts computed and cached.
     pub cache_misses: u64,
+    /// Sweep visits certified overlap-clean by the `⊓`-summary gate
+    /// ([`SweepMode::Aggregate`] only): the whole pairwise row was skipped.
+    pub gate_hits: u64,
+    /// Sweep visits the summary gate could not certify, falling back to
+    /// the pairwise row to identify which head(s) to delete.
+    pub gate_misses: u64,
 }
 
 /// How the pairwise sweep (lines (1)–(17)) evaluates head-overlap checks.
@@ -82,6 +89,18 @@ pub enum SweepMode {
     /// the operation count changes.
     #[default]
     Incremental,
+    /// Maintain a running per-component `⊓`-summary of the queue heads
+    /// ([`SweepSummary`], Theorem 1 / Lemma 1) and test each sweep visit
+    /// against the summary in `O(n)` instead of against all `k − 1` other
+    /// heads, falling back to the exact pairwise row only when the summary
+    /// cannot certify the visit clean — i.e. only to identify *which* head
+    /// to delete. All comparisons (gate and fallback) run through the
+    /// word-chunked comparator and bill per
+    /// [`CHUNK_WIDTH`](ftscp_vclock::order::CHUNK_WIDTH)-component word.
+    /// Deletion, emission, and prune decisions are bit-identical to
+    /// [`SweepMode::Full`] — only the traversal and the operation count
+    /// change.
+    Aggregate,
 }
 
 /// Cached directed-overlap verdict for the heads of one queue pair,
@@ -256,6 +275,23 @@ pub struct QueueBank {
     /// Pairwise verdict cache keyed by `(min_idx, max_idx)`. Transient:
     /// never snapshotted, rebuilt on demand after a restore.
     pair_cache: HashMap<(usize, usize), PairVerdict>,
+    /// Running `⊓`-summary of the live heads. Maintained only under
+    /// [`SweepMode::Aggregate`]; transient like the pair cache (rebuilt on
+    /// mode selection, never snapshotted).
+    summary: SweepSummary,
+}
+
+/// Current `(lo, hi)` component slices of every queue head, indexed by
+/// slot — the materialization input for [`SweepSummary::certify`].
+fn summary_heads(slots: &[Option<QueueSlot>]) -> Vec<Option<(&[u32], &[u32])>> {
+    slots
+        .iter()
+        .map(|s| {
+            s.as_ref()
+                .and_then(|q| q.items.front())
+                .map(|iv| (iv.lo.components(), iv.hi.components()))
+        })
+        .collect()
 }
 
 impl QueueBank {
@@ -272,6 +308,7 @@ impl QueueBank {
             mode: SweepMode::default(),
             head_gens: vec![0; queues],
             pair_cache: HashMap::new(),
+            summary: SweepSummary::new(),
         }
     }
 
@@ -280,6 +317,8 @@ impl QueueBank {
     /// only the comparison count differs.
     pub fn with_sweep_mode(mut self, mode: SweepMode) -> Self {
         self.mode = mode;
+        // Lazily rebuilt from the live heads on the next Aggregate sweep.
+        self.summary.clear();
         self
     }
 
@@ -382,14 +421,15 @@ impl QueueBank {
     /// queues, so the detection loop reruns; any solutions found are
     /// returned.
     pub fn remove_queue(&mut self, slot: SlotId) -> Vec<Solution> {
-        let Some(s) = self.slots.get_mut(slot.0 as usize) else {
-            return Vec::new();
-        };
-        if s.take().is_none() {
+        let idx = slot.0 as usize;
+        if self.slots.get(idx).and_then(|s| s.as_ref()).is_none() {
             return Vec::new();
         }
+        if matches!(self.mode, SweepMode::Aggregate) {
+            self.summary.touch();
+        }
+        self.slots[idx] = None;
         self.active -= 1;
-        let idx = slot.0 as usize;
         self.head_gens[idx] += 1;
         self.pair_cache.retain(|&(a, b), _| a != idx && b != idx);
         self.record(BankEvent::QueueRemoved { slot });
@@ -438,6 +478,9 @@ impl QueueBank {
 
         if new_len == 1 {
             self.head_gens[idx] += 1;
+            if matches!(self.mode, SweepMode::Aggregate) {
+                self.summary.touch();
+            }
             self.run_detection(BTreeSet::from([idx]))
         } else {
             Vec::new()
@@ -473,6 +516,9 @@ impl QueueBank {
             self.record(BankEvent::QueueRemoved {
                 slot: SlotId(idx as u32),
             });
+        }
+        if popped.is_some() && matches!(self.mode, SweepMode::Aggregate) {
+            self.summary.touch();
         }
         popped
     }
@@ -544,9 +590,11 @@ impl QueueBank {
             trace: None,
             mode: SweepMode::default(),
             // The verdict cache is transient: start cold with fresh
-            // generations and let it warm back up.
+            // generations and let it warm back up. Likewise the sweep
+            // summary: rebuilt when `with_sweep_mode` selects Aggregate.
             head_gens: vec![0; gens],
             pair_cache: HashMap::new(),
+            summary: SweepSummary::new(),
         }
     }
 
@@ -564,6 +612,13 @@ impl QueueBank {
         if matches!(self.mode, SweepMode::Full) {
             let x_lt = order::strictly_less_counted(&x.lo, &y.hi, &self.ops);
             let y_lt = order::strictly_less_counted(&y.lo, &x.hi, &self.ops);
+            return Some((x_lt, y_lt));
+        }
+        if matches!(self.mode, SweepMode::Aggregate) {
+            // Pairwise fallback rows (summary gate failed) run through the
+            // word-chunked comparator; no pair cache in this mode.
+            let x_lt = order::strictly_less_chunked_counted(&x.lo, &y.hi, &self.ops);
+            let y_lt = order::strictly_less_chunked_counted(&y.lo, &x.hi, &self.ops);
             return Some((x_lt, y_lt));
         }
         let key = (a.min(b), a.max(b));
@@ -616,6 +671,30 @@ impl QueueBank {
                     else {
                         continue;
                     };
+                    if matches!(self.mode, SweepMode::Aggregate) {
+                        // One O(n) test against the ⊓-summary replaces the
+                        // O(k·n) pairwise row whenever it certifies that
+                        // this visit deletes nothing (the overwhelmingly
+                        // common case); the pairwise fallback below runs
+                        // only to identify which head(s) to delete.
+                        let QueueBank {
+                            summary,
+                            slots,
+                            ops,
+                            stats,
+                            ..
+                        } = self;
+                        let heads = summary_heads(slots);
+                        let iv = slots[a]
+                            .as_ref()
+                            .and_then(|q| q.items.front())
+                            .expect("head id was just read");
+                        if summary.certify(a, iv.lo.components(), iv.hi.components(), &heads, ops) {
+                            stats.gate_hits += 1;
+                            continue;
+                        }
+                        stats.gate_misses += 1;
+                    }
                     for b in 0..self.slots.len() {
                         if b == a {
                             continue;
@@ -707,7 +786,10 @@ impl QueueBank {
 
             // Lines (23)–(33): Eq. (10) prune; continue with pruned queues.
             let refs: Vec<&Interval> = heads.iter().collect();
-            let removable = prune::approximate_removals(&refs, &self.ops);
+            let removable = match self.mode {
+                SweepMode::Aggregate => prune::approximate_removals_aggregate(&refs, &self.ops),
+                _ => prune::approximate_removals(&refs, &self.ops),
+            };
             debug_assert!(!removable.is_empty(), "Theorem 4: at least one removal");
             let mut pruned = BTreeSet::new();
             for r in &removable {
@@ -1067,6 +1149,77 @@ mod tests {
             full.ops().get()
         );
         assert_eq!(fs.cache_hits, 0, "full mode never touches the cache");
+    }
+
+    #[test]
+    fn aggregate_sweep_matches_full_bit_for_bit() {
+        // Same workload as the incremental differential test (multi-queue
+        // sweep rounds, cascades, a queue removal): the summary-gated
+        // sweep must reproduce every solution, sweep, and prune decision.
+        let feed = |bank: &mut QueueBank| {
+            let mut sols = Vec::new();
+            let seqs: [(u32, u64, [u32; 4], [u32; 4]); 10] = [
+                (0, 0, [1, 0, 0, 0], [9, 8, 8, 8]),
+                (1, 0, [2, 1, 0, 0], [8, 9, 8, 8]),
+                (2, 0, [2, 1, 1, 0], [8, 8, 9, 8]),
+                (3, 0, [2, 1, 1, 1], [3, 3, 3, 4]),
+                (3, 1, [4, 4, 4, 5], [6, 6, 6, 7]),
+                (0, 1, [10, 9, 9, 9], [12, 11, 11, 11]),
+                (1, 1, [11, 10, 10, 10], [11, 12, 11, 11]),
+                (2, 1, [11, 10, 11, 10], [11, 11, 12, 11]),
+                (3, 2, [11, 10, 11, 11], [11, 11, 11, 12]),
+                (1, 2, [13, 13, 13, 13], [14, 14, 14, 14]),
+            ];
+            for (p, seq, lo, hi) in seqs {
+                sols.extend(bank.enqueue(SlotId(p), iv(p, seq, &lo, &hi)));
+            }
+            sols.extend(bank.remove_queue(SlotId(3)));
+            sols
+        };
+        let mut full = QueueBank::new(4).with_sweep_mode(SweepMode::Full);
+        let mut agg = QueueBank::new(4).with_sweep_mode(SweepMode::Aggregate);
+        let sols_full = feed(&mut full);
+        let sols_agg = feed(&mut agg);
+
+        assert_eq!(sols_full.len(), sols_agg.len());
+        for (a, b) in sols_full.iter().zip(&sols_agg) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.intervals, b.intervals);
+        }
+        let fs = full.stats();
+        let gs = agg.stats();
+        assert_eq!(
+            (fs.swept, fs.pruned, fs.solutions),
+            (gs.swept, gs.pruned, gs.solutions),
+            "sweep/prune decisions diverged"
+        );
+        assert!(gs.gate_hits > 0, "workload must exercise the summary gate");
+        assert_eq!(fs.gate_hits, 0, "full mode never consults the summary");
+        assert!(
+            agg.ops().get() < full.ops().get(),
+            "aggregate ({}) must beat full ({})",
+            agg.ops().get(),
+            full.ops().get()
+        );
+    }
+
+    #[test]
+    fn aggregate_mode_survives_queue_lifecycle_churn() {
+        // Add/remove/ephemeral queue traffic while the summary is live.
+        let mut bank = QueueBank::new(2).with_sweep_mode(SweepMode::Aggregate);
+        bank.enqueue(SlotId(0), iv(0, 0, &[1, 0, 0], &[9, 8, 8]));
+        let s2 = bank.add_queue();
+        bank.enqueue(SlotId(1), iv(1, 0, &[2, 1, 0], &[8, 9, 8]));
+        let sols = bank.enqueue(s2, iv(2, 0, &[2, 1, 1], &[8, 8, 9]));
+        assert_eq!(sols.len(), 1, "three-way overlap detected");
+        let sols = bank.remove_queue(s2);
+        assert!(sols.is_empty(), "subset re-release suppressed");
+        // Ephemeral seed participates and vanishes.
+        bank.add_ephemeral_queue(iv(7, 0, &[3, 2, 0], &[7, 7, 7]));
+        bank.enqueue(SlotId(0), iv(0, 1, &[4, 3, 0], &[7, 8, 7]));
+        let sols = bank.enqueue(SlotId(1), iv(1, 1, &[4, 4, 0], &[8, 7, 7]));
+        assert_eq!(sols.len(), 1, "solution across local + real + ephemeral");
+        assert_eq!(bank.queue_count(), 2, "ephemeral queue vanished");
     }
 
     #[test]

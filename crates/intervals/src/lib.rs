@@ -40,6 +40,7 @@ pub mod offline;
 pub mod overlap;
 pub mod prune;
 pub mod solution;
+pub mod summary;
 pub mod theorems;
 
 pub use aggregate::{aggregate, aggregate_checked, AggregateError};
@@ -48,6 +49,7 @@ pub use bank::{
     TraceId,
 };
 pub use interval::{Interval, IntervalKind, IntervalRef};
-pub use overlap::{definitely_holds, overlap, possibly_holds};
+pub use overlap::{definitely_holds, definitely_holds_fast, overlap, possibly_holds};
 pub use prune::PruneRule;
 pub use solution::Solution;
+pub use summary::SweepSummary;

@@ -61,6 +61,95 @@ pub fn approximate_removals(solution: &[&Interval], ops: &OpCounter) -> Vec<usiz
     removable
 }
 
+/// Solution sizes below this skip the `⊓`-summary gate inside
+/// [`approximate_removals_aggregate`]: with `k` members the gate costs
+/// `⌈n/8⌉` words per member while the chunked pairwise row typically
+/// resolves a disqualification within a word or two (max-cuts of a
+/// solution are mostly concurrent, and concurrency exits early), so the
+/// gate only earns its keep on wide banks — above all the centralized
+/// sink, where `k = n`.
+pub const PRUNE_GATE_MIN_MEMBERS: usize = 9;
+
+/// [`approximate_removals`] evaluated against a `⊓`-summary with a
+/// pairwise fallback — **identical removal decisions**, different cost.
+///
+/// Per component the two smallest `max(x_j)` values (and their owners) are
+/// aggregated once — merge work, unbilled exactly like interval
+/// aggregation. A member `x_i` is then *certified removable* by one
+/// chunked scan if some component of `max(x_i)` lies strictly below every
+/// other member's max (`∃c: max(x_i)[c] < min_{j≠i} max(x_j)[c]` ⇒ no
+/// `max(x_j)` can be component-wise `≤ max(x_i)`, so Eq. (10) keeps `i`
+/// qualified against every `j`). Members the gate cannot certify fall back
+/// to the exact pairwise row, run through the word-chunked comparator.
+/// Small solutions (`k <` [`PRUNE_GATE_MIN_MEMBERS`]) go straight to the
+/// fallback, where the pairwise row is strictly cheaper.
+pub fn approximate_removals_aggregate(solution: &[&Interval], ops: &OpCounter) -> Vec<usize> {
+    use ftscp_vclock::order::CHUNK_WIDTH;
+
+    let k = solution.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let width = solution[0].hi.len();
+    let use_gate = k >= PRUNE_GATE_MIN_MEMBERS;
+    let (mut min1, mut min1_owner, mut min2) = (Vec::new(), Vec::new(), Vec::new());
+    if use_gate {
+        min1 = vec![u32::MAX; width];
+        min1_owner = vec![usize::MAX; width];
+        min2 = vec![u32::MAX; width];
+        for (j, y) in solution.iter().enumerate() {
+            let hi = y.hi.components();
+            for c in 0..width {
+                let v = hi[c];
+                if v < min1[c] {
+                    min2[c] = min1[c];
+                    min1[c] = v;
+                    min1_owner[c] = j;
+                } else if v < min2[c] {
+                    min2[c] = v;
+                }
+            }
+        }
+    }
+    let mut removable = Vec::new();
+    'members: for (i, x) in solution.iter().enumerate() {
+        if use_gate {
+            let hi = x.hi.components();
+            let mut words = 0u64;
+            let mut certified = false;
+            let mut c = 0;
+            while c < width && !certified {
+                words += 1;
+                let end = (c + CHUNK_WIDTH).min(width);
+                while c < end {
+                    let excl = if min1_owner[c] == i { min2[c] } else { min1[c] };
+                    certified |= hi[c] < excl;
+                    c += 1;
+                }
+            }
+            ops.add(words);
+            if certified {
+                removable.push(i);
+                continue 'members;
+            }
+        }
+        let mut qualifies = true;
+        for (j, y) in solution.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if order::strictly_less_chunked_counted(&y.hi, &x.hi, ops) {
+                qualifies = false;
+                break;
+            }
+        }
+        if qualifies {
+            removable.push(i);
+        }
+    }
+    removable
+}
+
 /// Eq. (9) with hindsight: given each member's successor's low bound (where
 /// known), remove `x_i` iff `∀ j≠i: min(succ(x_j)) ≮ max(x_i)`. A member
 /// whose successor is not yet known (`None`) conservatively counts as "its
@@ -167,6 +256,73 @@ mod tests {
         let ops = OpCounter::new();
         let rm = exact_removals(&[&a, &b], &[None, None], &ops);
         assert!(rm.is_empty());
+    }
+
+    /// The summary-gated prune must make *identical* removal decisions to
+    /// the pairwise rule — below, at, and above the gate threshold —
+    /// across pseudo-random solution sets.
+    #[test]
+    fn aggregate_removals_equal_pairwise_removals() {
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..300 {
+            let k = 1 + (rng() % 14) as usize; // spans the gate threshold
+            let n = 1 + (rng() % 20) as usize;
+            let members: Vec<Interval> = (0..k)
+                .map(|p| {
+                    let lo: Vec<u32> = (0..n).map(|_| (rng() % 5) as u32).collect();
+                    let hi: Vec<u32> = lo.iter().map(|v| v + (rng() % 5) as u32).collect();
+                    iv(p as u32, 0, &lo, &hi)
+                })
+                .collect();
+            let refs: Vec<&Interval> = members.iter().collect();
+            let ops = OpCounter::new();
+            assert_eq!(
+                approximate_removals_aggregate(&refs, &ops),
+                approximate_removals(&refs, &ops),
+                "divergence in round {round} (k = {k}, n = {n})"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_removals_gate_engages_on_wide_solutions() {
+        // k = n members with mutually concurrent maxes: every member owns
+        // the strictly-smallest max at every component except its own, so
+        // the gate certifies all of them without pairwise work.
+        let k = PRUNE_GATE_MIN_MEMBERS + 3;
+        let members: Vec<Interval> = (0..k)
+            .map(|p| {
+                let mut lo = vec![0u32; k];
+                let mut hi = vec![1u32; k];
+                lo[p] = 1;
+                hi[p] = 9;
+                iv(p as u32, 0, &lo, &hi)
+            })
+            .collect();
+        let refs: Vec<&Interval> = members.iter().collect();
+        let ops = OpCounter::new();
+        let rm = approximate_removals_aggregate(&refs, &ops);
+        assert_eq!(
+            rm,
+            (0..k).collect::<Vec<_>>(),
+            "all concurrent: all removable"
+        );
+        // Each member is certified by one ⌈k/8⌉-word scan; the pairwise
+        // rule would have billed k−1 comparisons per member instead.
+        let pair_ops = OpCounter::new();
+        approximate_removals(&refs, &pair_ops);
+        assert!(
+            ops.get() < pair_ops.get(),
+            "gated prune ({}) must beat pairwise ({}) at k = {k}",
+            ops.get(),
+            pair_ops.get()
+        );
     }
 
     /// Theorem 3 (safety), spot check: every Eq. (10) removal also satisfies

@@ -104,6 +104,68 @@ pub fn strictly_less_counted(a: &VectorClock, b: &VectorClock, ops: &OpCounter) 
     compare_counted(a, b, ops) == ClockOrd::Less
 }
 
+/// Components folded per billed unit by the word-chunked comparator: one
+/// 256-bit lane of `u32`s, the natural width of the autovectorized loop.
+pub const CHUNK_WIDTH: usize = 8;
+
+/// Word-chunked [`compare`]: identical verdict to the scalar comparator,
+/// different traversal and different cost unit.
+///
+/// The loop folds [`CHUNK_WIDTH`] components per iteration with branch-free
+/// lane compares (`|=` of per-lane `<` / `>` flags), which the
+/// autovectorizer turns into SIMD compares; early exit happens at word
+/// granularity once both order flags are set (concurrency is decided).
+/// Billing follows the traversal: **one unit per word inspected**
+/// (`⌈n / 8⌉` for a full scan), the hardware-honest cost of the vector
+/// loop, vs. the scalar comparator's one unit per component (§IV-C's
+/// accounting, kept as the fixed baseline in [`compare_counted`]).
+pub fn compare_chunked_counted(a: &VectorClock, b: &VectorClock, ops: &OpCounter) -> ClockOrd {
+    debug_assert_eq!(a.len(), b.len(), "clock width mismatch");
+    let (xs, ys) = (a.components(), b.components());
+    let mut less = false;
+    let mut greater = false;
+    let mut words = 0u64;
+    let mut ca = xs.chunks_exact(CHUNK_WIDTH);
+    let mut cb = ys.chunks_exact(CHUNK_WIDTH);
+    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+        words += 1;
+        let mut l = 0u32;
+        let mut g = 0u32;
+        for i in 0..CHUNK_WIDTH {
+            l |= u32::from(wa[i] < wb[i]);
+            g |= u32::from(wa[i] > wb[i]);
+        }
+        less |= l != 0;
+        greater |= g != 0;
+        if less && greater {
+            break;
+        }
+    }
+    if !(less && greater) {
+        let (ra, rb) = (ca.remainder(), cb.remainder());
+        if !ra.is_empty() {
+            words += 1;
+            for (x, y) in ra.iter().zip(rb) {
+                less |= x < y;
+                greater |= x > y;
+            }
+        }
+    }
+    ops.add(words);
+    match (less, greater) {
+        (false, false) => ClockOrd::Equal,
+        (true, false) => ClockOrd::Less,
+        (false, true) => ClockOrd::Greater,
+        (true, true) => ClockOrd::Concurrent,
+    }
+}
+
+/// Word-chunked instrumented strict order `a < b` — same verdict as
+/// [`strictly_less_counted`], billed per [`CHUNK_WIDTH`]-component word.
+pub fn strictly_less_chunked_counted(a: &VectorClock, b: &VectorClock, ops: &OpCounter) -> bool {
+    compare_chunked_counted(a, b, ops) == ClockOrd::Less
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +222,53 @@ mod tests {
         let ops = OpCounter::new();
         assert!(strictly_less_counted(&vc(&[0, 0]), &vc(&[1, 0]), &ops));
         assert!(!strictly_less_counted(&vc(&[1, 0]), &vc(&[1, 0]), &ops));
+    }
+
+    #[test]
+    fn chunked_compare_matches_scalar_on_all_outcomes() {
+        let ops = OpCounter::new();
+        for (a, b) in [
+            (vec![1u32; 20], vec![1u32; 20]),
+            (vec![1; 20], vec![2; 20]),
+            (vec![2; 20], vec![1; 20]),
+            ((0..20).collect::<Vec<u32>>(), (0..20).rev().collect()),
+        ] {
+            let (a, b) = (vc(&a), vc(&b));
+            assert_eq!(compare_chunked_counted(&a, &b, &ops), compare(&a, &b));
+        }
+    }
+
+    #[test]
+    fn chunked_compare_bills_per_word() {
+        // 20 components = 2 full words + 1 remainder word.
+        let ops = OpCounter::new();
+        let a = vc(&vec![1u32; 20]);
+        let b = vc(&vec![2u32; 20]);
+        assert_eq!(compare_chunked_counted(&a, &b, &ops), ClockOrd::Less);
+        assert_eq!(ops.get(), 3, "⌈20/8⌉ words for a full scan");
+    }
+
+    #[test]
+    fn chunked_compare_early_exits_on_concurrency_at_word_granularity() {
+        let ops = OpCounter::new();
+        let mut a = vec![0u32; 64];
+        let mut b = vec![0u32; 64];
+        a[0] = 5; // a > b in word 0
+        b[1] = 5; // b > a in word 0
+        assert_eq!(
+            compare_chunked_counted(&vc(&a), &vc(&b), &ops),
+            ClockOrd::Concurrent
+        );
+        assert_eq!(ops.get(), 1, "decided inside the first word");
+    }
+
+    #[test]
+    fn chunked_strictly_less_agrees_with_scalar() {
+        let ops = OpCounter::new();
+        let a = vc(&[0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let b = vc(&[1, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(strictly_less_chunked_counted(&a, &b, &ops));
+        assert!(!strictly_less_chunked_counted(&b, &a, &ops));
+        assert!(!strictly_less_chunked_counted(&a, &a, &ops));
     }
 }

@@ -22,7 +22,7 @@
 //!
 //! ## Instrumentation
 //!
-//! Two process-wide counters quantify the win (read via [`clone_stats`],
+//! Two **per-thread** counters quantify the win (read via [`clone_stats`],
 //! reset via [`reset_clone_stats`]):
 //!
 //! * **logical clones** — how many times a clock was cloned. Under the old
@@ -30,46 +30,50 @@
 //! * **deep copies** — how many of those (plus copy-on-write breaks)
 //!   actually allocated. This is the post-refactor allocator traffic.
 //!
-//! The benchmark harness reports both as the before/after "clock clones"
-//! figures in `BENCH_hotpath.json`.
+//! The counters are thread-local so that independent deployments sharded
+//! across worker threads (the parallel benchmark / experiment drivers)
+//! each observe only their own clone traffic: a worker resets at the start
+//! of its deployment and reads at the end without any cross-deployment
+//! skew. Per-pool intern traffic is tracked separately by
+//! [`ClockPool::hits`] / [`ClockPool::misses`]. The benchmark harness
+//! reports both as the before/after "clock clones" figures in
+//! `BENCH_hotpath.json`.
 
+use std::cell::Cell;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-static LOGICAL_CLONES: AtomicU64 = AtomicU64::new(0);
-static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static LOGICAL_CLONES: Cell<u64> = const { Cell::new(0) };
+    static DEEP_COPIES: Cell<u64> = const { Cell::new(0) };
+}
 
-/// Snapshot of the clone instrumentation counters:
+/// Snapshot of the calling thread's clone instrumentation counters:
 /// `(logical_clones, deep_copies)`.
 ///
 /// `logical_clones` counts every `VectorClock`/`ClockHandle` clone — each
 /// of which the pre-pool dense representation served with an `O(n)`
 /// allocation. `deep_copies` counts the allocations that actually happened
-/// (copy-on-write breaks and explicit deep copies).
+/// (copy-on-write breaks and explicit deep copies). Counters are
+/// thread-local: a sharded deployment's worker sees only its own traffic.
 pub fn clone_stats() -> (u64, u64) {
-    (
-        LOGICAL_CLONES.load(Ordering::Relaxed),
-        DEEP_COPIES.load(Ordering::Relaxed),
-    )
+    (LOGICAL_CLONES.get(), DEEP_COPIES.get())
 }
 
-/// Resets both clone counters to zero, returning the previous snapshot.
+/// Resets the calling thread's clone counters to zero, returning the
+/// previous snapshot.
 pub fn reset_clone_stats() -> (u64, u64) {
-    (
-        LOGICAL_CLONES.swap(0, Ordering::Relaxed),
-        DEEP_COPIES.swap(0, Ordering::Relaxed),
-    )
+    (LOGICAL_CLONES.replace(0), DEEP_COPIES.replace(0))
 }
 
 #[inline]
 fn bump_logical() {
-    LOGICAL_CLONES.fetch_add(1, Ordering::Relaxed);
+    LOGICAL_CLONES.set(LOGICAL_CLONES.get() + 1);
 }
 
 #[inline]
 fn bump_deep() {
-    DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+    DEEP_COPIES.set(DEEP_COPIES.get() + 1);
 }
 
 /// A cheap handle to an immutable vector of clock components.
@@ -324,5 +328,29 @@ mod tests {
         let _c2 = h.clone();
         let (logical_after, _) = clone_stats();
         assert!(logical_after >= logical_before + 2);
+    }
+
+    #[test]
+    fn clone_counters_are_per_thread() {
+        reset_clone_stats();
+        let h = ClockHandle::new(vec![1, 2]);
+        let _c = h.clone();
+        let (here, _) = clone_stats();
+        assert!(here >= 1);
+        // A sibling worker thread cloning heavily must not skew this
+        // thread's counters — the sharded drivers rely on this.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                reset_clone_stats();
+                let g = ClockHandle::new(vec![3]);
+                for _ in 0..100 {
+                    let _ = g.clone();
+                }
+                let (there, _) = clone_stats();
+                assert_eq!(there, 100);
+            });
+        });
+        let (after, _) = clone_stats();
+        assert_eq!(after, here, "sibling thread's clones not visible here");
     }
 }

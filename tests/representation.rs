@@ -1,8 +1,9 @@
 //! Representation invariance: changing how intervals are *represented* —
-//! dense vs delta wire encoding, full vs incremental sweep scheduling —
-//! must not change *what is detected*. Each property pushes a random
-//! execution through two representations and demands byte-identical
-//! [`detection_fingerprint`]s and identical solution sequences.
+//! dense vs delta wire encoding, full vs incremental vs aggregate sweep
+//! scheduling — must not change *what is detected*. Each property pushes
+//! a random execution through multiple representations and demands
+//! byte-identical [`detection_fingerprint`]s, identical solution
+//! sequences, and identical per-bank deletion decisions.
 
 use bytes::BytesMut;
 use ftscp::core::faultcheck::detection_fingerprint;
@@ -16,9 +17,23 @@ use std::collections::BTreeMap;
 
 type Coverages = Vec<Vec<(u32, u64)>>;
 
-/// Runs the hierarchical detector over `intervals` and returns
-/// (fingerprint, solution coverages, clock-comparison ops billed).
-fn detect(exec: &Execution, intervals: &[Interval], mode: SweepMode) -> (u64, Coverages, u64) {
+/// One detector run's observable outcome: everything that must be
+/// representation-invariant, plus the billed comparison count.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    fingerprint: u64,
+    coverages: Coverages,
+    /// Deletion decisions summed over every node's queue bank: heads
+    /// discarded by the sweep (lines 12/14/16) and heads removed by the
+    /// Eq. (10) prune (lines 23–33). The aggregate gate may only *skip
+    /// redundant comparisons*, never change which heads get deleted.
+    swept: u64,
+    pruned: u64,
+}
+
+/// Runs the hierarchical detector over `intervals` and returns its
+/// outcome and the clock-comparison ops billed.
+fn detect(exec: &Execution, intervals: &[Interval], mode: SweepMode) -> (Outcome, u64) {
     let tree = SpanningTree::balanced_dary(exec.n, 3);
     let mut det = HierarchicalDetector::new(&tree).with_sweep_mode(mode);
     for iv in intervals {
@@ -29,9 +44,14 @@ fn detect(exec: &Execution, intervals: &[Interval], mode: SweepMode) -> (u64, Co
         .iter()
         .map(|d| d.coverage.iter().map(|r| (r.process.0, r.seq)).collect())
         .collect();
+    let stats = det.bank_stats_total();
     (
-        detection_fingerprint(det.root_solutions()),
-        coverages,
+        Outcome {
+            fingerprint: detection_fingerprint(det.root_solutions()),
+            coverages,
+            swept: stats.swept,
+            pruned: stats.pruned,
+        },
         det.ops().get(),
     )
 }
@@ -93,15 +113,17 @@ proptest! {
         prop_assert_eq!(&dense, &original, "dense codec is the identity");
         prop_assert_eq!(&delta, &original, "delta codec is the identity");
 
-        let (fp_dense, sols_dense, _) = detect(&exec, &dense, SweepMode::default());
-        let (fp_delta, sols_delta, _) = detect(&exec, &delta, SweepMode::default());
-        prop_assert_eq!(fp_dense, fp_delta, "fingerprints diverged across codecs");
-        prop_assert_eq!(sols_dense, sols_delta, "solution sequences diverged");
+        let (out_dense, _) = detect(&exec, &dense, SweepMode::default());
+        let (out_delta, _) = detect(&exec, &delta, SweepMode::default());
+        prop_assert_eq!(out_dense, out_delta, "detection outcome diverged across codecs");
     }
 
-    /// The incremental head-overlap sweep detects exactly what the full
-    /// sweep detects — same fingerprint, same solutions — while billing
-    /// no more clock-comparison work.
+    /// Every sweep evaluation strategy — full pairwise, cached
+    /// incremental, and the `⊓`-summary-gated aggregate — detects exactly
+    /// the same thing: same fingerprint, same solution sequences, and the
+    /// same deletion (sweep + Eq. (10) prune) decisions at every node,
+    /// while the cheaper modes bill no more clock-comparison work than
+    /// the full sweep.
     #[test]
     fn sweep_mode_never_changes_detection(
         (n, rounds) in (2usize..9, 2usize..7),
@@ -110,13 +132,18 @@ proptest! {
     ) {
         let exec = random_exec(n, rounds, skip, noise, seed);
         let original: Vec<Interval> = exec.intervals_interleaved().into_iter().cloned().collect();
-        let (fp_full, sols_full, ops_full) = detect(&exec, &original, SweepMode::Full);
-        let (fp_incr, sols_incr, ops_incr) = detect(&exec, &original, SweepMode::Incremental);
-        prop_assert_eq!(fp_full, fp_incr, "fingerprints diverged across sweep modes");
-        prop_assert_eq!(sols_full, sols_incr, "solution sequences diverged");
+        let (out_full, ops_full) = detect(&exec, &original, SweepMode::Full);
+        let (out_incr, ops_incr) = detect(&exec, &original, SweepMode::Incremental);
+        let (out_agg, ops_agg) = detect(&exec, &original, SweepMode::Aggregate);
+        prop_assert_eq!(&out_incr, &out_full, "incremental sweep outcome diverged");
+        prop_assert_eq!(&out_agg, &out_full, "aggregate sweep outcome diverged");
         prop_assert!(
             ops_incr <= ops_full,
             "incremental sweep billed more ops ({} > {})", ops_incr, ops_full
+        );
+        prop_assert!(
+            ops_agg <= ops_full,
+            "aggregate sweep billed more ops ({} > {})", ops_agg, ops_full
         );
     }
 }
