@@ -214,6 +214,82 @@ fn bench_codec(h: u32, skip: f64, solo: f64) -> CodecRun {
     }
 }
 
+/// The `net_loopback` row: the `h = 3` hotpath workload pushed through
+/// the real-TCP loopback deployment (`ftscp-net`), one OS process tree on
+/// 127.0.0.1. `intervals_per_sec` and `elapsed_ms` are wall-clock and not
+/// gated; the frame/byte counters are deterministic because heartbeats
+/// and retransmits are off (reliable local sockets, no drops) and each
+/// node's report stream is interleaving-invariant.
+struct NetRun {
+    available: bool,
+    n: usize,
+    intervals: u64,
+    detections: usize,
+    interval_msgs: u64,
+    interval_frames: u64,
+    standalone_frames: u64,
+    bytes_on_wire: u64,
+    reconnects: u64,
+    intervals_per_sec: f64,
+    elapsed_ms: f64,
+}
+
+fn bench_net_loopback() -> NetRun {
+    use ftscp_net::loopback::{run_execution, sockets_available, LoopbackConfig};
+
+    let h = 3u32;
+    let n = 4usize.pow(h);
+    let mut run = NetRun {
+        available: false,
+        n,
+        intervals: 0,
+        detections: 0,
+        interval_msgs: 0,
+        interval_frames: 0,
+        standalone_frames: 0,
+        bytes_on_wire: 0,
+        reconnects: 0,
+        intervals_per_sec: 0.0,
+        elapsed_ms: 0.0,
+    };
+    if !sockets_available() {
+        return run;
+    }
+    let exec = RandomExecution::builder(n)
+        .intervals_per_process(6)
+        .seed(7)
+        .build();
+    let tree = SpanningTree::balanced_dary(n, 4);
+    let config = LoopbackConfig {
+        monitor: MonitorConfig {
+            heartbeat_period: None,
+            retransmit_period: None,
+            ..MonitorConfig::default()
+        },
+        event_pacing: std::time::Duration::ZERO,
+        run_timeout: std::time::Duration::from_secs(60),
+    };
+    let report = match run_execution(&tree, &exec, &config) {
+        Ok(r) if !r.timed_out => r,
+        _ => return run,
+    };
+    run.available = true;
+    run.intervals = report.total_intervals;
+    run.detections = report.detections.len();
+    run.interval_msgs = report
+        .node_reports
+        .iter()
+        .map(|r| r.interval_msgs_sent)
+        .sum();
+    run.interval_frames = report.interval_frames();
+    run.standalone_frames = report.standalone_frames();
+    run.bytes_on_wire = report.bytes_on_wire();
+    run.reconnects = report.reconnects();
+    run.intervals_per_sec = report.intervals_per_sec();
+    run.elapsed_ms = report.elapsed.as_secs_f64() * 1e3;
+    run
+}
+
 /// Runs the whole measurement grid — every `(point, sweep mode)`
 /// deployment plus one codec pass per point — as independent jobs on the
 /// sharded worker pool, then assembles and cross-checks the points.
@@ -320,7 +396,7 @@ fn bench_points() -> Vec<BenchPoint> {
     points
 }
 
-fn render_bench_json(points: &[BenchPoint]) -> String {
+fn render_bench_json(points: &[BenchPoint], net: &NetRun) -> String {
     // Hand-formatted JSON: the build environment has no serde_json.
     let mut out = String::new();
     out.push_str("{\n");
@@ -369,7 +445,25 @@ fn render_bench_json(points: &[BenchPoint]) -> String {
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"net_loopback\": {{\"available\": {}, \"n\": {}, \"intervals\": {}, \
+         \"detections\": {}, \"interval_msgs\": {}, \"interval_frames\": {}, \
+         \"standalone_frames\": {}, \"bytes_on_wire\": {}, \"reconnects\": {}, \
+         \"intervals_per_sec\": {:.0}, \"elapsed_ms\": {:.3}}}\n",
+        net.available,
+        net.n,
+        net.intervals,
+        net.detections,
+        net.interval_msgs,
+        net.interval_frames,
+        net.standalone_frames,
+        net.bytes_on_wire,
+        net.reconnects,
+        net.intervals_per_sec,
+        net.elapsed_ms
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -377,7 +471,11 @@ const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_
 
 fn run_bench_json() {
     let points = bench_points();
-    let out = render_bench_json(&points);
+    let net = bench_net_loopback();
+    if !net.available {
+        eprintln!("note: loopback sockets unavailable — net_loopback row records zeros");
+    }
+    let out = render_bench_json(&points, &net);
     std::fs::write(BENCH_JSON_PATH, &out).expect("write BENCH_hotpath.json");
     print!("{out}");
     eprintln!("written to {BENCH_JSON_PATH}");
@@ -438,7 +536,8 @@ fn run_bench_check() {
     ];
     let committed = std::fs::read_to_string(BENCH_JSON_PATH)
         .unwrap_or_else(|e| panic!("read committed {BENCH_JSON_PATH}: {e}"));
-    let current = render_bench_json(&bench_points());
+    let net = bench_net_loopback();
+    let current = render_bench_json(&bench_points(), &net);
 
     let mut failures = Vec::new();
     for (section, key) in GATED_KEYS {
@@ -459,6 +558,46 @@ fn run_bench_check() {
             }
         }
     }
+
+    // The net_loopback row is gated only when both the committed baseline
+    // and this machine could actually run the TCP deployment; a row of
+    // zeros (socketless environment) is recorded, not compared. Wall-clock
+    // throughput is machine-dependent and never gated — only the
+    // deterministic frame/byte/message counters are.
+    const NET_GATED_KEYS: [&str; 4] = [
+        "interval_msgs",
+        "interval_frames",
+        "standalone_frames",
+        "bytes_on_wire",
+    ];
+    let committed_net_available = extract_all(&committed, "net_loopback", "intervals") != vec![0.0];
+    if net.available && committed_net_available {
+        for key in NET_GATED_KEYS {
+            let was = extract_all(&committed, "net_loopback", key);
+            let now = extract_all(&current, "net_loopback", key);
+            match (was.first(), now.first()) {
+                (Some(w), Some(n)) if *n > w * 1.10 => failures.push(format!(
+                    "\"net_loopback.{key}\" regressed {w:.1} -> {n:.1} (+{:.1}%)",
+                    100.0 * (n - w) / w
+                )),
+                (Some(_), Some(_)) => {}
+                _ => failures.push(format!(
+                    "committed bench JSON lacks \"net_loopback.{key}\" \
+                     (regenerate with --bench-json)"
+                )),
+            }
+        }
+    } else {
+        eprintln!(
+            "bench check: net_loopback counters not gated (loopback sockets unavailable {})",
+            if net.available {
+                "in the committed baseline"
+            } else {
+                "here"
+            }
+        );
+    }
+
     if failures.is_empty() {
         eprintln!(
             "bench check passed: no gated counter regressed >10% vs committed BENCH_hotpath.json"

@@ -121,6 +121,36 @@ pub fn detection_fingerprint(detections: &[GlobalDetection]) -> u64 {
     h
 }
 
+/// Time-blind variant of [`detection_fingerprint`]: order, reporting
+/// node, solution index, and full coverage contribute — detection *times*
+/// do not. This is the cross-backend anchor: a simulated run and a real
+/// TCP run of the same workload detect the same solutions in the same
+/// per-root order (the queue bank is confluent — see
+/// `crates/intervals/tests/exhaustive.rs`), but their clocks are
+/// incomparable (`SimTime` vs wall time), so the differential test in
+/// `ftscp-net` compares this fingerprint.
+pub fn solution_fingerprint(detections: &[GlobalDetection]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for det in detections {
+        mix(u64::from(det.at_node.0));
+        mix(det.solution.index);
+        mix(det.coverage.len() as u64);
+        for r in &det.coverage {
+            mix(u64::from(r.process.0));
+            mix(r.seq);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +227,26 @@ mod tests {
         let violations = verify_detections(&exec, &[det]);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("violates overlap"));
+    }
+
+    #[test]
+    fn solution_fingerprint_ignores_time_only() {
+        let exec = exec_two_overlapping();
+        let d1 = detection_over(&exec, &[(0, 0), (1, 0)]);
+        let mut d1_later = d1.clone();
+        d1_later.time = SimTime::from_secs(99);
+        // Same solution at a different time: time-blind equal, full not.
+        assert_eq!(
+            solution_fingerprint(&[d1.clone()]),
+            solution_fingerprint(&[d1_later.clone()])
+        );
+        assert_ne!(
+            detection_fingerprint(&[d1.clone()]),
+            detection_fingerprint(&[d1_later])
+        );
+        // Different coverage still changes the time-blind fingerprint.
+        let d2 = detection_over(&exec, &[(0, 0)]);
+        assert_ne!(solution_fingerprint(&[d1]), solution_fingerprint(&[d2]));
     }
 
     #[test]

@@ -46,12 +46,14 @@ pub mod monitor;
 pub mod multi;
 pub mod protocol;
 pub mod report;
+pub mod transport;
 
 pub use engine::{EngineOutput, NodeEngine};
 pub use hier::HierarchicalDetector;
 pub use multi::{MultiDetector, PredicateId};
 pub use protocol::{ConnCodec, DetectMsg};
 pub use report::GlobalDetection;
+pub use transport::{MonitorCore, Transport};
 
 use ftscp_simnet::NodeId;
 use ftscp_vclock::ProcessId;

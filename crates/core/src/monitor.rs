@@ -1,9 +1,18 @@
 //! [`MonitorApp`] — one node's monitor process on the simulated network.
+//!
+//! All protocol logic (queue feeding, reorder buffers, acks/retransmits,
+//! uplink codec state, tree-repair control messages) lives in the
+//! transport-agnostic [`MonitorCore`](crate::transport::MonitorCore);
+//! this wrapper adds only what is simulator-specific: the local interval
+//! *schedule* (the simulated application whose predicate we monitor),
+//! timer plumbing, and crash/reboot checkpointing. The TCP runtime in
+//! `ftscp-net` wraps the very same core, which is what makes the two
+//! backends differentially comparable.
 
-use crate::engine::{EngineCheckpoint, EngineOutput, NodeEngine};
-use crate::nid;
-use crate::protocol::{ConnCodec, DetectMsg, INTERVAL_MSG_OVERHEAD};
+use crate::engine::{EngineCheckpoint, NodeEngine};
+use crate::protocol::DetectMsg;
 use crate::report::GlobalDetection;
+use crate::transport::MonitorCore;
 use ftscp_intervals::Interval;
 use ftscp_simnet::{Application, Ctx, NodeId, SimTime, TimerToken};
 use ftscp_vclock::ProcessId;
@@ -47,48 +56,13 @@ impl Default for MonitorConfig {
     }
 }
 
-/// The per-node monitor: wraps a [`NodeEngine`], reports aggregated
-/// intervals to the parent over the network, reassembles per-child FIFO
-/// order on top of the non-FIFO channels, and applies tree-repair control
-/// messages.
-///
-/// ## Non-FIFO channels and interval order
-///
-/// Algorithm 1's queues assume each child's intervals arrive in the order
-/// they were produced (that is what makes queue heads "earliest remaining",
-/// Theorem 2). The system model explicitly allows out-of-order delivery,
-/// so the monitor restores per-child order with sequence numbers and a
-/// reorder buffer — a standard engineering completion the paper leaves
-/// implicit. Stale re-transmissions (possible after a reattachment
-/// re-report) are dropped.
+/// The per-node monitor on the simulated network: a [`MonitorCore`] plus
+/// the node's local interval schedule and timer/checkpoint plumbing.
 pub struct MonitorApp {
-    me: ProcessId,
-    engine: NodeEngine,
-    parent: Option<ProcessId>,
+    core: MonitorCore,
     /// Local intervals this node will observe, with completion times
     /// (the simulated "application" whose predicate we monitor).
     schedule: VecDeque<(SimTime, Interval)>,
-    config: MonitorConfig,
-    /// Per-child reorder state: next expected seq + held-back intervals.
-    reorder: BTreeMap<ProcessId, (u64, BTreeMap<u64, Interval>)>,
-    /// Detections recorded while this node was a root.
-    detections: Vec<GlobalDetection>,
-    /// Interval messages sent (for per-node accounting).
-    interval_msgs_sent: u64,
-    /// Reliability layer: outputs not yet acknowledged by the parent,
-    /// keyed by output sequence number.
-    unacked: BTreeMap<u64, Interval>,
-    /// Current retransmit backoff multiplier (1 = base period); doubles on
-    /// each firing without ack progress up to the configured cap.
-    retransmit_backoff: u32,
-    /// Delta-codec state of the uplink to the current parent: fresh
-    /// reports go out as stateful frames against the previous report's
-    /// `lo`; retransmissions and re-reports are standalone and leave this
-    /// untouched. Determines only the byte sizes charged to the simulated
-    /// network — the detection path carries structured messages.
-    uplink_codec: ConnCodec,
-    /// Heartbeats observed: peer → last time.
-    pub heartbeat_seen: BTreeMap<ProcessId, SimTime>,
     /// Last persisted checkpoint ("stable storage"): taken after every
     /// engine-state change when checkpointing is enabled.
     stable_checkpoint: Option<EngineCheckpoint>,
@@ -107,21 +81,9 @@ impl MonitorApp {
         config: MonitorConfig,
     ) -> Self {
         debug_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
-        let mut engine = NodeEngine::new(me, children, parent.is_none());
-        engine.set_level(level);
         MonitorApp {
-            me,
-            engine,
-            parent,
+            core: MonitorCore::new(me, parent, children, level, config),
             schedule: schedule.into(),
-            config,
-            reorder: BTreeMap::new(),
-            detections: Vec::new(),
-            interval_msgs_sent: 0,
-            unacked: BTreeMap::new(),
-            retransmit_backoff: 1,
-            uplink_codec: ConnCodec::new(),
-            heartbeat_seen: BTreeMap::new(),
             stable_checkpoint: None,
             checkpointing: false,
         }
@@ -138,7 +100,7 @@ impl MonitorApp {
     /// Non-consuming form of [`with_checkpointing`](Self::with_checkpointing).
     pub fn enable_checkpointing(&mut self) {
         self.checkpointing = true;
-        self.stable_checkpoint = Some(self.engine.checkpoint());
+        self.stable_checkpoint = Some(self.core.engine.checkpoint());
     }
 
     /// The last persisted checkpoint, if checkpointing is enabled.
@@ -164,14 +126,14 @@ impl MonitorApp {
         for child in engine.children().to_vec() {
             let _ = engine.remove_child(child);
         }
-        self.engine = engine;
-        self.parent = None; // the maintenance service will SetParent us
-        self.reorder.clear();
-        self.unacked.clear();
-        self.retransmit_backoff = 1;
-        self.uplink_codec.reset(); // connection state is volatile
-                                   // Intervals that would have completed during the outage never
-                                   // happened (the node was down): drop them.
+        self.core.engine = engine;
+        self.core.parent = None; // the maintenance service will SetParent us
+        self.core.reorder.clear();
+        self.core.unacked.clear();
+        self.core.retransmit_backoff = 1;
+        self.core.uplink_codec.reset(); // connection state is volatile
+                                        // Intervals that would have completed during the outage never
+                                        // happened (the node was down): drop them.
         while let Some(&(t, _)) = self.schedule.front() {
             if t <= ctx.now() {
                 self.schedule.pop_front();
@@ -181,10 +143,10 @@ impl MonitorApp {
         }
         // Re-arm volatile timers.
         self.arm_next_interval(ctx);
-        if let Some(period) = self.config.heartbeat_period {
+        if let Some(period) = self.core.config.heartbeat_period {
             ctx.set_timer(period, TIMER_HEARTBEAT);
         }
-        if let Some(period) = self.config.retransmit_period {
+        if let Some(period) = self.core.config.retransmit_period {
             ctx.set_timer(period, TIMER_RETRANSMIT);
         }
         true
@@ -192,173 +154,54 @@ impl MonitorApp {
 
     fn persist(&mut self) {
         if self.checkpointing {
-            self.stable_checkpoint = Some(self.engine.checkpoint());
+            self.stable_checkpoint = Some(self.core.engine.checkpoint());
         }
     }
 
     /// Outputs awaiting parent acknowledgement (reliability layer).
     pub fn unacked_count(&self) -> usize {
-        self.unacked.len()
+        self.core.unacked_count()
     }
 
     /// Detections recorded at this node (non-empty only for roots).
     pub fn detections(&self) -> &[GlobalDetection] {
-        &self.detections
+        self.core.detections()
     }
 
     /// This node's current parent.
     pub fn parent(&self) -> Option<ProcessId> {
-        self.parent
+        self.core.parent()
     }
 
     /// The wrapped engine (for statistics).
     pub fn engine(&self) -> &NodeEngine {
-        &self.engine
+        self.core.engine()
     }
 
     /// Interval messages this node originated.
     pub fn interval_msgs_sent(&self) -> u64 {
-        self.interval_msgs_sent
+        self.core.interval_msgs_sent()
+    }
+
+    /// Heartbeats observed so far: peer → last time.
+    pub fn heartbeat_seen(&self) -> &BTreeMap<ProcessId, SimTime> {
+        self.core.heartbeat_seen()
     }
 
     /// Tree peers (parent + children) whose last heartbeat is older than
-    /// `timeout` at time `now` — the local failure-detector view that a
-    /// full deployment's maintenance service would act on. Peers never
-    /// heard from at all are suspected once a full timeout has elapsed
-    /// since the start of time.
+    /// `timeout` at time `now` — see [`MonitorCore::suspects`].
     pub fn suspects(&self, now: SimTime, timeout: SimTime) -> Vec<ProcessId> {
-        let mut peers: Vec<ProcessId> = self.engine.children().to_vec();
-        if let Some(p) = self.parent {
-            peers.push(p);
-        }
-        peers
-            .into_iter()
-            .filter(|peer| {
-                let last = self
-                    .heartbeat_seen
-                    .get(peer)
-                    .copied()
-                    .unwrap_or(SimTime::ZERO);
-                now.saturating_sub(last) > timeout
-            })
-            .collect()
-    }
-
-    fn handle_outputs(&mut self, ctx: &mut Ctx<'_, DetectMsg>, outputs: Vec<EngineOutput>) {
-        for out in outputs {
-            match out {
-                EngineOutput::ToParent { interval, .. } => {
-                    if self.config.retransmit_period.is_some() {
-                        self.unacked.insert(interval.seq, interval.clone());
-                    }
-                    if let Some(parent) = self.parent {
-                        self.interval_msgs_sent += 1;
-                        // Fresh report: the next stateful frame of the
-                        // uplink stream, charged at its delta-coded size.
-                        let size =
-                            INTERVAL_MSG_OVERHEAD + self.uplink_codec.stateful_len(&interval);
-                        self.uplink_codec.note_sent(&interval);
-                        ctx.send_sized(
-                            nid(parent),
-                            DetectMsg::Interval {
-                                from: self.me,
-                                interval,
-                                resync: false,
-                            },
-                            size,
-                        );
-                    }
-                    // No parent (orphan root): the detection is recorded at
-                    // engine level; nothing to transmit.
-                }
-                EngineOutput::Detected(sol) => {
-                    self.detections
-                        .push(GlobalDetection::new(self.me, sol, ctx.now()));
-                }
-            }
-        }
+        self.core.suspects(now, timeout)
     }
 
     /// Current retransmit backoff multiplier (for tests/telemetry).
     pub fn retransmit_backoff(&self) -> u32 {
-        self.retransmit_backoff
+        self.core.retransmit_backoff()
     }
 
     /// Local intervals not yet observed (schedule remainder).
     pub fn pending_schedule_len(&self) -> usize {
         self.schedule.len()
-    }
-
-    /// Re-sends unacknowledged outputs to the current parent, oldest
-    /// first, flagging the first as a stream resync. At most
-    /// `retransmit_burst` outputs go out per call — a long outage must not
-    /// flood the network with the whole backlog at once; the cumulative
-    /// ack moves the window so later calls pick up where this one stopped.
-    fn retransmit_unacked(&mut self, ctx: &mut Ctx<'_, DetectMsg>, resync_first: bool) {
-        let Some(parent) = self.parent else { return };
-        let mut first = true;
-        for interval in self.unacked.values().take(self.config.retransmit_burst) {
-            self.interval_msgs_sent += 1;
-            // Retransmissions are standalone frames (decodable by a parent
-            // that missed the originals) and do not advance the uplink
-            // codec — the live stream's base is unaffected by re-sends.
-            let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(interval);
-            ctx.send_sized(
-                nid(parent),
-                DetectMsg::Interval {
-                    from: self.me,
-                    interval: interval.clone(),
-                    resync: resync_first && first,
-                },
-                size,
-            );
-            first = false;
-        }
-    }
-
-    /// Feeds `interval` from `child` through the per-child reorder buffer,
-    /// delivering to the engine everything that is now in order.
-    fn deliver_in_order(
-        &mut self,
-        ctx: &mut Ctx<'_, DetectMsg>,
-        child: ProcessId,
-        interval: Interval,
-        resync: bool,
-    ) {
-        let ready = {
-            let (next_expected, buffer) = self
-                .reorder
-                .entry(child)
-                .or_insert_with(|| (0, BTreeMap::new()));
-            if resync && interval.seq > *next_expected {
-                // Re-report after a tree repair: earlier sequence numbers
-                // were consumed by the child's previous parent and will
-                // never arrive here.
-                *next_expected = interval.seq;
-                buffer.retain(|&s, _| s >= interval.seq);
-            }
-            match interval.seq.cmp(next_expected) {
-                std::cmp::Ordering::Less => Vec::new(), // stale duplicate
-                std::cmp::Ordering::Greater => {
-                    buffer.insert(interval.seq, interval);
-                    Vec::new()
-                }
-                std::cmp::Ordering::Equal => {
-                    let mut ready = vec![interval];
-                    let mut next = *next_expected + 1;
-                    while let Some(iv) = buffer.remove(&next) {
-                        ready.push(iv);
-                        next += 1;
-                    }
-                    *next_expected = next;
-                    ready
-                }
-            }
-        };
-        for iv in ready {
-            let outputs = self.engine.on_child_interval(child, iv);
-            self.handle_outputs(ctx, outputs);
-        }
     }
 
     fn arm_next_interval(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
@@ -374,10 +217,10 @@ impl Application for MonitorApp {
 
     fn on_init(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
         self.arm_next_interval(ctx);
-        if let Some(period) = self.config.heartbeat_period {
+        if let Some(period) = self.core.config.heartbeat_period {
             ctx.set_timer(period, TIMER_HEARTBEAT);
         }
-        if let Some(period) = self.config.retransmit_period {
+        if let Some(period) = self.core.config.retransmit_period {
             ctx.set_timer(period, TIMER_RETRANSMIT);
         }
     }
@@ -390,40 +233,19 @@ impl Application for MonitorApp {
                         break;
                     }
                     let (_, interval) = self.schedule.pop_front().expect("peeked");
-                    let outputs = self.engine.on_local_interval(interval);
-                    self.handle_outputs(ctx, outputs);
+                    self.core.observe_local(interval, ctx);
                 }
                 self.persist();
                 self.arm_next_interval(ctx);
             }
             TIMER_RETRANSMIT => {
-                if let Some(period) = self.config.retransmit_period {
-                    if self.unacked.is_empty() {
-                        // Nothing outstanding: idle at the base period.
-                        self.retransmit_backoff = 1;
-                    } else {
-                        self.retransmit_unacked(ctx, false);
-                        // No ack progress since the last firing (an ack
-                        // would have reset the multiplier): back off
-                        // exponentially so a dead or partitioned parent
-                        // is not hammered at full rate.
-                        self.retransmit_backoff = (self.retransmit_backoff * 2)
-                            .min(self.config.retransmit_backoff_cap.max(1));
-                    }
-                    let delay = SimTime(period.0 * u64::from(self.retransmit_backoff));
+                if let Some(delay) = self.core.on_retransmit_due(ctx) {
                     ctx.set_timer(delay, TIMER_RETRANSMIT);
                 }
             }
             TIMER_HEARTBEAT => {
-                if let Some(period) = self.config.heartbeat_period {
-                    let me = self.me;
-                    let mut peers: Vec<ProcessId> = self.engine.children().to_vec();
-                    if let Some(p) = self.parent {
-                        peers.push(p);
-                    }
-                    for peer in peers {
-                        ctx.send(nid(peer), DetectMsg::Heartbeat { from: me });
-                    }
+                if let Some(period) = self.core.config.heartbeat_period {
+                    self.core.send_heartbeats(ctx);
                     ctx.set_timer(period, TIMER_HEARTBEAT);
                 }
             }
@@ -432,93 +254,7 @@ impl Application for MonitorApp {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, DetectMsg>, _from: NodeId, msg: DetectMsg) {
-        match msg {
-            DetectMsg::Interval {
-                from,
-                interval,
-                resync,
-            } => {
-                self.deliver_in_order(ctx, from, interval, resync);
-                // Reliability layer: cumulatively acknowledge the child's
-                // stream position (idempotent; sent per received report).
-                if self.config.retransmit_period.is_some() {
-                    if let Some((next_expected, _)) = self.reorder.get(&from) {
-                        let upto = *next_expected;
-                        ctx.send(
-                            nid(from),
-                            DetectMsg::Ack {
-                                from: self.me,
-                                upto,
-                            },
-                        );
-                    }
-                }
-            }
-            DetectMsg::Ack { upto, .. } => {
-                let before = self.unacked.len();
-                self.unacked.retain(|&seq, _| seq >= upto);
-                if self.unacked.len() < before {
-                    // Ack progress: the parent is responsive again, so the
-                    // retransmit timer returns to its base period.
-                    self.retransmit_backoff = 1;
-                }
-            }
-            DetectMsg::Heartbeat { from } => {
-                self.heartbeat_seen.insert(from, ctx.now());
-            }
-            DetectMsg::SetParent { parent } => {
-                self.parent = parent;
-                self.engine.set_root(parent.is_none());
-                // A fresh parent gets a fresh backoff window and a cold
-                // uplink codec (the old connection's base is meaningless
-                // to the new parent's decoder).
-                self.retransmit_backoff = 1;
-                self.uplink_codec.reset();
-                if self.config.retransmit_period.is_some() && !self.unacked.is_empty() {
-                    // Reliability layer: the new parent needs everything
-                    // the dead parent never acknowledged.
-                    self.retransmit_unacked(ctx, true);
-                } else if let (Some(p), Some(last)) = (parent, self.engine.last_output().cloned()) {
-                    // Re-report the latest output so the new parent's
-                    // fresh queue is seeded (§III-B). Standalone frame:
-                    // the new parent's decoder is cold.
-                    self.interval_msgs_sent += 1;
-                    let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(&last);
-                    ctx.send_sized(
-                        nid(p),
-                        DetectMsg::Interval {
-                            from: self.me,
-                            interval: last,
-                            resync: true,
-                        },
-                        size,
-                    );
-                }
-            }
-            DetectMsg::AddChild { child } => {
-                if !self.engine.has_child(child) {
-                    self.engine.add_child(child);
-                    // A fresh queue accepts any sequence number.
-                    self.reorder.remove(&child);
-                }
-            }
-            DetectMsg::RemoveChild { child } => {
-                self.reorder.remove(&child);
-                let outputs = self.engine.remove_child(child);
-                self.handle_outputs(ctx, outputs);
-            }
-            DetectMsg::PromoteRoot => {
-                self.parent = None;
-                self.engine.set_root(true);
-                // Fold the last output (shipped only to the dead root)
-                // back into detection.
-                let outputs = self.engine.reseed_last_output();
-                self.handle_outputs(ctx, outputs);
-            }
-            DetectMsg::DemoteRoot => {
-                self.engine.set_root(false);
-            }
-        }
+        self.core.on_message(msg, ctx);
         self.persist();
     }
 

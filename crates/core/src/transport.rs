@@ -1,0 +1,620 @@
+//! Transport abstraction and the transport-agnostic monitor state machine.
+//!
+//! [`MonitorCore`] is everything a tree node's monitor does that has
+//! nothing to do with *how* bytes move: feeding the [`NodeEngine`],
+//! per-child reorder buffers, the cumulative-ack reliability layer with
+//! bounded retransmit bursts and exponential backoff, uplink delta-codec
+//! state, and detection recording. It talks to the world only through the
+//! [`Transport`] trait, so the same state machine drives both backends:
+//!
+//! * `ftscp-simnet` — [`crate::monitor::MonitorApp`] wraps a core and
+//!   implements [`Transport`] on the simulator's `Ctx` (sends are
+//!   structured messages, billed at their delta-coded size via
+//!   `send_sized`);
+//! * `ftscp-net` — the TCP runtime wraps a core and implements
+//!   [`Transport`] over real sockets (sends are actually encoded).
+//!
+//! Because both backends execute the *same* `MonitorCore` code, they
+//! cannot drift: the differential test in `ftscp-net` asserts identical
+//! detection fingerprints for the same workload run through either one.
+
+use crate::engine::{EngineOutput, NodeEngine};
+use crate::monitor::MonitorConfig;
+use crate::protocol::{ConnCodec, DetectMsg, INTERVAL_MSG_OVERHEAD};
+use crate::report::GlobalDetection;
+use ftscp_intervals::Interval;
+use ftscp_simnet::SimTime;
+use ftscp_vclock::ProcessId;
+use std::collections::BTreeMap;
+
+/// The monitor's view of a message channel: fire-and-forget sends to a
+/// peer process plus a clock. Implementations decide routing, encoding,
+/// and delivery semantics; the core only assumes that messages to one
+/// peer arrive in the order sent *or* are recovered by its own
+/// reliability layer (acks + retransmissions).
+pub trait Transport {
+    /// Current time on this node's clock (simulated or wall).
+    fn now(&self) -> SimTime;
+
+    /// Sends `msg` to `dst`, billed at the backend's default size.
+    fn send(&mut self, dst: ProcessId, msg: DetectMsg);
+
+    /// Sends `msg` to `dst`, billed as `size` bytes — the hook for
+    /// stateful wire encodings whose frame size depends on what the
+    /// connection already carried. Backends that encode for real may
+    /// ignore `size` and bill actual bytes.
+    fn send_sized(&mut self, dst: ProcessId, msg: DetectMsg, size: usize);
+}
+
+/// [`Transport`] over the simulator's effect interface: sends become
+/// simulated network messages routed over the topology and billed via
+/// the simulator's byte accounting.
+impl Transport for ftscp_simnet::Ctx<'_, DetectMsg> {
+    fn now(&self) -> SimTime {
+        ftscp_simnet::Ctx::now(self)
+    }
+
+    fn send(&mut self, dst: ProcessId, msg: DetectMsg) {
+        ftscp_simnet::Ctx::send(self, crate::nid(dst), msg);
+    }
+
+    fn send_sized(&mut self, dst: ProcessId, msg: DetectMsg, size: usize) {
+        ftscp_simnet::Ctx::send_sized(self, crate::nid(dst), msg, size);
+    }
+}
+
+/// The transport-agnostic monitor state machine (see module docs).
+///
+/// ## Non-FIFO channels and interval order
+///
+/// Algorithm 1's queues assume each child's intervals arrive in the order
+/// they were produced (that is what makes queue heads "earliest
+/// remaining", Theorem 2). The system model explicitly allows
+/// out-of-order delivery, so the core restores per-child order with
+/// sequence numbers and a reorder buffer — a standard engineering
+/// completion the paper leaves implicit. Stale re-transmissions (possible
+/// after a reattachment re-report, or a TCP reconnect replay) are
+/// dropped.
+pub struct MonitorCore {
+    pub(crate) me: ProcessId,
+    pub(crate) engine: NodeEngine,
+    pub(crate) parent: Option<ProcessId>,
+    pub(crate) config: MonitorConfig,
+    /// Per-child reorder state: next expected seq + held-back intervals.
+    pub(crate) reorder: BTreeMap<ProcessId, (u64, BTreeMap<u64, Interval>)>,
+    /// Detections recorded while this node was a root.
+    pub(crate) detections: Vec<GlobalDetection>,
+    /// Interval messages sent (for per-node accounting).
+    pub(crate) interval_msgs_sent: u64,
+    /// Reliability layer: outputs not yet acknowledged by the parent,
+    /// keyed by output sequence number.
+    pub(crate) unacked: BTreeMap<u64, Interval>,
+    /// Current retransmit backoff multiplier (1 = base period); doubles on
+    /// each firing without ack progress up to the configured cap.
+    pub(crate) retransmit_backoff: u32,
+    /// Delta-codec state of the uplink to the current parent: fresh
+    /// reports go out as stateful frames against the previous report's
+    /// `lo`; retransmissions and re-reports are standalone and leave this
+    /// untouched. On the simulated backend this determines only the byte
+    /// sizes charged to the network; the TCP backend mirrors the same
+    /// decisions with a real per-connection codec.
+    pub(crate) uplink_codec: ConnCodec,
+    /// Heartbeats observed: peer → last time.
+    pub(crate) heartbeat_seen: BTreeMap<ProcessId, SimTime>,
+}
+
+impl MonitorCore {
+    /// Builds a core for `me` with the given children.
+    pub fn new(
+        me: ProcessId,
+        parent: Option<ProcessId>,
+        children: &[ProcessId],
+        level: u32,
+        config: MonitorConfig,
+    ) -> Self {
+        let mut engine = NodeEngine::new(me, children, parent.is_none());
+        engine.set_level(level);
+        MonitorCore {
+            me,
+            engine,
+            parent,
+            config,
+            reorder: BTreeMap::new(),
+            detections: Vec::new(),
+            interval_msgs_sent: 0,
+            unacked: BTreeMap::new(),
+            retransmit_backoff: 1,
+            uplink_codec: ConnCodec::new(),
+            heartbeat_seen: BTreeMap::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// This node's current parent.
+    pub fn parent(&self) -> Option<ProcessId> {
+        self.parent
+    }
+
+    /// The wrapped engine (for statistics).
+    pub fn engine(&self) -> &NodeEngine {
+        &self.engine
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    /// Detections recorded at this node (non-empty only for roots).
+    pub fn detections(&self) -> &[GlobalDetection] {
+        &self.detections
+    }
+
+    /// Interval messages this node originated.
+    pub fn interval_msgs_sent(&self) -> u64 {
+        self.interval_msgs_sent
+    }
+
+    /// Outputs awaiting parent acknowledgement (reliability layer).
+    pub fn unacked_count(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Current retransmit backoff multiplier (for tests/telemetry).
+    pub fn retransmit_backoff(&self) -> u32 {
+        self.retransmit_backoff
+    }
+
+    /// Heartbeats observed so far: peer → last time.
+    pub fn heartbeat_seen(&self) -> &BTreeMap<ProcessId, SimTime> {
+        &self.heartbeat_seen
+    }
+
+    /// Records a liveness observation of `peer` (a received heartbeat, or
+    /// any session-layer evidence such as a completed handshake).
+    pub fn note_heartbeat(&mut self, peer: ProcessId, now: SimTime) {
+        self.heartbeat_seen.insert(peer, now);
+    }
+
+    /// Tree peers this node beacons to: children plus parent.
+    pub fn heartbeat_targets(&self) -> Vec<ProcessId> {
+        let mut peers: Vec<ProcessId> = self.engine.children().to_vec();
+        if let Some(p) = self.parent {
+            peers.push(p);
+        }
+        peers
+    }
+
+    /// Sends one heartbeat to every tree peer.
+    pub fn send_heartbeats(&mut self, t: &mut impl Transport) {
+        let me = self.me;
+        for peer in self.heartbeat_targets() {
+            t.send(peer, DetectMsg::Heartbeat { from: me });
+        }
+    }
+
+    /// Tree peers (parent + children) whose last heartbeat is older than
+    /// `timeout` at time `now` — the local failure-detector view that a
+    /// deployment's maintenance service (or the TCP runtime's reconnect
+    /// logic) acts on. Peers never heard from at all are suspected once a
+    /// full timeout has elapsed since the start of time.
+    pub fn suspects(&self, now: SimTime, timeout: SimTime) -> Vec<ProcessId> {
+        self.heartbeat_targets()
+            .into_iter()
+            .filter(|peer| {
+                let last = self
+                    .heartbeat_seen
+                    .get(peer)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                now.saturating_sub(last) > timeout
+            })
+            .collect()
+    }
+
+    /// A new local predicate interval completed at this node (lines
+    /// (1)–(3) for the local queue `Q_0`).
+    pub fn observe_local(&mut self, interval: Interval, t: &mut impl Transport) {
+        let outputs = self.engine.on_local_interval(interval);
+        self.handle_outputs(t, outputs);
+    }
+
+    fn handle_outputs(&mut self, t: &mut impl Transport, outputs: Vec<EngineOutput>) {
+        for out in outputs {
+            match out {
+                EngineOutput::ToParent { interval, .. } => {
+                    if self.config.retransmit_period.is_some() {
+                        self.unacked.insert(interval.seq, interval.clone());
+                    }
+                    if let Some(parent) = self.parent {
+                        self.interval_msgs_sent += 1;
+                        // Fresh report: the next stateful frame of the
+                        // uplink stream, charged at its delta-coded size.
+                        let size =
+                            INTERVAL_MSG_OVERHEAD + self.uplink_codec.stateful_len(&interval);
+                        self.uplink_codec.note_sent(&interval);
+                        t.send_sized(
+                            parent,
+                            DetectMsg::Interval {
+                                from: self.me,
+                                interval,
+                                resync: false,
+                            },
+                            size,
+                        );
+                    }
+                    // No parent (orphan root): the detection is recorded at
+                    // engine level; nothing to transmit.
+                }
+                EngineOutput::Detected(sol) => {
+                    self.detections
+                        .push(GlobalDetection::new(self.me, sol, t.now()));
+                }
+            }
+        }
+    }
+
+    /// Re-sends unacknowledged outputs to the current parent, oldest
+    /// first, flagging the first as a stream resync. At most
+    /// `retransmit_burst` outputs go out per call — a long outage must not
+    /// flood the network with the whole backlog at once; the cumulative
+    /// ack moves the window so later calls pick up where this one stopped.
+    pub fn retransmit_unacked(&mut self, t: &mut impl Transport, resync_first: bool) {
+        let Some(parent) = self.parent else { return };
+        let mut first = true;
+        for interval in self.unacked.values().take(self.config.retransmit_burst) {
+            self.interval_msgs_sent += 1;
+            // Retransmissions are standalone frames (decodable by a parent
+            // that missed the originals) and do not advance the uplink
+            // codec — the live stream's base is unaffected by re-sends.
+            let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(interval);
+            t.send_sized(
+                parent,
+                DetectMsg::Interval {
+                    from: self.me,
+                    interval: interval.clone(),
+                    resync: resync_first && first,
+                },
+                size,
+            );
+            first = false;
+        }
+    }
+
+    /// The uplink channel to the parent was (re-)established cold: the
+    /// receiving decoder has no per-connection state, so the stream must
+    /// restart from a standalone frame. Resets the uplink codec, then
+    /// either retransmits the unacknowledged backlog (first frame flagged
+    /// as a resync) or — when the reliability layer is off or drained —
+    /// re-reports the node's last output so the parent's fresh queue is
+    /// seeded (§III-B). Shared by the simulated `SetParent` path and the
+    /// TCP runtime's reconnect path.
+    pub fn resync_uplink(&mut self, t: &mut impl Transport) {
+        self.uplink_codec.reset();
+        if self.config.retransmit_period.is_some() && !self.unacked.is_empty() {
+            // Reliability layer: the (new) parent needs everything the
+            // previous connection never acknowledged.
+            self.retransmit_unacked(t, true);
+        } else if let (Some(p), Some(last)) = (self.parent, self.engine.last_output().cloned()) {
+            // Standalone frame: the receiving decoder is cold.
+            self.interval_msgs_sent += 1;
+            let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(&last);
+            t.send_sized(
+                p,
+                DetectMsg::Interval {
+                    from: self.me,
+                    interval: last,
+                    resync: true,
+                },
+                size,
+            );
+        }
+    }
+
+    /// The retransmit period elapsed: re-send a bounded burst of the
+    /// backlog (if any) and back off exponentially while no ack makes
+    /// progress. Returns the delay until the next firing, or `None` when
+    /// the reliability layer is disabled.
+    pub fn on_retransmit_due(&mut self, t: &mut impl Transport) -> Option<SimTime> {
+        let period = self.config.retransmit_period?;
+        if self.unacked.is_empty() {
+            // Nothing outstanding: idle at the base period.
+            self.retransmit_backoff = 1;
+        } else {
+            self.retransmit_unacked(t, false);
+            // No ack progress since the last firing (an ack would have
+            // reset the multiplier): back off exponentially so a dead or
+            // partitioned parent is not hammered at full rate.
+            self.retransmit_backoff =
+                (self.retransmit_backoff * 2).min(self.config.retransmit_backoff_cap.max(1));
+        }
+        Some(SimTime(period.0 * u64::from(self.retransmit_backoff)))
+    }
+
+    /// Feeds `interval` from `child` through the per-child reorder buffer,
+    /// delivering to the engine everything that is now in order.
+    fn deliver_in_order(
+        &mut self,
+        t: &mut impl Transport,
+        child: ProcessId,
+        interval: Interval,
+        resync: bool,
+    ) {
+        let ready = {
+            let (next_expected, buffer) = self
+                .reorder
+                .entry(child)
+                .or_insert_with(|| (0, BTreeMap::new()));
+            if resync && interval.seq > *next_expected {
+                // Re-report after a tree repair: earlier sequence numbers
+                // were consumed by the child's previous parent and will
+                // never arrive here.
+                *next_expected = interval.seq;
+                buffer.retain(|&s, _| s >= interval.seq);
+            }
+            match interval.seq.cmp(next_expected) {
+                std::cmp::Ordering::Less => Vec::new(), // stale duplicate
+                std::cmp::Ordering::Greater => {
+                    buffer.insert(interval.seq, interval);
+                    Vec::new()
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut ready = vec![interval];
+                    let mut next = *next_expected + 1;
+                    while let Some(iv) = buffer.remove(&next) {
+                        ready.push(iv);
+                        next += 1;
+                    }
+                    *next_expected = next;
+                    ready
+                }
+            }
+        };
+        for iv in ready {
+            let outputs = self.engine.on_child_interval(child, iv);
+            self.handle_outputs(t, outputs);
+        }
+    }
+
+    /// Processes one incoming protocol message (interval report, ack,
+    /// heartbeat, or a maintenance-service control message).
+    pub fn on_message(&mut self, msg: DetectMsg, t: &mut impl Transport) {
+        match msg {
+            DetectMsg::Interval {
+                from,
+                interval,
+                resync,
+            } => {
+                self.deliver_in_order(t, from, interval, resync);
+                // Reliability layer: cumulatively acknowledge the child's
+                // stream position (idempotent; sent per received report).
+                if self.config.retransmit_period.is_some() {
+                    if let Some((next_expected, _)) = self.reorder.get(&from) {
+                        let upto = *next_expected;
+                        t.send(
+                            from,
+                            DetectMsg::Ack {
+                                from: self.me,
+                                upto,
+                            },
+                        );
+                    }
+                }
+            }
+            DetectMsg::Ack { upto, .. } => {
+                let before = self.unacked.len();
+                self.unacked.retain(|&seq, _| seq >= upto);
+                if self.unacked.len() < before {
+                    // Ack progress: the parent is responsive again, so the
+                    // retransmit timer returns to its base period.
+                    self.retransmit_backoff = 1;
+                }
+            }
+            DetectMsg::Heartbeat { from } => {
+                self.heartbeat_seen.insert(from, t.now());
+            }
+            DetectMsg::SetParent { parent } => {
+                self.parent = parent;
+                self.engine.set_root(parent.is_none());
+                // A fresh parent gets a fresh backoff window and a cold
+                // uplink codec (the old connection's base is meaningless
+                // to the new parent's decoder).
+                self.retransmit_backoff = 1;
+                self.resync_uplink(t);
+            }
+            DetectMsg::AddChild { child } => {
+                if !self.engine.has_child(child) {
+                    self.engine.add_child(child);
+                    // A fresh queue accepts any sequence number.
+                    self.reorder.remove(&child);
+                }
+            }
+            DetectMsg::RemoveChild { child } => {
+                self.reorder.remove(&child);
+                let outputs = self.engine.remove_child(child);
+                self.handle_outputs(t, outputs);
+            }
+            DetectMsg::PromoteRoot => {
+                self.parent = None;
+                self.engine.set_root(true);
+                // Fold the last output (shipped only to the dead root)
+                // back into detection.
+                let outputs = self.engine.reseed_last_output();
+                self.handle_outputs(t, outputs);
+            }
+            DetectMsg::DemoteRoot => {
+                self.engine.set_root(false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_vclock::VectorClock;
+
+    /// Minimal recording transport for unit tests: collects sends and
+    /// serves a fixed clock.
+    #[derive(Default)]
+    struct RecTransport {
+        now: SimTime,
+        sent: Vec<(ProcessId, DetectMsg, Option<usize>)>,
+    }
+
+    impl Transport for RecTransport {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, dst: ProcessId, msg: DetectMsg) {
+            self.sent.push((dst, msg, None));
+        }
+        fn send_sized(&mut self, dst: ProcessId, msg: DetectMsg, size: usize) {
+            self.sent.push((dst, msg, Some(size)));
+        }
+    }
+
+    fn iv(p: u32, seq: u64, lo: &[u32], hi: &[u32]) -> Interval {
+        Interval::local(
+            ProcessId(p),
+            seq,
+            VectorClock::from_components(lo.to_vec()),
+            VectorClock::from_components(hi.to_vec()),
+        )
+    }
+
+    #[test]
+    fn leaf_reports_upward_with_stateful_billing() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[],
+            1,
+            MonitorConfig::default(),
+        );
+        let mut t = RecTransport::default();
+        core.observe_local(iv(1, 0, &[0, 1], &[0, 2]), &mut t);
+        core.observe_local(iv(1, 1, &[0, 3], &[0, 4]), &mut t);
+        assert_eq!(t.sent.len(), 2);
+        assert_eq!(core.interval_msgs_sent(), 2);
+        let (dst, msg, size) = &t.sent[1];
+        assert_eq!(*dst, ProcessId(0));
+        assert!(msg.is_interval());
+        // The second report is billed as a stateful frame against the
+        // first one's lo — never larger than a standalone frame (ties are
+        // possible for tiny clocks).
+        let DetectMsg::Interval { interval, .. } = msg else {
+            unreachable!()
+        };
+        assert!(size.unwrap() <= INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(interval));
+    }
+
+    #[test]
+    fn resync_uplink_reports_last_output_standalone() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[],
+            1,
+            MonitorConfig::default(),
+        );
+        let mut t = RecTransport::default();
+        core.observe_local(iv(1, 0, &[0, 1], &[0, 2]), &mut t);
+        t.sent.clear();
+        core.resync_uplink(&mut t);
+        assert_eq!(t.sent.len(), 1, "last output re-reported");
+        let (_, msg, size) = &t.sent[0];
+        let DetectMsg::Interval {
+            interval, resync, ..
+        } = msg
+        else {
+            unreachable!()
+        };
+        assert!(*resync, "re-report is a resync point");
+        assert_eq!(
+            size.unwrap(),
+            INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(interval),
+            "billed standalone — the receiving decoder is cold"
+        );
+    }
+
+    #[test]
+    fn resync_uplink_prefers_unacked_backlog() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[],
+            1,
+            MonitorConfig {
+                retransmit_period: Some(SimTime::from_millis(10)),
+                ..Default::default()
+            },
+        );
+        let mut t = RecTransport::default();
+        core.observe_local(iv(1, 0, &[0, 1], &[0, 2]), &mut t);
+        core.observe_local(iv(1, 1, &[0, 3], &[0, 4]), &mut t);
+        assert_eq!(core.unacked_count(), 2);
+        t.sent.clear();
+        core.resync_uplink(&mut t);
+        assert_eq!(t.sent.len(), 2, "whole unacked backlog retransmitted");
+        let resyncs: Vec<bool> = t
+            .sent
+            .iter()
+            .map(|(_, m, _)| matches!(m, DetectMsg::Interval { resync: true, .. }))
+            .collect();
+        assert_eq!(resyncs, vec![true, false], "only the first frame resyncs");
+    }
+
+    #[test]
+    fn ack_trims_backlog_and_resets_backoff() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[],
+            1,
+            MonitorConfig {
+                retransmit_period: Some(SimTime::from_millis(10)),
+                retransmit_backoff_cap: 8,
+                ..Default::default()
+            },
+        );
+        let mut t = RecTransport::default();
+        core.observe_local(iv(1, 0, &[0, 1], &[0, 2]), &mut t);
+        core.on_retransmit_due(&mut t);
+        core.on_retransmit_due(&mut t);
+        assert!(core.retransmit_backoff() > 1, "no ack progress: backs off");
+        core.on_message(
+            DetectMsg::Ack {
+                from: ProcessId(0),
+                upto: 1,
+            },
+            &mut t,
+        );
+        assert_eq!(core.unacked_count(), 0);
+        assert_eq!(core.retransmit_backoff(), 1, "ack progress resets");
+    }
+
+    #[test]
+    fn suspects_and_heartbeats() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[ProcessId(2)],
+            2,
+            MonitorConfig::default(),
+        );
+        let timeout = SimTime::from_millis(100);
+        core.note_heartbeat(ProcessId(0), SimTime::from_millis(500));
+        let suspects = core.suspects(SimTime::from_millis(550), timeout);
+        assert_eq!(suspects, vec![ProcessId(2)], "silent child suspected");
+        let mut t = RecTransport::default();
+        core.send_heartbeats(&mut t);
+        let mut dsts: Vec<u32> = t.sent.iter().map(|(d, _, _)| d.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![0, 2], "beacons to parent and child");
+    }
+}

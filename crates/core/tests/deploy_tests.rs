@@ -97,8 +97,8 @@ fn heartbeats_flow_along_tree_edges() {
     dep.run();
     // The root has heard heartbeats from both children.
     let root_app = dep.app(ProcessId(0));
-    assert!(root_app.heartbeat_seen.contains_key(&ProcessId(1)));
-    assert!(root_app.heartbeat_seen.contains_key(&ProcessId(2)));
+    assert!(root_app.heartbeat_seen().contains_key(&ProcessId(1)));
+    assert!(root_app.heartbeat_seen().contains_key(&ProcessId(2)));
 }
 
 #[test]
@@ -119,8 +119,8 @@ fn heartbeat_timeouts_expose_suspects() {
     let root = dep.app(ProcessId(0));
     // The dead node stopped beaconing at its crash; its live sibling kept
     // going until the run's end.
-    let last_1 = root.heartbeat_seen.get(&ProcessId(1)).copied().unwrap();
-    let last_2 = root.heartbeat_seen.get(&ProcessId(2)).copied().unwrap();
+    let last_1 = root.heartbeat_seen().get(&ProcessId(1)).copied().unwrap();
+    let last_2 = root.heartbeat_seen().get(&ProcessId(2)).copied().unwrap();
     assert!(
         last_1 < SimTime::from_millis(70),
         "node 1 stopped beaconing at death"

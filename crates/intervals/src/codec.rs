@@ -471,6 +471,79 @@ pub fn decode_interval_auto(
 }
 
 // ---------------------------------------------------------------------------
+// Frame classification (no decode)
+// ---------------------------------------------------------------------------
+
+/// What kind of encoded interval frame a byte sequence is, identified
+/// without decoding it (see [`frame_kind`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Legacy dense frame (version byte `0x00`) — always self-contained.
+    Dense,
+    /// Delta frame with `base_flag = 0`: decodable by a cold decoder.
+    DeltaStandalone,
+    /// Delta frame with `base_flag = 1`: requires the connection base.
+    DeltaStateful,
+}
+
+impl FrameKind {
+    /// True when a decoder with no connection state can decode the frame.
+    pub fn is_cold_decodable(self) -> bool {
+        !matches!(self, FrameKind::DeltaStateful)
+    }
+}
+
+/// Skips one varint in `s`, returning the remainder (used only to reach
+/// the base flag when classifying — values are not interpreted).
+fn skip_varint(s: &[u8]) -> Result<&[u8], DecodeError> {
+    for (i, b) in s.iter().enumerate().take(10) {
+        if b & 0x80 == 0 {
+            return Ok(&s[i + 1..]);
+        }
+    }
+    Err(DecodeError("varint truncated"))
+}
+
+/// Classifies an encoded *interval* frame by inspection — version byte
+/// plus (for delta frames) the embedded `base_flag` — without decoding
+/// it. Transports use this to tell resync points (cold-decodable frames)
+/// from stateful stream frames when accounting wire traffic.
+pub fn frame_kind(frame: &[u8]) -> Result<FrameKind, DecodeError> {
+    if frame.len() < 4 {
+        return Err(DecodeError("frame header truncated"));
+    }
+    match frame[3] {
+        0 => Ok(FrameKind::Dense),
+        INTERVAL_DELTA_TAG => {
+            // Walk the fixed prefix to the embedded DClock's base flag:
+            // u32 header, varint seq, u8 kind [, varint level], u32 clock
+            // header, u8 base_flag.
+            let s = skip_varint(&frame[4..])?;
+            let (&kind, s) = s
+                .split_first()
+                .ok_or(DecodeError("frame header truncated"))?;
+            let s = match kind {
+                0 => s,
+                1 => skip_varint(s)?,
+                _ => return Err(DecodeError("unknown interval kind tag")),
+            };
+            if s.len() < 5 {
+                return Err(DecodeError("frame header truncated"));
+            }
+            if s[3] != CLOCK_DELTA_TAG {
+                return Err(DecodeError("not a delta clock frame"));
+            }
+            match s[4] {
+                0 => Ok(FrameKind::DeltaStandalone),
+                1 => Ok(FrameKind::DeltaStateful),
+                _ => Err(DecodeError("unknown delta base flag")),
+            }
+        }
+        _ => Err(DecodeError("unknown interval format version")),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Convenience wrappers
 // ---------------------------------------------------------------------------
 
@@ -846,6 +919,33 @@ mod tests {
         assert!(
             stateful < standalone,
             "stateful delta ({stateful}) should beat standalone ({standalone})"
+        );
+    }
+
+    #[test]
+    fn frame_kind_classifies_without_decoding() {
+        for iv in [sample_local(), sample_aggregated()] {
+            let dense = interval_to_bytes(&iv);
+            assert_eq!(frame_kind(dense.as_slice()), Ok(FrameKind::Dense));
+            let standalone = interval_to_bytes_delta(&iv);
+            assert_eq!(
+                frame_kind(standalone.as_slice()),
+                Ok(FrameKind::DeltaStandalone)
+            );
+            let base = iv.lo.clone();
+            let mut buf = BytesMut::new();
+            encode_interval_delta(&iv, Some(&base), &mut buf);
+            assert_eq!(
+                frame_kind(buf.freeze().as_slice()),
+                Ok(FrameKind::DeltaStateful)
+            );
+            assert!(!FrameKind::DeltaStateful.is_cold_decodable());
+            assert!(FrameKind::DeltaStandalone.is_cold_decodable());
+        }
+        assert!(frame_kind(&[1, 2]).is_err(), "short input errors");
+        assert!(
+            frame_kind(&[0, 0, 0, 0x42, 0, 0, 0, 0]).is_err(),
+            "unknown version errors"
         );
     }
 

@@ -1,0 +1,46 @@
+//! ftscp-net: real TCP transport runtime for the monitor hierarchy.
+//!
+//! Everything below `ftscp-core`'s `MonitorCore` is swapped out: instead
+//! of the deterministic simulated network (`ftscp-simnet`), each monitor
+//! runs as a bundle of OS threads speaking length-prefixed frames over
+//! `std::net` TCP sockets. The detection logic itself — Algorithm 1's
+//! queue bank, the ⊓-aggregation, the reorder buffer, the cumulative-ack
+//! reliability layer — is byte-for-byte the same code, reached through the
+//! `ftscp_core::transport::Transport` trait.
+//!
+//! Layering, bottom-up:
+//!
+//! - [`frame`] — `u32`-length-prefixed framing with a hard size cap;
+//!   hostile-input-safe reassembly ([`frame::FrameBuffer`]).
+//! - [`wire`] — the session message set ([`wire::NetMsg`]): HELLO/role
+//!   handshake, the embedded `DetectMsg` protocol (carrying the existing
+//!   delta codec frames unchanged), event ingestion, and feed-complete
+//!   `Fin` markers.
+//! - [`node`] — one monitor node as a thread bundle: nonblocking
+//!   listener, reader/writer pair per connection, reconnecting uplink,
+//!   and a single main loop that owns the `MonitorCore`.
+//! - [`client`] — the event-ingestion client used by monitored processes
+//!   (and by test harnesses replaying recorded executions).
+//! - [`loopback`] — whole-tree deployment on 127.0.0.1, the vehicle for
+//!   the simnet-vs-TCP differential tests and the `net_loopback` bench.
+//!
+//! Why the differential guarantee holds: the exhaustive interleaving
+//! tests in `ftscp-intervals` prove the detector's solution sequence is
+//! invariant under any delivery order that preserves per-queue FIFO.
+//! TCP gives exactly per-connection FIFO, the per-connection codec pairs
+//! advance in lockstep with the byte stream, and the reorder buffer
+//! absorbs retransmit-induced duplicates — so a loopback run must emit
+//! the same solutions as the simulator, which `tests/loopback_differential.rs`
+//! checks end to end (including across a severed-and-reconnected uplink).
+
+pub mod client;
+pub mod frame;
+pub mod loopback;
+pub mod node;
+pub mod wire;
+
+pub use client::EventClient;
+pub use frame::{FrameBuffer, FrameError, MAX_FRAME_LEN};
+pub use loopback::{sockets_available, Deployment, LoopbackConfig, LoopbackReport};
+pub use node::{spawn, NodeConfig, NodeHandle, NodeReport};
+pub use wire::{NetMsg, PeerKind, PROTO_VERSION};

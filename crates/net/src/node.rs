@@ -1,0 +1,709 @@
+//! The TCP monitor node: a [`MonitorCore`] driven by real sockets.
+//!
+//! Thread shape (one accepted connection = one reader + one writer
+//! thread, following the per-connection-handler server idiom):
+//!
+//! ```text
+//!             ┌──────────┐   accept   ┌─────────────────────┐
+//!  children & │ listener  │──────────▶│ conn reader / writer │──┐
+//!  clients ──▶│  thread   │           └─────────────────────┘  │ mpsc
+//!             └──────────┘                                      ▼
+//!  parent ◀──[ uplink thread: connect → handshake → reader ]─▶ main loop
+//!                         (reconnect loop with backoff)        (owns MonitorCore)
+//! ```
+//!
+//! Every thread communicates with the main loop through one mpsc channel
+//! of [`Event`]s; the main loop owns all protocol state and is the only
+//! thread that touches the [`MonitorCore`]. Outbound frames go through
+//! per-connection writer threads, each owning the connection's tx
+//! [`ConnCodec`] — frames hit the codec in write order, which keeps the
+//! peer's rx codec in lockstep (TCP is FIFO per connection).
+//!
+//! ## Session layer
+//!
+//! * **Handshake**: a connecting peer's first frame is `Hello` (role +
+//!   protocol version); the acceptor replies `HelloAck`. Version or role
+//!   violations kill the connection.
+//! * **Heartbeats**: `MonitorCore::send_heartbeats` fires on the
+//!   configured period over the same connections; `suspects()` exposes
+//!   peers silent past the configured timeout.
+//! * **Reconnect-with-resync**: the uplink thread reconnects with backoff
+//!   after any disconnect. Both sides start the new connection with cold
+//!   codecs, and the main loop calls `MonitorCore::resync_uplink`, so the
+//!   first interval frame is standalone (`base_flag = 0`) — the codec's
+//!   cold-decoder path, unreachable on the simulated transport without
+//!   fault injection, is the *normal* reconnect path here.
+//! * **FIN / termination**: event clients `Fin` after their last event; a
+//!   node `Fin`s its parent once all its feeds and children have finished
+//!   and nothing is unacknowledged. The root signals completion to
+//!   [`NodeHandle::wait_done`].
+
+use crate::frame::{write_frame, FrameBuffer};
+use crate::wire::{decode_msg, encode_msg, interval_frame_kind, NetMsg, PeerKind, PROTO_VERSION};
+use ftscp_core::monitor::MonitorConfig;
+use ftscp_core::protocol::{ConnCodec, DetectMsg};
+use ftscp_core::report::GlobalDetection;
+use ftscp_core::transport::{MonitorCore, Transport};
+use ftscp_simnet::SimTime;
+use ftscp_vclock::ProcessId;
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Read timeout on connection sockets: how often blocked readers check
+/// the shutdown flag. Latency of an orderly shutdown, nothing else.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Configuration of one TCP monitor node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's process id.
+    pub me: ProcessId,
+    /// Parent's process id and address; `None` for the root.
+    pub parent: Option<(ProcessId, SocketAddr)>,
+    /// Children expected to connect (their `Fin`s gate this node's own).
+    pub children: Vec<ProcessId>,
+    /// Level in the paper's numbering (leaves 1, root = height).
+    pub level: u32,
+    /// Event clients expected on the ingestion endpoint (their `Fin`s
+    /// gate this node's own). A pure relay node uses 0.
+    pub expected_feeds: usize,
+    /// Monitor protocol knobs (heartbeat period, reliability layer).
+    /// `SimTime` values are interpreted as wall-clock microseconds.
+    pub monitor: MonitorConfig,
+    /// Peers silent for longer than this are reported as suspects.
+    pub heartbeat_timeout: SimTime,
+    /// Delay between uplink reconnect attempts.
+    pub reconnect_backoff: Duration,
+}
+
+impl NodeConfig {
+    /// A leaf/internal/root config with defaults for the timing knobs.
+    pub fn new(me: ProcessId, parent: Option<(ProcessId, SocketAddr)>) -> Self {
+        NodeConfig {
+            me,
+            parent,
+            children: Vec::new(),
+            level: 1,
+            expected_feeds: 0,
+            monitor: MonitorConfig::default(),
+            heartbeat_timeout: SimTime::from_millis(500),
+            reconnect_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Everything a node did, collected at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct NodeReport {
+    /// Detections recorded at this node (non-empty only for roots), in
+    /// emission order.
+    pub detections: Vec<GlobalDetection>,
+    /// Bytes written to all sockets (frames incl. length prefixes).
+    pub bytes_sent: u64,
+    /// Bytes read from all sockets.
+    pub bytes_received: u64,
+    /// Interval-carrying frames sent (reports + events).
+    pub interval_frames_sent: u64,
+    /// Of those, standalone (cold-decodable) codec frames — resync points.
+    pub standalone_frames_sent: u64,
+    /// Times the uplink was re-established after the initial connect.
+    pub reconnects: u64,
+    /// Interval messages the monitor originated (protocol accounting,
+    /// same counter the simulated deployment reports).
+    pub interval_msgs_sent: u64,
+    /// Peers suspected by the heartbeat failure detector at shutdown.
+    pub suspects_at_exit: Vec<ProcessId>,
+}
+
+/// Wire/session counters shared across a node's threads.
+#[derive(Default)]
+struct Counters {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    interval_frames_sent: AtomicU64,
+    standalone_frames_sent: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    counters: Counters,
+    /// Live uplink socket, kept for fault injection
+    /// ([`NodeHandle::drop_uplink`]) — severing it from outside exercises
+    /// the reconnect-with-resync path.
+    uplink_stream: Mutex<Option<TcpStream>>,
+}
+
+enum Event {
+    /// A decoded frame from connection `conn` (0 = current uplink).
+    Msg { conn: u64, msg: NetMsg },
+    /// Connection `conn` closed (EOF, error, or framing violation).
+    Closed { conn: u64 },
+    /// A freshly accepted connection; `writer` feeds its writer thread.
+    Accepted { conn: u64, writer: Sender<NetMsg> },
+    /// The uplink (re)connected and handshake sent; `writer` is live.
+    UplinkUp { writer: Sender<NetMsg> },
+    /// The uplink died; sends will drop until the next `UplinkUp`.
+    UplinkDown,
+    /// Stop the main loop and report.
+    Stop,
+}
+
+/// Handle to a running node: poke it, wait for it, collect its report.
+pub struct NodeHandle {
+    me: ProcessId,
+    shared: Arc<Shared>,
+    events: Sender<Event>,
+    main: Option<JoinHandle<NodeReport>>,
+    /// Local address of the node's listener.
+    pub addr: SocketAddr,
+}
+
+impl NodeHandle {
+    /// This node's process id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Blocks until the node has drained every input stream and announced
+    /// completion (a root: all feeds and subtrees finished; a non-root:
+    /// `Fin` sent upward), or the timeout elapses. Returns whether it
+    /// finished. The node keeps serving connections until
+    /// [`finish`](Self::finish).
+    pub fn wait_done(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.shared.done.lock().expect("done lock");
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .done_cv
+                .wait_timeout(done, deadline - now)
+                .expect("done wait");
+            done = guard;
+        }
+        true
+    }
+
+    /// Fault injection: severs the current parent connection at the
+    /// socket level. The uplink thread notices, reconnects, and the
+    /// protocol resyncs — mid-run, with live traffic in flight.
+    pub fn drop_uplink(&self) {
+        let guard = self.shared.uplink_stream.lock().expect("uplink lock");
+        if let Some(stream) = guard.as_ref() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stops the node and collects its report. Idempotent threads unwind
+    /// via the shutdown flag; the main loop drains and exits.
+    pub fn finish(mut self) -> NodeReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.events.send(Event::Stop);
+        match self.main.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => NodeReport::default(),
+        }
+    }
+}
+
+/// Spawns a monitor node on `listener` (children and event clients
+/// connect there). The listener must already be bound — binding before
+/// spawning lets a deployment allocate all addresses first, so uplinks
+/// can name parents that have not started yet.
+pub fn spawn(listener: TcpListener, config: NodeConfig) -> io::Result<NodeHandle> {
+    let addr = listener.local_addr()?;
+    let me = config.me;
+    let shared = Arc::new(Shared {
+        shutdown: AtomicBool::new(false),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        counters: Counters::default(),
+        uplink_stream: Mutex::new(None),
+    });
+    let (events_tx, events_rx) = channel::<Event>();
+
+    spawn_listener(listener, Arc::clone(&shared), events_tx.clone());
+    if let Some((_, parent_addr)) = config.parent {
+        spawn_uplink(
+            parent_addr,
+            config.me,
+            config.reconnect_backoff,
+            Arc::clone(&shared),
+            events_tx.clone(),
+        );
+    }
+
+    let main_shared = Arc::clone(&shared);
+    let main = thread::Builder::new()
+        .name(format!("ftscp-node-{}", me.0))
+        .spawn(move || main_loop(config, main_shared, events_rx))?;
+
+    Ok(NodeHandle {
+        me,
+        shared,
+        events: events_tx,
+        main: Some(main),
+        addr,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Connection threads
+// ---------------------------------------------------------------------------
+
+fn spawn_listener(listener: TcpListener, shared: Arc<Shared>, events: Sender<Event>) {
+    thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let mut next_conn: u64 = 1; // 0 is reserved for the uplink
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let _ = stream.set_nodelay(true);
+                    let writer = spawn_conn_writer(&stream, Arc::clone(&shared));
+                    // Announce the connection before its reader exists:
+                    // the reader's first Msg must never beat Accepted to
+                    // the main loop (the spawn edge orders the sends).
+                    if events.send(Event::Accepted { conn, writer }).is_err() {
+                        return;
+                    }
+                    spawn_conn_reader(stream, conn, Arc::clone(&shared), events.clone());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+}
+
+/// Spawns the writer half of a connection: owns the tx codec; frames are
+/// encoded and counted in channel order, which is socket order.
+fn spawn_conn_writer(stream: &TcpStream, shared: Arc<Shared>) -> Sender<NetMsg> {
+    let (tx, rx) = channel::<NetMsg>();
+    let mut stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return tx, // sends will pile into a dead channel; reader will report Closed
+    };
+    thread::spawn(move || {
+        let mut codec = ConnCodec::new();
+        while let Ok(msg) = rx.recv() {
+            let payload = encode_msg(&msg, &mut codec);
+            if let Some(kind) = interval_frame_kind(&payload) {
+                shared
+                    .counters
+                    .interval_frames_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                if kind.is_cold_decodable() {
+                    shared
+                        .counters
+                        .standalone_frames_sent
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if write_frame(&mut stream, &payload).is_err() {
+                return; // the reader observes the close and reports it
+            }
+            shared
+                .counters
+                .bytes_sent
+                .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
+        }
+    });
+    tx
+}
+
+/// Spawns the reader half: owns the rx codec, reassembles frames, decodes
+/// in order, forwards to the main loop.
+fn spawn_conn_reader(stream: TcpStream, conn: u64, shared: Arc<Shared>, events: Sender<Event>) {
+    thread::spawn(move || {
+        read_connection(stream, conn, &shared, &events);
+        let _ = events.send(Event::Closed { conn });
+    });
+}
+
+/// Blocking read loop shared by accepted connections and the uplink.
+/// Returns when the connection dies or shutdown is requested.
+fn read_connection(stream: TcpStream, conn: u64, shared: &Shared, events: &Sender<Event>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut stream = stream;
+    let mut fb = FrameBuffer::new();
+    let mut codec = ConnCodec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Drain complete frames before reading more.
+        loop {
+            match fb.next_frame() {
+                Ok(Some(frame)) => {
+                    let msg = match decode_msg(&frame, &mut codec) {
+                        Ok(msg) => msg,
+                        Err(_) => return, // corrupt peer: kill the connection
+                    };
+                    if events.send(Event::Msg { conn, msg }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // framing violation: kill the connection
+            }
+        }
+        match io::Read::read(&mut stream, &mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => {
+                shared
+                    .counters
+                    .bytes_received
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                fb.push(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: re-check the shutdown flag
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// The uplink thread: connect → handshake → read until the connection
+/// dies → tell the main loop → back off → reconnect. Runs until shutdown.
+fn spawn_uplink(
+    parent: SocketAddr,
+    me: ProcessId,
+    backoff: Duration,
+    shared: Arc<Shared>,
+    events: Sender<Event>,
+) {
+    thread::spawn(move || {
+        let mut first = true;
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            let stream = match TcpStream::connect(parent) {
+                Ok(s) => s,
+                Err(_) => {
+                    thread::sleep(backoff);
+                    continue;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            if !first {
+                shared.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            first = false;
+            *shared.uplink_stream.lock().expect("uplink lock") = stream.try_clone().ok();
+            let writer = spawn_conn_writer(&stream, Arc::clone(&shared));
+            // Handshake opener; ordered before anything the main loop
+            // sends after seeing UplinkUp.
+            let _ = writer.send(NetMsg::Hello {
+                node: me,
+                kind: PeerKind::Child,
+                proto: PROTO_VERSION,
+            });
+            if events.send(Event::UplinkUp { writer }).is_err() {
+                return;
+            }
+            // Read until the connection dies (conn id 0 = uplink).
+            read_connection(stream, 0, &shared, &events);
+            *shared.uplink_stream.lock().expect("uplink lock") = None;
+            if events.send(Event::UplinkDown).is_err() {
+                return;
+            }
+            thread::sleep(backoff);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------------
+
+/// [`Transport`] over the node's live connections: `now` is wall-clock
+/// microseconds since node start, sends route by process id to the
+/// parent's or a child's writer thread. Sends to unreachable peers are
+/// dropped — exactly the lossy-link model the core's reliability layer
+/// (unacked + retransmit + resync) is built for.
+struct NetTransport<'a> {
+    start: &'a Instant,
+    parent: Option<ProcessId>,
+    uplink: Option<&'a Sender<NetMsg>>,
+    conns: &'a HashMap<u64, Sender<NetMsg>>,
+    peer_conn: &'a HashMap<ProcessId, u64>,
+}
+
+impl Transport for NetTransport<'_> {
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn send(&mut self, dst: ProcessId, msg: DetectMsg) {
+        let wrapped = NetMsg::Detect(msg);
+        if Some(dst) == self.parent {
+            if let Some(up) = self.uplink {
+                let _ = up.send(wrapped);
+            }
+            return;
+        }
+        if let Some(conn) = self.peer_conn.get(&dst) {
+            if let Some(writer) = self.conns.get(conn) {
+                let _ = writer.send(wrapped);
+            }
+        }
+    }
+
+    fn send_sized(&mut self, dst: ProcessId, msg: DetectMsg, _size: usize) {
+        // The advisory size is the simulator's billing hook; here the
+        // writer thread encodes real frames and bills real bytes.
+        self.send(dst, msg);
+    }
+}
+
+struct MainState {
+    core: MonitorCore,
+    config: NodeConfig,
+    start: Instant,
+    conns: HashMap<u64, Sender<NetMsg>>,
+    peer_conn: HashMap<ProcessId, u64>,
+    uplink: Option<Sender<NetMsg>>,
+    feeds_done: usize,
+    child_fins: BTreeSet<ProcessId>,
+    fin_sent: bool,
+}
+
+impl MainState {
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Runs `f` with a transport over the current connection tables.
+    fn with_transport<R>(&mut self, f: impl FnOnce(&mut MonitorCore, &mut NetTransport) -> R) -> R {
+        let mut t = NetTransport {
+            start: &self.start,
+            parent: self.core.parent(),
+            uplink: self.uplink.as_ref(),
+            conns: &self.conns,
+            peer_conn: &self.peer_conn,
+        };
+        f(&mut self.core, &mut t)
+    }
+
+    /// True once every input stream this node will ever get has finished:
+    /// all expected event feeds and all children sent `Fin`, and nothing
+    /// is waiting for an ack.
+    fn drained(&self) -> bool {
+        self.feeds_done >= self.config.expected_feeds
+            && self
+                .config
+                .children
+                .iter()
+                .all(|c| self.child_fins.contains(c))
+            && self.core.unacked_count() == 0
+    }
+
+    /// Propagates completion: a root flips the done flag; anyone else
+    /// `Fin`s its parent (re-sent after reconnects — receivers treat
+    /// `Fin` as idempotent) and then also flips the flag, so
+    /// [`NodeHandle::wait_done`] means "drained and announced" on every
+    /// role. The node keeps running after the flag — it still answers
+    /// reconnects and re-`Fin`s until [`NodeHandle::finish`].
+    fn maybe_finish(&mut self, shared: &Shared) {
+        if !self.drained() {
+            return;
+        }
+        let mut announced = self.config.parent.is_none();
+        if self.fin_sent {
+            announced = true; // already told this parent connection
+        } else if let (Some(_), Some(up)) = (self.config.parent, &self.uplink) {
+            let me = self.config.me;
+            let _ = up.send(NetMsg::Fin { from: me });
+            self.fin_sent = true;
+            announced = true;
+        }
+        if announced {
+            let mut done = shared.done.lock().expect("done lock");
+            if !*done {
+                *done = true;
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -> NodeReport {
+    let core = MonitorCore::new(
+        config.me,
+        config.parent.map(|(p, _)| p),
+        &config.children,
+        config.level,
+        config.monitor,
+    );
+    let mut st = MainState {
+        core,
+        config,
+        start: Instant::now(),
+        conns: HashMap::new(),
+        peer_conn: HashMap::new(),
+        uplink: None,
+        feeds_done: 0,
+        child_fins: BTreeSet::new(),
+        fin_sent: false,
+    };
+
+    let heartbeat_period = st.config.monitor.heartbeat_period.map(to_duration);
+    let mut next_heartbeat = heartbeat_period.map(|p| st.start + p);
+    let mut next_retransmit = st
+        .config
+        .monitor
+        .retransmit_period
+        .map(|p| st.start + to_duration(p));
+
+    loop {
+        // Fire due timers (heartbeats, retransmit bursts).
+        let now = Instant::now();
+        if let (Some(at), Some(period)) = (next_heartbeat, heartbeat_period) {
+            if now >= at {
+                st.with_transport(|core, t| core.send_heartbeats(t));
+                next_heartbeat = Some(now + period);
+            }
+        }
+        if let Some(at) = next_retransmit {
+            if now >= at {
+                let delay = st.with_transport(|core, t| core.on_retransmit_due(t));
+                next_retransmit = delay.map(|d| now + to_duration(d));
+            }
+        }
+
+        // Sleep until the next deadline or event.
+        let deadline = [next_heartbeat, next_retransmit]
+            .into_iter()
+            .flatten()
+            .min();
+        let timeout = deadline
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(READ_POLL)
+            .min(READ_POLL);
+        let event = match events.recv_timeout(timeout) {
+            Ok(ev) => ev,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+
+        match event {
+            Event::Accepted { conn, writer } => {
+                st.conns.insert(conn, writer);
+            }
+            Event::Closed { conn } => {
+                st.conns.remove(&conn);
+                // Only unmap the peer if it still points at this
+                // connection — its replacement may have registered first.
+                st.peer_conn.retain(|_, &mut c| c != conn);
+            }
+            Event::UplinkUp { writer } => {
+                st.uplink = Some(writer);
+                // New connection, cold decoder on the other end: restart
+                // the uplink stream from a standalone frame.
+                st.with_transport(|core, t| core.resync_uplink(t));
+                st.maybe_finish(&shared); // re-announce Fin if we were done
+            }
+            Event::UplinkDown => {
+                st.uplink = None;
+                // The next connection is a new session: a Fin already sent
+                // on the dead one must be announced again.
+                st.fin_sent = false;
+            }
+            Event::Msg { conn, msg } => {
+                handle_msg(&mut st, &shared, conn, msg);
+            }
+            Event::Stop => break,
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    let now = st.now();
+    let timeout = st.config.heartbeat_timeout;
+    NodeReport {
+        detections: st.core.detections().to_vec(),
+        bytes_sent: shared.counters.bytes_sent.load(Ordering::Relaxed),
+        bytes_received: shared.counters.bytes_received.load(Ordering::Relaxed),
+        interval_frames_sent: shared.counters.interval_frames_sent.load(Ordering::Relaxed),
+        standalone_frames_sent: shared
+            .counters
+            .standalone_frames_sent
+            .load(Ordering::Relaxed),
+        reconnects: shared.counters.reconnects.load(Ordering::Relaxed),
+        interval_msgs_sent: st.core.interval_msgs_sent(),
+        suspects_at_exit: st.core.suspects(now, timeout),
+    }
+}
+
+fn handle_msg(st: &mut MainState, shared: &Shared, conn: u64, msg: NetMsg) {
+    match msg {
+        NetMsg::Hello { node, kind, proto } => {
+            if proto != PROTO_VERSION {
+                // Incompatible peer: drop its writer; its reader will
+                // observe the close when the socket goes away at shutdown.
+                st.conns.remove(&conn);
+                return;
+            }
+            if kind == PeerKind::Child {
+                st.peer_conn.insert(node, conn);
+                let now = st.now();
+                st.core.note_heartbeat(node, now);
+            }
+            let me = st.config.me;
+            if let Some(writer) = st.conns.get(&conn) {
+                let _ = writer.send(NetMsg::HelloAck { node: me });
+            }
+        }
+        NetMsg::HelloAck { node } => {
+            // Parent accepted our handshake — counts as liveness.
+            let now = st.now();
+            st.core.note_heartbeat(node, now);
+        }
+        NetMsg::Detect(d) => {
+            st.with_transport(|core, t| core.on_message(d, t));
+            // An ack may have drained the last unacked report.
+            st.maybe_finish(shared);
+        }
+        NetMsg::Event(interval) => {
+            st.with_transport(|core, t| core.observe_local(interval, t));
+        }
+        NetMsg::Fin { from } => {
+            if conn == 0 {
+                // Fin from the parent direction is meaningless; ignore.
+                return;
+            }
+            if st.peer_conn.get(&from) == Some(&conn) {
+                st.child_fins.insert(from);
+            } else {
+                // An event client finished its feed.
+                st.feeds_done += 1;
+            }
+            st.maybe_finish(shared);
+        }
+    }
+}
+
+fn to_duration(t: SimTime) -> Duration {
+    Duration::from_micros(t.0)
+}

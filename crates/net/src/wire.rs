@@ -1,0 +1,426 @@
+//! Session-layer messages and their binary encoding.
+//!
+//! One [`NetMsg`] per frame (see [`crate::frame`]). Interval payloads —
+//! inside [`NetMsg::Detect`] reports and [`NetMsg::Event`] ingestions —
+//! are encoded with the *connection's* [`ConnCodec`], so a long-lived
+//! connection carries cheap stateful delta frames while the first
+//! interval after a (re)connect is automatically standalone: a fresh
+//! codec has no base, which is exactly the cold-decoder resync the codec
+//! contract requires. Everything else is fixed-width little-endian.
+//!
+//! ```text
+//! Frame payload := u8 tag, fields…
+//!   1 Hello    := u32 node, u8 peer_kind (0 child / 1 client), u8 proto
+//!   2 HelloAck := u32 node
+//!   3 Detect   := u8 subtag, fields…
+//!        0 Interval    := u32 from, u8 resync, interval frame (codec)
+//!        1 Heartbeat   := u32 from
+//!        2 Ack         := u32 from, u64 upto
+//!        3 SetParent   := u8 has_parent, [u32 parent]
+//!        4 AddChild    := u32 child
+//!        5 RemoveChild := u32 child
+//!        6 PromoteRoot
+//!        7 DemoteRoot
+//!   4 Event    := interval frame (codec)
+//!   5 Fin      := u32 node
+//! ```
+
+use bytes::{Bytes, BytesMut};
+use ftscp_core::protocol::{ConnCodec, DetectMsg};
+use ftscp_intervals::codec::{frame_kind, DecodeError, FrameKind};
+use ftscp_intervals::Interval;
+use ftscp_vclock::ProcessId;
+
+/// Session protocol version carried in HELLO; a mismatch kills the
+/// connection during the handshake instead of corrupting streams later.
+pub const PROTO_VERSION: u8 = 1;
+
+/// What a connecting peer is, declared in its HELLO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerKind {
+    /// A monitor node connecting to its tree parent: its stream carries
+    /// interval reports, heartbeats, and FIN.
+    Child,
+    /// An external event source feeding local-predicate intervals into a
+    /// node's ingestion endpoint.
+    Client,
+}
+
+/// One session-layer message (one frame on the wire).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetMsg {
+    /// Handshake opener, first frame on every connection.
+    Hello {
+        /// The connecting peer's process id (clients use the id of the
+        /// process whose intervals they feed).
+        node: ProcessId,
+        /// Declared role of the peer.
+        kind: PeerKind,
+        /// Must equal [`PROTO_VERSION`].
+        proto: u8,
+    },
+    /// Handshake acceptance, first frame in the reverse direction.
+    HelloAck {
+        /// The accepting node's process id.
+        node: ProcessId,
+    },
+    /// Monitor protocol traffic, carried verbatim from the simulated
+    /// deployment's message set.
+    Detect(DetectMsg),
+    /// A completed local-predicate interval pushed by an event client.
+    Event(Interval),
+    /// End of stream: the sender has delivered everything it ever will
+    /// (its feeds finished, its subtree finished, nothing unacked).
+    Fin {
+        /// The finishing peer.
+        from: ProcessId,
+    },
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_interval(out: &mut Vec<u8>, iv: &Interval, codec: &mut ConnCodec) {
+    let mut buf = BytesMut::new();
+    codec.encode(iv, &mut buf);
+    out.extend_from_slice(buf.freeze().as_slice());
+}
+
+/// Encodes `msg` as one frame payload (no length prefix), advancing the
+/// connection's `codec` if the message carries an interval.
+pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match msg {
+        NetMsg::Hello { node, kind, proto } => {
+            out.push(1);
+            put_u32(&mut out, node.0);
+            out.push(match kind {
+                PeerKind::Child => 0,
+                PeerKind::Client => 1,
+            });
+            out.push(*proto);
+        }
+        NetMsg::HelloAck { node } => {
+            out.push(2);
+            put_u32(&mut out, node.0);
+        }
+        NetMsg::Detect(d) => {
+            out.push(3);
+            match d {
+                DetectMsg::Interval {
+                    from,
+                    interval,
+                    resync,
+                } => {
+                    out.push(0);
+                    put_u32(&mut out, from.0);
+                    out.push(u8::from(*resync));
+                    put_interval(&mut out, interval, codec);
+                }
+                DetectMsg::Heartbeat { from } => {
+                    out.push(1);
+                    put_u32(&mut out, from.0);
+                }
+                DetectMsg::Ack { from, upto } => {
+                    out.push(2);
+                    put_u32(&mut out, from.0);
+                    put_u64(&mut out, *upto);
+                }
+                DetectMsg::SetParent { parent } => {
+                    out.push(3);
+                    match parent {
+                        Some(p) => {
+                            out.push(1);
+                            put_u32(&mut out, p.0);
+                        }
+                        None => out.push(0),
+                    }
+                }
+                DetectMsg::AddChild { child } => {
+                    out.push(4);
+                    put_u32(&mut out, child.0);
+                }
+                DetectMsg::RemoveChild { child } => {
+                    out.push(5);
+                    put_u32(&mut out, child.0);
+                }
+                DetectMsg::PromoteRoot => out.push(6),
+                DetectMsg::DemoteRoot => out.push(7),
+            }
+        }
+        NetMsg::Event(iv) => {
+            out.push(4);
+            put_interval(&mut out, iv, codec);
+        }
+        NetMsg::Fin { from } => {
+            out.push(5);
+            put_u32(&mut out, from.0);
+        }
+    }
+    out
+}
+
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let (&b, rest) = self
+            .0
+            .split_first()
+            .ok_or(DecodeError("message truncated"))?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        if self.0.len() < 4 {
+            return Err(DecodeError("message truncated"));
+        }
+        let (head, rest) = self.0.split_at(4);
+        self.0 = rest;
+        Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.0.len() < 8 {
+            return Err(DecodeError("message truncated"));
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    fn interval(&mut self, codec: &mut ConnCodec) -> Result<Interval, DecodeError> {
+        let mut bytes = Bytes::from(self.0.to_vec());
+        let before = bytes.len();
+        let iv = codec.decode(&mut bytes)?;
+        let consumed = before - bytes.len();
+        self.0 = &self.0[consumed..];
+        Ok(iv)
+    }
+}
+
+/// Decodes one frame payload, advancing the connection's `codec` if the
+/// message carries an interval. Trailing garbage after a complete message
+/// is rejected — frames are exact.
+pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeError> {
+    let mut c = Cursor(frame);
+    let msg = match c.u8()? {
+        1 => {
+            let node = ProcessId(c.u32()?);
+            let kind = match c.u8()? {
+                0 => PeerKind::Child,
+                1 => PeerKind::Client,
+                _ => return Err(DecodeError("unknown peer kind")),
+            };
+            let proto = c.u8()?;
+            NetMsg::Hello { node, kind, proto }
+        }
+        2 => NetMsg::HelloAck {
+            node: ProcessId(c.u32()?),
+        },
+        3 => {
+            let d = match c.u8()? {
+                0 => {
+                    let from = ProcessId(c.u32()?);
+                    let resync = match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(DecodeError("bad resync flag")),
+                    };
+                    let interval = c.interval(codec)?;
+                    DetectMsg::Interval {
+                        from,
+                        interval,
+                        resync,
+                    }
+                }
+                1 => DetectMsg::Heartbeat {
+                    from: ProcessId(c.u32()?),
+                },
+                2 => DetectMsg::Ack {
+                    from: ProcessId(c.u32()?),
+                    upto: c.u64()?,
+                },
+                3 => DetectMsg::SetParent {
+                    parent: match c.u8()? {
+                        0 => None,
+                        1 => Some(ProcessId(c.u32()?)),
+                        _ => return Err(DecodeError("bad parent flag")),
+                    },
+                },
+                4 => DetectMsg::AddChild {
+                    child: ProcessId(c.u32()?),
+                },
+                5 => DetectMsg::RemoveChild {
+                    child: ProcessId(c.u32()?),
+                },
+                6 => DetectMsg::PromoteRoot,
+                7 => DetectMsg::DemoteRoot,
+                _ => return Err(DecodeError("unknown detect subtag")),
+            };
+            NetMsg::Detect(d)
+        }
+        4 => NetMsg::Event(c.interval(codec)?),
+        5 => NetMsg::Fin {
+            from: ProcessId(c.u32()?),
+        },
+        _ => return Err(DecodeError("unknown message tag")),
+    };
+    if !c.0.is_empty() {
+        return Err(DecodeError("trailing bytes after message"));
+    }
+    Ok(msg)
+}
+
+/// If `payload` (an encoded frame) carries an interval, classifies the
+/// embedded codec frame ([`FrameKind`]) without decoding — transports use
+/// this to count standalone resync frames on the wire.
+pub fn interval_frame_kind(payload: &[u8]) -> Option<FrameKind> {
+    let codec_frame = match payload.first()? {
+        3 if payload.get(1) == Some(&0) => payload.get(2 + 4 + 1..)?,
+        4 => payload.get(1..)?,
+        _ => return None,
+    };
+    frame_kind(codec_frame).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftscp_vclock::VectorClock;
+
+    fn iv(seq: u64, lo: Vec<u32>, hi: Vec<u32>) -> Interval {
+        Interval::local(
+            ProcessId(2),
+            seq,
+            VectorClock::from_components(lo),
+            VectorClock::from_components(hi),
+        )
+    }
+
+    fn roundtrip(msg: &NetMsg) -> NetMsg {
+        let mut tx = ConnCodec::new();
+        let mut rx = ConnCodec::new();
+        let payload = encode_msg(msg, &mut tx);
+        decode_msg(&payload, &mut rx).expect("decodes")
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = vec![
+            NetMsg::Hello {
+                node: ProcessId(7),
+                kind: PeerKind::Child,
+                proto: PROTO_VERSION,
+            },
+            NetMsg::Hello {
+                node: ProcessId(8),
+                kind: PeerKind::Client,
+                proto: PROTO_VERSION,
+            },
+            NetMsg::HelloAck { node: ProcessId(1) },
+            NetMsg::Detect(DetectMsg::Interval {
+                from: ProcessId(3),
+                interval: iv(0, vec![1, 2], vec![3, 4]),
+                resync: true,
+            }),
+            NetMsg::Detect(DetectMsg::Heartbeat { from: ProcessId(3) }),
+            NetMsg::Detect(DetectMsg::Ack {
+                from: ProcessId(1),
+                upto: 42,
+            }),
+            NetMsg::Detect(DetectMsg::SetParent {
+                parent: Some(ProcessId(5)),
+            }),
+            NetMsg::Detect(DetectMsg::SetParent { parent: None }),
+            NetMsg::Detect(DetectMsg::AddChild {
+                child: ProcessId(9),
+            }),
+            NetMsg::Detect(DetectMsg::RemoveChild {
+                child: ProcessId(9),
+            }),
+            NetMsg::Detect(DetectMsg::PromoteRoot),
+            NetMsg::Detect(DetectMsg::DemoteRoot),
+            NetMsg::Event(iv(1, vec![2, 2], vec![5, 3])),
+            NetMsg::Fin { from: ProcessId(4) },
+        ];
+        for msg in msgs {
+            assert_eq!(roundtrip(&msg), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn interval_stream_uses_connection_codec() {
+        let mut tx = ConnCodec::new();
+        let mut rx = ConnCodec::new();
+        let stream = vec![
+            iv(0, vec![1, 0], vec![4, 2]),
+            iv(1, vec![5, 2], vec![7, 2]),
+            iv(2, vec![8, 2], vec![9, 3]),
+        ];
+        let mut payloads = Vec::new();
+        for (i, interval) in stream.iter().enumerate() {
+            let msg = NetMsg::Detect(DetectMsg::Interval {
+                from: ProcessId(2),
+                interval: interval.clone(),
+                resync: false,
+            });
+            let payload = encode_msg(&msg, &mut tx);
+            let expect = if i == 0 {
+                FrameKind::DeltaStandalone // cold codec: first frame resyncs
+            } else {
+                FrameKind::DeltaStateful
+            };
+            assert_eq!(interval_frame_kind(&payload), Some(expect));
+            payloads.push(payload);
+        }
+        for (payload, interval) in payloads.iter().zip(&stream) {
+            let NetMsg::Detect(DetectMsg::Interval { interval: got, .. }) =
+                decode_msg(payload, &mut rx).expect("in-order decode")
+            else {
+                panic!("wrong variant");
+            };
+            assert_eq!(&got, interval);
+        }
+    }
+
+    #[test]
+    fn stateful_frame_on_cold_decoder_errors_cleanly() {
+        let mut tx = ConnCodec::new();
+        let warmup = NetMsg::Event(iv(0, vec![1, 1], vec![2, 2]));
+        let _ = encode_msg(&warmup, &mut tx);
+        let stateful = encode_msg(&NetMsg::Event(iv(1, vec![3, 2], vec![4, 3])), &mut tx);
+        assert_eq!(
+            interval_frame_kind(&stateful),
+            Some(FrameKind::DeltaStateful)
+        );
+        let mut cold = ConnCodec::new();
+        assert!(decode_msg(&stateful, &mut cold).is_err());
+    }
+
+    #[test]
+    fn hostile_inputs_error_not_panic() {
+        let mut rx = ConnCodec::new();
+        for bad in [
+            &[][..],
+            &[9][..],
+            &[1, 0][..],
+            &[3, 0, 1, 0, 0, 0, 2][..],
+            &[3, 9][..],
+            &[4, 0xff, 0xff, 0xff, 0xff][..],
+        ] {
+            assert!(decode_msg(bad, &mut rx).is_err(), "{bad:?}");
+        }
+        // Trailing garbage after a valid message is rejected.
+        let mut tx = ConnCodec::new();
+        let mut payload = encode_msg(&NetMsg::Fin { from: ProcessId(1) }, &mut tx);
+        payload.push(0);
+        assert!(decode_msg(&payload, &mut rx).is_err());
+    }
+}

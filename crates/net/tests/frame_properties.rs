@@ -1,0 +1,113 @@
+//! Property tests for the length-prefixed framer: any valid stream
+//! reassembles exactly under arbitrary chunking, any truncation is merely
+//! pending, and hostile length prefixes fail closed without panicking or
+//! allocating.
+
+use ftscp_net::frame::{frame_bytes, FrameBuffer, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+fn frames_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::num::u8::ANY, 0..200),
+        0..12,
+    )
+}
+
+/// Concatenates framed payloads into one wire stream.
+fn stream_of(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for f in frames {
+        stream.extend_from_slice(&frame_bytes(f));
+    }
+    stream
+}
+
+/// Drains every complete frame currently in the buffer.
+fn drain(fb: &mut FrameBuffer) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while let Some(f) = fb.next_frame().expect("valid stream") {
+        out.push(f);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TCP may split the byte stream anywhere; reassembly must be exact
+    /// regardless. Chunk sizes are derived from a seeded LCG so failures
+    /// reproduce.
+    #[test]
+    fn reassembles_exactly_under_any_chunking(
+        frames in frames_strategy(),
+        chunk_seed in proptest::num::u64::ANY,
+    ) {
+        let stream = stream_of(&frames);
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        let mut rng = chunk_seed | 1;
+        let mut pos = 0;
+        while pos < stream.len() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let take = (1 + (rng >> 33) as usize % 16).min(stream.len() - pos);
+            fb.push(&stream[pos..pos + take]);
+            pos += take;
+            out.extend(drain(&mut fb));
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert_eq!(fb.pending_len(), 0);
+    }
+
+    /// Cutting a valid stream at ANY byte offset yields a prefix of the
+    /// frames and a pending (never erroring) tail.
+    #[test]
+    fn any_truncation_is_pending_never_error(
+        frames in frames_strategy(),
+        cut_seed in proptest::num::u64::ANY,
+    ) {
+        let stream = stream_of(&frames);
+        let cut = (cut_seed as usize) % (stream.len() + 1);
+        let mut fb = FrameBuffer::new();
+        fb.push(&stream[..cut]);
+        let got = drain(&mut fb); // would panic on Err
+        prop_assert!(got.len() <= frames.len());
+        prop_assert_eq!(&got[..], &frames[..got.len()]);
+        // The tail is pending, not an error.
+        prop_assert_eq!(fb.next_frame(), Ok(None));
+    }
+
+    /// An oversized length prefix is rejected after any amount of valid
+    /// preamble — and before any payload-sized allocation could happen.
+    #[test]
+    fn oversized_prefix_errors_after_any_preamble(
+        frames in frames_strategy(),
+        excess in proptest::num::u32::ANY,
+    ) {
+        let hostile_len = (MAX_FRAME_LEN as u32)
+            .saturating_add(1)
+            .saturating_add(excess % 1024);
+        let mut stream = stream_of(&frames);
+        stream.extend_from_slice(&hostile_len.to_le_bytes());
+        let mut fb = FrameBuffer::new();
+        fb.push(&stream);
+        // All valid frames come out first...
+        let mut got = 0;
+        loop {
+            match fb.next_frame() {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => prop_assert!(false, "hostile header must error, not pend"),
+                Err(_) => break, // ...then the hostile header fails closed.
+            }
+        }
+        prop_assert_eq!(got, frames.len());
+    }
+
+    /// Arbitrary garbage never panics the reassembler: every outcome is a
+    /// frame, a pending state, or a clean error.
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..64)) {
+        let mut fb = FrameBuffer::new();
+        fb.push(&bytes);
+        while let Ok(Some(_)) = fb.next_frame() {}
+    }
+}

@@ -1,0 +1,139 @@
+//! ConnCodec resync over real sockets: a mid-stream disconnect leaves the
+//! receiving side with a cold decoder, and the first interval frame on
+//! the replacement connection must be standalone (cold-decodable) or the
+//! stream is lost. These tests force that path on both stream kinds —
+//! the child→parent report uplink and the client→node event feed.
+
+use ftscp_core::deploy::{DeployConfig, Deployment as SimDeployment};
+use ftscp_core::report::GlobalDetection;
+use ftscp_net::client::EventClient;
+use ftscp_net::loopback::{sockets_available, Deployment, LoopbackConfig};
+use ftscp_simnet::{LinkModel, SimConfig, SimTime, Topology};
+use ftscp_tree::SpanningTree;
+use ftscp_vclock::ProcessId;
+use ftscp_workload::{Execution, RandomExecution};
+use std::time::Duration;
+
+fn coverages(dets: &[GlobalDetection]) -> Vec<Vec<(u32, u64)>> {
+    dets.iter()
+        .map(|d| d.coverage.iter().map(|r| (r.process.0, r.seq)).collect())
+        .collect()
+}
+
+fn simnet_detections(tree: &SpanningTree, exec: &Execution, seed: u64) -> Vec<GlobalDetection> {
+    let topo = Topology::dary_tree(exec.n, 2, 1);
+    let config = DeployConfig {
+        sim: SimConfig {
+            seed,
+            link: LinkModel {
+                min_delay: SimTime(200),
+                max_delay: SimTime(4_000),
+                drop_prob: 0.0,
+            },
+        },
+        ..Default::default()
+    };
+    let mut dep = SimDeployment::new(topo, tree.clone(), exec, config);
+    dep.run();
+    dep.detections()
+}
+
+/// Severing the report uplink mid-stream: the leaf reconnects, its tx
+/// codec restarts cold, and the frame counters prove the resync actually
+/// used a standalone frame on the new connection (while the bulk of the
+/// stream stayed on the cheaper stateful encoding).
+#[test]
+fn uplink_resyncs_with_standalone_frame_after_disconnect() {
+    if !sockets_available() {
+        eprintln!("skipping: loopback sockets unavailable in this environment");
+        return;
+    }
+    let exec = RandomExecution::builder(2)
+        .intervals_per_process(8)
+        .skip_prob(0.0)
+        .seed(11)
+        .build();
+    let tree = SpanningTree::balanced_dary(2, 2); // root 0 — leaf 1
+    let sim = simnet_detections(&tree, &exec, 11);
+
+    let config = LoopbackConfig {
+        event_pacing: Duration::from_millis(4),
+        ..Default::default()
+    };
+    let mut dep = Deployment::launch(&tree, &config).expect("launch failed");
+    dep.feed_execution(&exec, config.event_pacing);
+    std::thread::sleep(Duration::from_millis(12));
+    dep.drop_uplink(ProcessId(1));
+    let report = dep.finish(&config).expect("loopback run failed");
+    assert!(!report.timed_out, "run did not recover from the drop");
+
+    let leaf = &report.node_reports[1];
+    assert!(leaf.reconnects >= 1, "uplink never reconnected");
+    assert!(
+        leaf.standalone_frames_sent >= 2,
+        "expected a standalone frame per connection (initial + resync), saw {}",
+        leaf.standalone_frames_sent
+    );
+    assert!(
+        leaf.interval_frames_sent > leaf.standalone_frames_sent,
+        "the steady state should use stateful delta frames \
+         ({} interval frames, {} standalone)",
+        leaf.interval_frames_sent,
+        leaf.standalone_frames_sent
+    );
+    assert_eq!(coverages(&sim), coverages(&report.detections));
+}
+
+/// Severing the event feed mid-stream: the replacement client starts a
+/// fresh tx codec against the node's fresh per-connection rx codec. If
+/// either side wrongly carried delta state across the reconnect, the
+/// first frame would fail to decode, the connection would be killed, and
+/// the detections below would be missing.
+#[test]
+fn event_feed_resumes_on_a_fresh_connection() {
+    if !sockets_available() {
+        eprintln!("skipping: loopback sockets unavailable in this environment");
+        return;
+    }
+    let exec = RandomExecution::builder(2)
+        .intervals_per_process(6)
+        .skip_prob(0.0)
+        .seed(13)
+        .build();
+    let tree = SpanningTree::balanced_dary(2, 2);
+    let sim = simnet_detections(&tree, &exec, 13);
+
+    let config = LoopbackConfig::default();
+    let dep = Deployment::launch(&tree, &config).expect("launch failed");
+
+    // Process 0 feeds normally.
+    let p0 = ProcessId(0);
+    let mut c0 = EventClient::connect(dep.addr(p0), p0).expect("connect p0");
+    for iv in exec.intervals_of(p0) {
+        c0.send_event(iv).expect("send p0");
+    }
+    c0.fin().expect("fin p0");
+
+    // Process 1's feed dies mid-stream (connection dropped WITHOUT Fin,
+    // mid-delta-stream) and resumes on a brand-new connection.
+    let p1 = ProcessId(1);
+    let intervals = exec.intervals_of(p1);
+    let (first_half, second_half) = intervals.split_at(intervals.len() / 2);
+    let mut c1 = EventClient::connect(dep.addr(p1), p1).expect("connect p1");
+    for iv in first_half {
+        c1.send_event(iv).expect("send p1 first half");
+    }
+    drop(c1); // orderly TCP close delivers what was written, then EOF
+              // Give the node time to drain the dead connection before the
+              // replacement starts, so events stay in per-process order.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c1 = EventClient::connect(dep.addr(p1), p1).expect("reconnect p1");
+    for iv in second_half {
+        c1.send_event(iv).expect("send p1 second half");
+    }
+    c1.fin().expect("fin p1");
+
+    let report = dep.finish(&config).expect("loopback run failed");
+    assert!(!report.timed_out, "run did not complete after feed resume");
+    assert_eq!(coverages(&sim), coverages(&report.detections));
+}
