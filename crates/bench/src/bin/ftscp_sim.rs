@@ -16,7 +16,10 @@
 //! cores, and writes `BENCH_hotpath.json` at the repository root: overlap
 //! comparisons full vs incremental vs aggregate sweep (with runtime
 //! assertions that all three produce bit-identical detections), logical
-//! vs deep clock clones, and encoded bytes per interval dense vs delta.
+//! vs deep clock clones, encoded bytes per interval dense vs delta, plus
+//! a `repair` row measuring the decentralized crash-recovery protocol
+//! (re-report traffic and simulated time-to-first-solution after a
+//! mid-run internal-node crash on the `h = 3` workload).
 //!
 //! `--bench-check` regenerates the same grid in memory and exits nonzero
 //! if any deterministic cost counter regressed more than 10% against the
@@ -24,7 +27,7 @@
 
 use ftscp_analysis::report::render_table;
 use ftscp_baselines::centralized::CentralizedDeployment;
-use ftscp_core::deploy::{DeployConfig, Deployment};
+use ftscp_core::deploy::{DeployConfig, Deployment, RepairMode};
 use ftscp_core::monitor::MonitorConfig;
 use ftscp_simnet::{LinkModel, NodeId, SimConfig, SimTime, Topology};
 use ftscp_tree::SpanningTree;
@@ -268,6 +271,7 @@ fn bench_net_loopback() -> NetRun {
         },
         event_pacing: std::time::Duration::ZERO,
         run_timeout: std::time::Duration::from_secs(60),
+        ..Default::default()
     };
     let report = match run_execution(&tree, &exec, &config) {
         Ok(r) if !r.timed_out => r,
@@ -288,6 +292,92 @@ fn bench_net_loopback() -> NetRun {
     run.intervals_per_sec = report.intervals_per_sec();
     run.elapsed_ms = report.elapsed.as_secs_f64() * 1e3;
     run
+}
+
+/// The `repair` row: cost of surviving a mid-run crash of a height-1
+/// internal node on the `h = 3` hotpath workload, with the repair run by
+/// the decentralized membership protocol (`RepairMode::HeartbeatDriven`:
+/// heartbeat suspicion → grandparent adoption → re-reports — the same
+/// code path the TCP runtime drives). Everything except `elapsed_ms` is
+/// simulation-deterministic: `time_to_first_solution_ms` is *simulated*
+/// time from the crash instant to the first post-crash detection at the
+/// root, and the re-report counters meter the §III-F recovery traffic
+/// (retransmitted unacked reports + standalone resync frames).
+struct RepairRun {
+    n: usize,
+    crashed_node: u32,
+    crash_at_ms: u64,
+    detections: usize,
+    re_report_msgs: u64,
+    re_report_bytes: u64,
+    time_to_first_solution_ms: f64,
+    elapsed_ms: f64,
+}
+
+fn bench_repair() -> RepairRun {
+    use std::time::Instant;
+
+    let h = 3u32;
+    let n = 4usize.pow(h);
+    let crashed = ProcessId(5); // height-1 internal: parent of four leaves
+    let crash_at = SimTime::from_millis(150);
+    let exec = RandomExecution::builder(n)
+        .intervals_per_process(6)
+        .seed(7)
+        .build();
+    let topo = Topology::dary_tree(n, 4, 1);
+    let tree = SpanningTree::balanced_dary(n, 4);
+    let cfg = DeployConfig {
+        sim: SimConfig {
+            seed: 7,
+            link: LinkModel {
+                min_delay: SimTime(200),
+                max_delay: SimTime(4_000),
+                drop_prob: 0.0,
+            },
+        },
+        monitor: MonitorConfig {
+            heartbeat_period: Some(SimTime::from_millis(20)),
+            retransmit_period: Some(SimTime::from_millis(25)),
+            ..Default::default()
+        },
+        repair_delay: SimTime::from_millis(120),
+        repair_mode: RepairMode::HeartbeatDriven,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut dep = Deployment::new(topo, tree, &exec, cfg);
+    dep.schedule_crash(crashed, crash_at);
+    dep.run();
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let dets = dep.detections();
+    let first_after = dets
+        .iter()
+        .map(|d| d.time)
+        .find(|&t| t >= crash_at)
+        .map(|t| t.saturating_sub(crash_at))
+        .unwrap_or(SimTime::ZERO);
+    let mut re_report_msgs = 0u64;
+    let mut re_report_bytes = 0u64;
+    for p in 0..n {
+        let app = dep.app(ProcessId(p as u32));
+        re_report_msgs += app.re_report_msgs();
+        re_report_bytes += app.re_report_bytes();
+    }
+    assert!(
+        dets.iter().any(|d| d.time >= crash_at),
+        "repair row must keep detecting after the crash"
+    );
+    RepairRun {
+        n,
+        crashed_node: crashed.0,
+        crash_at_ms: crash_at.as_millis(),
+        detections: dets.len(),
+        re_report_msgs,
+        re_report_bytes,
+        time_to_first_solution_ms: first_after.as_micros() as f64 / 1e3,
+        elapsed_ms,
+    }
 }
 
 /// Runs the whole measurement grid — every `(point, sweep mode)`
@@ -396,7 +486,7 @@ fn bench_points() -> Vec<BenchPoint> {
     points
 }
 
-fn render_bench_json(points: &[BenchPoint], net: &NetRun) -> String {
+fn render_bench_json(points: &[BenchPoint], net: &NetRun, repair: &RepairRun) -> String {
     // Hand-formatted JSON: the build environment has no serde_json.
     let mut out = String::new();
     out.push_str("{\n");
@@ -447,6 +537,19 @@ fn render_bench_json(points: &[BenchPoint], net: &NetRun) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
+        "  \"repair\": {{\"n\": {}, \"crashed_node\": {}, \"crash_at_ms\": {}, \
+         \"detections\": {}, \"re_report_msgs\": {}, \"re_report_bytes\": {}, \
+         \"time_to_first_solution_ms\": {:.3}, \"elapsed_ms\": {:.3}}},\n",
+        repair.n,
+        repair.crashed_node,
+        repair.crash_at_ms,
+        repair.detections,
+        repair.re_report_msgs,
+        repair.re_report_bytes,
+        repair.time_to_first_solution_ms,
+        repair.elapsed_ms
+    ));
+    out.push_str(&format!(
         "  \"net_loopback\": {{\"available\": {}, \"n\": {}, \"intervals\": {}, \
          \"detections\": {}, \"interval_msgs\": {}, \"interval_frames\": {}, \
          \"standalone_frames\": {}, \"bytes_on_wire\": {}, \"reconnects\": {}, \
@@ -472,10 +575,11 @@ const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_
 fn run_bench_json() {
     let points = bench_points();
     let net = bench_net_loopback();
+    let repair = bench_repair();
     if !net.available {
         eprintln!("note: loopback sockets unavailable — net_loopback row records zeros");
     }
-    let out = render_bench_json(&points, &net);
+    let out = render_bench_json(&points, &net, &repair);
     std::fs::write(BENCH_JSON_PATH, &out).expect("write BENCH_hotpath.json");
     print!("{out}");
     eprintln!("written to {BENCH_JSON_PATH}");
@@ -526,18 +630,26 @@ fn extract_all(json: &str, section: &str, key: &str) -> Vec<f64> {
 /// against the committed `BENCH_hotpath.json`. Wall-clock times are
 /// machine-dependent and deliberately not gated.
 fn run_bench_check() {
-    const GATED_KEYS: [(&str, &str); 6] = [
+    const GATED_KEYS: [(&str, &str); 10] = [
         ("overlap_comparisons", "full_sweep"),
         ("overlap_comparisons", "incremental"),
         ("overlap_comparisons", "aggregate"),
         ("bytes_per_interval", "dense"),
         ("bytes_per_interval", "delta_standalone"),
         ("bytes_per_interval", "delta_stateful"),
+        // The repair row is a deterministic simulation: recovery traffic
+        // and simulated time-to-first-solution are gated; its wall-clock
+        // `elapsed_ms` (like all elapsed times) is not.
+        ("repair", "detections"),
+        ("repair", "re_report_msgs"),
+        ("repair", "re_report_bytes"),
+        ("repair", "time_to_first_solution_ms"),
     ];
     let committed = std::fs::read_to_string(BENCH_JSON_PATH)
         .unwrap_or_else(|e| panic!("read committed {BENCH_JSON_PATH}: {e}"));
     let net = bench_net_loopback();
-    let current = render_bench_json(&bench_points(), &net);
+    let repair = bench_repair();
+    let current = render_bench_json(&bench_points(), &net, &repair);
 
     let mut failures = Vec::new();
     for (section, key) in GATED_KEYS {

@@ -113,6 +113,15 @@ impl Deployment {
         }
         let end_of_schedule = t;
 
+        // Heartbeat-driven mode is decentralized: every monitor runs its
+        // own failure detector and the adoption handshake, with the
+        // repair delay as the suspicion timeout. Scheduled mode leaves
+        // repair to the clairvoyant maintenance service.
+        let mut monitor_cfg = config.monitor;
+        if config.repair_mode == RepairMode::HeartbeatDriven {
+            monitor_cfg.suspect_timeout = Some(config.repair_delay);
+        }
+
         let height = tree.height();
         let apps: Vec<MonitorApp> = (0..n)
             .map(|i| {
@@ -127,7 +136,7 @@ impl Deployment {
                     &children,
                     level,
                     std::mem::take(&mut schedules[i]),
-                    config.monitor,
+                    monitor_cfg,
                 )
             })
             .collect();
@@ -228,11 +237,13 @@ impl Deployment {
         self.sim.run_until(deadline);
     }
 
-    /// Heartbeat-driven run loop: the simulation advances in half-timeout
-    /// slices; whenever a node's tree parent (or any tree child, for the
-    /// root) has not heard its heartbeats for a full timeout *and* the
-    /// node is actually dead, the maintenance service repairs. Recoveries
-    /// still honor their schedule.
+    /// Heartbeat-driven run loop — a *thin driver*: failure detection and
+    /// repair run inside the monitors themselves (suspicion timers, the
+    /// grandparent-adoption handshake, re-reports — see
+    /// [`crate::membership`]); this loop only advances simulated time,
+    /// honors the recovery schedule, and keeps the harness's tree
+    /// *mirror* in sync with what the monitors decided, so observers
+    /// ([`Deployment::tree`]) and the recovery path keep working.
     fn run_heartbeat_driven(&mut self) {
         assert!(
             self.config.monitor.heartbeat_period.is_some(),
@@ -248,33 +259,33 @@ impl Deployment {
         while t < deadline {
             t = (t + slice).min(deadline);
             self.sim.run_until(t);
+            self.sync_tree_mirror();
             while next_recovery < recoveries.len() && recoveries[next_recovery].0 <= t {
                 let (_, node) = recoveries[next_recovery];
                 next_recovery += 1;
                 self.recover(node);
             }
-            // Ask every alive tree member about its suspects.
-            let now = self.sim.time();
-            let mut to_repair: Vec<ProcessId> = Vec::new();
-            for node in self.tree.nodes() {
-                if !self.sim.is_alive(node) {
-                    continue;
-                }
-                for suspect in self.sim.app(node).suspects(now, timeout) {
-                    // Only a *true* failure triggers surgery (false
-                    // suspicion from jitter is ignored; a production
-                    // system would add confirmation rounds).
-                    if !self.sim.is_alive(nid(suspect))
-                        && self.tree.contains(nid(suspect))
-                        && !to_repair.contains(&suspect)
-                    {
-                        to_repair.push(suspect);
-                    }
-                }
-            }
-            for failed in to_repair {
-                self.repair(failed);
-            }
+        }
+        self.sync_tree_mirror();
+    }
+
+    /// Rebuilds the harness's tree view from the monitors' own parent
+    /// pointers (decentralized repair moves edges without telling the
+    /// harness). Dead nodes and not-yet-adopted orphan subtrees are out
+    /// of the view; if no root is currently claimed (the root itself
+    /// died), the last known view is kept.
+    fn sync_tree_mirror(&mut self) {
+        let members: Vec<(NodeId, Option<NodeId>)> = (0..self.sim.len())
+            .map(|i| NodeId(i as u32))
+            .filter(|&n| self.sim.is_alive(n))
+            .map(|n| (n, self.sim.app(n).parent().map(nid)))
+            .collect();
+        let root = members
+            .iter()
+            .find(|&&(n, p)| p.is_none() && self.sim.app(n).engine().is_root())
+            .map(|&(n, _)| n);
+        if let Some(root) = root {
+            self.tree = SpanningTree::from_membership(&members, self.sim.len(), root);
         }
     }
 
@@ -313,64 +324,20 @@ impl Deployment {
         // the still-unattached ones — retry.partitioned covers both).
         let report = report;
 
+        // The control plan itself is shared with the decentralized path:
+        // `membership::repair_actions` derives the messages from the
+        // repaired tree, the deploy layer only injects them.
         let now = self.sim.time();
         let service = nid(failed); // nominal "from" for injected control msgs
-
-        // 1. Former parent drops the dead child's queue.
-        if let Some(p) = report.former_parent {
-            self.sim
-                .inject(now, service, p, DetectMsg::RemoveChild { child: failed });
-        }
-        // 2. Affected nodes reconcile children and parents. Order matters:
-        //    removals and adoptions first, then SetParent (which triggers
-        //    the re-report into the adopter's fresh queue).
-        for &aff in &report.affected {
-            if !self.tree.contains(aff) {
-                continue;
-            }
-            let tree_children: std::collections::BTreeSet<ProcessId> =
-                self.tree.children(aff).iter().map(|&c| pid(c)).collect();
-            let engine_children: std::collections::BTreeSet<ProcessId> = self
-                .sim
-                .app(aff)
-                .engine()
-                .children()
-                .iter()
-                .copied()
-                .collect();
-            for &gone in engine_children.difference(&tree_children) {
-                if gone == failed {
-                    continue; // already handled above
-                }
-                self.sim
-                    .inject(now, service, aff, DetectMsg::RemoveChild { child: gone });
-            }
-            for &new in tree_children.difference(&engine_children) {
-                self.sim
-                    .inject(now, service, aff, DetectMsg::AddChild { child: new });
-            }
-        }
-        // 3. Root promotion.
-        if let Some(new_root) = report.new_root {
-            self.sim
-                .inject(now, service, new_root, DetectMsg::PromoteRoot);
-        }
-        // 4. Re-parent notifications (trigger re-reports).
-        for &aff in &report.affected {
-            if !self.tree.contains(aff) {
-                continue;
-            }
-            let new_parent = self.tree.parent(aff);
-            if new_parent != old_parents[aff.index()] {
-                self.sim.inject(
-                    now,
-                    service,
-                    aff,
-                    DetectMsg::SetParent {
-                        parent: new_parent.map(pid),
-                    },
-                );
-            }
+        let plan = crate::membership::repair_actions(
+            &self.tree,
+            &report,
+            &old_parents,
+            |n| self.sim.app(n).engine().children().to_vec(),
+            failed,
+        );
+        for (dst, msg) in plan {
+            self.sim.inject(now, service, dst, msg);
         }
     }
 

@@ -42,6 +42,7 @@ pub mod deploy;
 pub mod engine;
 pub mod faultcheck;
 pub mod hier;
+pub mod membership;
 pub mod monitor;
 pub mod multi;
 pub mod protocol;

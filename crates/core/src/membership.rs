@@ -1,0 +1,320 @@
+//! Decentralized tree membership: epochs, the suspicion → adoption
+//! handshake, and the shared repair control plan.
+//!
+//! The paper assumes spanning-tree repair as a substrate (§III-F) but
+//! says nothing about *who* performs it. Until this module existed the
+//! answer was "a clairvoyant harness": `core::deploy` inspected global
+//! simulator state and injected control messages. That worked only on
+//! the simulated backend — a real-socket deployment had no repair at
+//! all. Membership moves repair into the protocol itself:
+//!
+//! * every node carries an **epoch** (incarnation number). Epochs are
+//!   bumped when a node starts an adoption attempt or reboots, and they
+//!   ride on every [`Heartbeat`](crate::protocol::DetectMsg::Heartbeat),
+//!   so stale beacons from a previous incarnation and stale adoption
+//!   handshakes are rejected deterministically;
+//! * heartbeats also carry the sender's **parent**, so every child
+//!   passively learns its *grandparent* — the preferred adopter of
+//!   §III-F's reattachment rule (the same preference
+//!   [`tree::reconnect`](ftscp_tree::SpanningTree::handle_failure)
+//!   encodes for the clairvoyant oracle);
+//! * when heartbeat suspicion (`MonitorCore::suspects`) fires, a node
+//!   that lost a **child** drops the dead queue locally, and a node that
+//!   lost its **parent** runs the adoption handshake:
+//!
+//! ```text
+//!   child C                          grandparent G
+//!     |  (parent P silent > timeout)   |
+//!     |-- Suspect{from:C, suspect:P} ->|  G drops P's queue (if still a child)
+//!     |-- Adopt{child:C, epoch:e,   ->|  G records epoch e for C,
+//!     |         dead_parent:P}        |  opens an empty queue for C
+//!     |<- AdoptAck{child:C, epoch:e, -|
+//!     |            accepted:true}     |
+//!     |-- ReReport{from:C, epoch:e} ->|  stream restart announcement
+//!     |-- Interval{resync:true} ...  ->|  standalone-first re-reports
+//!                                        refill G's fresh queue (§III-B)
+//! ```
+//!
+//! The handshake is idempotent (duplicate `Adopt`s re-ack, a stale
+//! `AdoptAck` is dropped by its epoch) and order-independent (`Adopt`
+//! carries `dead_parent`, so it does not rely on the separate `Suspect`
+//! arriving first over a non-FIFO transport).
+
+use crate::pid;
+use crate::protocol::DetectMsg;
+use ftscp_simnet::NodeId;
+use ftscp_tree::{ReconnectReport, SpanningTree};
+use ftscp_vclock::ProcessId;
+use std::collections::BTreeMap;
+
+/// Where a node stands in the repair protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairState {
+    /// Nothing in flight.
+    Stable,
+    /// Parent presumed dead; an `Adopt` with `epoch` is outstanding
+    /// toward `target` (re-sent on every suspicion tick until acked).
+    Adopting {
+        /// The prospective new parent (usually the grandparent).
+        target: ProcessId,
+        /// The epoch this attempt was issued under; the matching
+        /// `AdoptAck` must echo it.
+        epoch: u64,
+        /// The parent being replaced, if this attempt replaces one (a
+        /// rebooted node rejoining from scratch has none).
+        dead_parent: Option<ProcessId>,
+    },
+}
+
+/// What a membership tick decided — the transport-specific driver acts
+/// on these (the simulated backend sends the handshake immediately; the
+/// TCP backend first re-targets its uplink socket at the new parent).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A dead child's queue was dropped locally.
+    ChildDropped(ProcessId),
+    /// An adoption handshake toward `target` is (still) wanted; send or
+    /// re-send `Suspect` + `Adopt` once a channel to `target` exists.
+    AdoptionStarted {
+        /// The prospective new parent.
+        target: ProcessId,
+    },
+    /// The parent is dead and no grandparent is known (the root died, or
+    /// no heartbeat ever carried a hint): the node stays orphaned and
+    /// detection over its subtree halts until an adopter appears.
+    Orphaned {
+        /// The dead parent.
+        dead_parent: ProcessId,
+    },
+}
+
+/// Per-node membership view: own epoch, the freshest epoch heard from
+/// each peer, the grandparent hint, and the repair state machine.
+#[derive(Clone, Debug)]
+pub struct Membership {
+    epoch: u64,
+    peer_epochs: BTreeMap<ProcessId, u64>,
+    grandparent: Option<ProcessId>,
+    state: RepairState,
+}
+
+impl Membership {
+    /// A stable view at `epoch` (0 for a first incarnation).
+    pub fn new(epoch: u64) -> Self {
+        Membership {
+            epoch,
+            peer_epochs: BTreeMap::new(),
+            grandparent: None,
+            state: RepairState::Stable,
+        }
+    }
+
+    /// This node's current epoch (rides on its heartbeats).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Starts a new incarnation (reboot): peers treat beacons from the
+    /// old incarnation as stale from now on.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current repair state.
+    pub fn state(&self) -> &RepairState {
+        &self.state
+    }
+
+    /// True while an adoption handshake is outstanding.
+    pub fn is_adopting(&self) -> bool {
+        matches!(self.state, RepairState::Adopting { .. })
+    }
+
+    /// The last grandparent hint heard from the parent's heartbeats.
+    pub fn grandparent(&self) -> Option<ProcessId> {
+        self.grandparent
+    }
+
+    /// Records the parent's own parent as carried by its heartbeat.
+    pub fn note_grandparent(&mut self, grandparent: Option<ProcessId>) {
+        self.grandparent = grandparent;
+    }
+
+    /// Folds a peer's claimed epoch into the view. Returns false when the
+    /// claim is *stale* — lower than an epoch already heard from that
+    /// peer, i.e. traffic from a previous incarnation still in flight —
+    /// in which case the caller must ignore the message entirely.
+    pub fn observe_peer_epoch(&mut self, peer: ProcessId, epoch: u64) -> bool {
+        let known = self.peer_epochs.entry(peer).or_insert(epoch);
+        if epoch < *known {
+            return false;
+        }
+        *known = epoch;
+        true
+    }
+
+    /// The freshest epoch heard from `peer` (0 if never heard).
+    pub fn peer_epoch(&self, peer: ProcessId) -> u64 {
+        self.peer_epochs.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Opens an adoption attempt toward `target` under a fresh epoch,
+    /// replacing `dead_parent` (None when joining from scratch). Returns
+    /// the attempt's epoch. No-op returning the in-flight epoch if an
+    /// attempt toward the same target is already outstanding.
+    pub fn begin_adoption(&mut self, target: ProcessId, dead_parent: Option<ProcessId>) -> u64 {
+        if let RepairState::Adopting {
+            target: t, epoch, ..
+        } = self.state
+        {
+            if t == target {
+                return epoch;
+            }
+        }
+        self.epoch += 1;
+        self.state = RepairState::Adopting {
+            target,
+            epoch: self.epoch,
+            dead_parent,
+        };
+        self.epoch
+    }
+
+    /// True iff an `AdoptAck` from `from` echoing `epoch` answers the
+    /// outstanding attempt.
+    pub fn matches_adoption(&self, from: ProcessId, epoch: u64) -> bool {
+        matches!(
+            self.state,
+            RepairState::Adopting { target, epoch: e, .. } if target == from && e == epoch
+        )
+    }
+
+    /// Closes the outstanding attempt (acked, rejected, or abandoned).
+    pub fn finish_adoption(&mut self) {
+        self.state = RepairState::Stable;
+    }
+}
+
+impl Default for Membership {
+    fn default() -> Self {
+        Membership::new(0)
+    }
+}
+
+/// The control plan of one clairvoyant repair: given the repaired tree
+/// (already recomputed by [`SpanningTree::handle_failure`] /
+/// [`SpanningTree::reattach_orphans`] — the *shared* repaired-tree
+/// computation), the reconnect report, and a snapshot of the pre-repair
+/// parent pointers, derives the exact control messages that reconcile
+/// every affected monitor with the new tree. This is the oracle
+/// equivalent of the decentralized handshake: `RemoveChild` plays
+/// `Suspect`, `AddChild` plays `Adopt`, and `SetParent` plays
+/// `AdoptAck` + `ReReport` (it triggers
+/// [`resync_uplink`](crate::transport::MonitorCore::resync_uplink), the
+/// same re-report path the handshake ends in).
+///
+/// `engine_children` reports the monitors' *current* child sets — the
+/// plan only patches real differences, so repeated repairs are
+/// idempotent. Message order matters and is part of the oracle's
+/// determinism contract: the dead child's queue drop first, then
+/// adoptions/removals per affected node, then root promotion, then the
+/// re-parent notifications that trigger re-reports.
+pub fn repair_actions(
+    tree: &SpanningTree,
+    report: &ReconnectReport,
+    old_parents: &[Option<NodeId>],
+    engine_children: impl Fn(NodeId) -> Vec<ProcessId>,
+    failed: ProcessId,
+) -> Vec<(NodeId, DetectMsg)> {
+    let mut plan: Vec<(NodeId, DetectMsg)> = Vec::new();
+    // 1. Former parent drops the dead child's queue.
+    if let Some(p) = report.former_parent {
+        plan.push((p, DetectMsg::RemoveChild { child: failed }));
+    }
+    // 2. Affected nodes reconcile children. Order matters: removals and
+    //    adoptions first, then SetParent (which triggers the re-report
+    //    into the adopter's fresh queue).
+    for &aff in &report.affected {
+        if !tree.contains(aff) {
+            continue;
+        }
+        let tree_children: std::collections::BTreeSet<ProcessId> =
+            tree.children(aff).iter().map(|&c| pid(c)).collect();
+        let engine_children: std::collections::BTreeSet<ProcessId> =
+            engine_children(aff).into_iter().collect();
+        for &gone in engine_children.difference(&tree_children) {
+            if gone == failed {
+                continue; // already handled above
+            }
+            plan.push((aff, DetectMsg::RemoveChild { child: gone }));
+        }
+        for &new in tree_children.difference(&engine_children) {
+            plan.push((aff, DetectMsg::AddChild { child: new }));
+        }
+    }
+    // 3. Root promotion.
+    if let Some(new_root) = report.new_root {
+        plan.push((new_root, DetectMsg::PromoteRoot));
+    }
+    // 4. Re-parent notifications (trigger re-reports).
+    for &aff in &report.affected {
+        if !tree.contains(aff) {
+            continue;
+        }
+        let new_parent = tree.parent(aff);
+        if new_parent != old_parents[aff.index()] {
+            plan.push((
+                aff,
+                DetectMsg::SetParent {
+                    parent: new_parent.map(pid),
+                },
+            ));
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_reject_stale_and_accept_fresh() {
+        let mut m = Membership::new(0);
+        assert!(m.observe_peer_epoch(ProcessId(2), 1));
+        assert!(m.observe_peer_epoch(ProcessId(2), 1), "equal is fresh");
+        assert!(!m.observe_peer_epoch(ProcessId(2), 0), "lower is stale");
+        assert!(m.observe_peer_epoch(ProcessId(2), 3));
+        assert_eq!(m.peer_epoch(ProcessId(2)), 3);
+        assert_eq!(m.peer_epoch(ProcessId(9)), 0, "never heard");
+    }
+
+    #[test]
+    fn adoption_attempt_lifecycle() {
+        let mut m = Membership::new(0);
+        let e = m.begin_adoption(ProcessId(1), Some(ProcessId(3)));
+        assert_eq!(e, 1, "attempt bumps the epoch");
+        assert!(m.is_adopting());
+        assert_eq!(
+            m.begin_adoption(ProcessId(1), Some(ProcessId(3))),
+            e,
+            "re-begin toward the same target keeps the in-flight epoch"
+        );
+        assert!(m.matches_adoption(ProcessId(1), e));
+        assert!(!m.matches_adoption(ProcessId(1), e + 1), "wrong epoch");
+        assert!(!m.matches_adoption(ProcessId(2), e), "wrong sender");
+        m.finish_adoption();
+        assert!(!m.is_adopting());
+        assert!(!m.matches_adoption(ProcessId(1), e), "attempt closed");
+    }
+
+    #[test]
+    fn retarget_opens_a_new_epoch() {
+        let mut m = Membership::new(5);
+        let e1 = m.begin_adoption(ProcessId(1), Some(ProcessId(3)));
+        let e2 = m.begin_adoption(ProcessId(2), Some(ProcessId(3)));
+        assert!(e2 > e1, "a different target is a fresh attempt");
+        assert!(!m.matches_adoption(ProcessId(1), e1), "old attempt dead");
+        assert!(m.matches_adoption(ProcessId(2), e2));
+    }
+}

@@ -10,6 +10,7 @@
 //! backends differentially comparable.
 
 use crate::engine::{EngineCheckpoint, NodeEngine};
+use crate::membership::{Membership, MembershipEvent};
 use crate::protocol::DetectMsg;
 use crate::report::GlobalDetection;
 use crate::transport::MonitorCore;
@@ -21,6 +22,7 @@ use std::collections::{BTreeMap, VecDeque};
 const TIMER_NEXT_INTERVAL: TimerToken = 1;
 const TIMER_HEARTBEAT: TimerToken = 2;
 const TIMER_RETRANSMIT: TimerToken = 3;
+const TIMER_SUSPECT: TimerToken = 4;
 
 /// Monitor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +45,13 @@ pub struct MonitorConfig {
     /// doubles up to `retransmit_period × cap`, then resets to the base
     /// period as soon as an ack makes progress (or a new parent is set).
     pub retransmit_backoff_cap: u32,
+    /// Decentralized failure detection: when set, the node itself runs
+    /// [`MonitorCore::membership_tick`] on a timer with this suspicion
+    /// timeout — a silent child's queue is dropped and a silent parent
+    /// triggers the grandparent-adoption handshake, with no harness
+    /// involvement. `None` (the default) leaves repair to the
+    /// deployment's maintenance service (the clairvoyant oracle).
+    pub suspect_timeout: Option<SimTime>,
 }
 
 impl Default for MonitorConfig {
@@ -52,6 +61,7 @@ impl Default for MonitorConfig {
             retransmit_period: None,
             retransmit_burst: 8,
             retransmit_backoff_cap: 8,
+            suspect_timeout: None,
         }
     }
 }
@@ -132,8 +142,11 @@ impl MonitorApp {
         self.core.unacked.clear();
         self.core.retransmit_backoff = 1;
         self.core.uplink_codec.reset(); // connection state is volatile
-                                        // Intervals that would have completed during the outage never
-                                        // happened (the node was down): drop them.
+                                        // Fresh incarnation: peers must treat beacons from the crashed
+                                        // life as stale. Peer-epoch observations are volatile too.
+        self.core.membership = Membership::new(self.core.membership.epoch() + 1);
+        // Intervals that would have completed during the outage never
+        // happened (the node was down): drop them.
         while let Some(&(t, _)) = self.schedule.front() {
             if t <= ctx.now() {
                 self.schedule.pop_front();
@@ -149,6 +162,7 @@ impl MonitorApp {
         if let Some(period) = self.core.config.retransmit_period {
             ctx.set_timer(period, TIMER_RETRANSMIT);
         }
+        self.arm_suspect_timer(ctx);
         true
     }
 
@@ -183,6 +197,21 @@ impl MonitorApp {
         self.core.interval_msgs_sent()
     }
 
+    /// Interval messages sent through the re-report/resync path.
+    pub fn re_report_msgs(&self) -> u64 {
+        self.core.re_report_msgs()
+    }
+
+    /// Bytes billed for the re-report/resync path.
+    pub fn re_report_bytes(&self) -> u64 {
+        self.core.re_report_bytes()
+    }
+
+    /// This node's membership view (epoch, repair state, grandparent).
+    pub fn membership(&self) -> &Membership {
+        self.core.membership()
+    }
+
     /// Heartbeats observed so far: peer → last time.
     pub fn heartbeat_seen(&self) -> &BTreeMap<ProcessId, SimTime> {
         self.core.heartbeat_seen()
@@ -210,6 +239,18 @@ impl MonitorApp {
             ctx.set_timer(delay, TIMER_NEXT_INTERVAL);
         }
     }
+
+    /// Suspicion-check period: half the timeout, so a dead peer is caught
+    /// within 1.5× the configured timeout in the worst case.
+    fn suspect_period(timeout: SimTime) -> SimTime {
+        SimTime((timeout.as_micros() / 2).max(1))
+    }
+
+    fn arm_suspect_timer(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
+        if let Some(timeout) = self.core.config.suspect_timeout {
+            ctx.set_timer(Self::suspect_period(timeout), TIMER_SUSPECT);
+        }
+    }
 }
 
 impl Application for MonitorApp {
@@ -223,6 +264,7 @@ impl Application for MonitorApp {
         if let Some(period) = self.core.config.retransmit_period {
             ctx.set_timer(period, TIMER_RETRANSMIT);
         }
+        self.arm_suspect_timer(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, DetectMsg>, token: TimerToken) {
@@ -247,6 +289,24 @@ impl Application for MonitorApp {
                 if let Some(period) = self.core.config.heartbeat_period {
                     self.core.send_heartbeats(ctx);
                     ctx.set_timer(period, TIMER_HEARTBEAT);
+                }
+            }
+            TIMER_SUSPECT => {
+                if let Some(timeout) = self.core.config.suspect_timeout {
+                    let events = self.core.membership_tick(timeout, ctx);
+                    if events
+                        .iter()
+                        .any(|e| matches!(e, MembershipEvent::AdoptionStarted { .. }))
+                    {
+                        // The simulated network routes by id: the handshake
+                        // can go out immediately (the TCP runtime instead
+                        // re-dials its uplink first — see `ftscp-net`).
+                        self.core.send_adoption_request(ctx);
+                    }
+                    if !events.is_empty() {
+                        self.persist();
+                    }
+                    ctx.set_timer(Self::suspect_period(timeout), TIMER_SUSPECT);
                 }
             }
             _ => {}

@@ -11,11 +11,14 @@ use serde::{Deserialize, Serialize};
 
 /// Messages exchanged by [`crate::monitor::MonitorApp`]s.
 ///
-/// `Interval` and `Heartbeat` are the algorithm's own traffic. The control
-/// variants (`SetParent`, `AddChild`, `RemoveChild`, `PromoteRoot`) are
-/// issued by the tree-maintenance service after a failure — the paper
-/// assumes spanning-tree construction and repair as a given substrate
-/// (§III-A, §III-F), which [`crate::deploy::Deployment`] plays the role of.
+/// `Interval` and `Heartbeat` are the algorithm's own traffic. The
+/// membership variants (`Suspect`, `Adopt`, `AdoptAck`, `ReReport`) are
+/// the decentralized §III-F repair handshake — see
+/// [`crate::membership`]. The remaining control variants (`SetParent`,
+/// `AddChild`, `RemoveChild`, `PromoteRoot`) express the same
+/// reconfigurations as injected by the clairvoyant oracle
+/// ([`crate::deploy::Deployment`] in `Scheduled` mode), which the
+/// differential tests compare the protocol against.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DetectMsg {
     /// A completed interval (raw from a leaf, aggregated from an interior
@@ -31,10 +34,19 @@ pub enum DetectMsg {
         /// elsewhere) sequence numbers.
         resync: bool,
     },
-    /// Liveness beacon exchanged along tree edges.
+    /// Liveness beacon exchanged along tree edges. Besides proving the
+    /// sender alive it carries its incarnation (stale beacons from a dead
+    /// incarnation are rejected by epoch) and its current parent — the
+    /// grandparent hint that tells each child where to go when the sender
+    /// dies (§III-F's preferred adopter).
     Heartbeat {
         /// The beaconing node.
         from: ProcessId,
+        /// The beaconing node's incarnation number.
+        epoch: u64,
+        /// The beaconing node's own parent (the receiver's grandparent
+        /// when the receiver is a child of `from`); `None` at a root.
+        parent: Option<ProcessId>,
     },
     /// Cumulative acknowledgement: the parent has delivered every
     /// interval with `seq < upto` from `from`'s stream to its engine.
@@ -65,6 +77,51 @@ pub enum DetectMsg {
     PromoteRoot,
     /// Control: you are no longer the root.
     DemoteRoot,
+    /// Membership: the sender believes `suspect` — a child of the
+    /// receiver — has crashed (heartbeat timeout). The receiver drops the
+    /// dead child's queue if it still holds one. Advisory and idempotent;
+    /// [`Adopt`](Self::Adopt) carries the same fact in `dead_parent` so
+    /// the handshake survives reordering.
+    Suspect {
+        /// The suspecting node.
+        from: ProcessId,
+        /// The node presumed dead.
+        suspect: ProcessId,
+    },
+    /// Membership: `child` lost its parent and asks the receiver (its
+    /// grandparent, learned from heartbeat hints) to adopt it, under
+    /// `epoch` as the attempt's fencing token.
+    Adopt {
+        /// The orphaned subtree root asking for adoption.
+        child: ProcessId,
+        /// The adopter's incarnation/attempt epoch; the `AdoptAck` must
+        /// echo it, and lower epochs from `child` are stale thereafter.
+        epoch: u64,
+        /// The dead parent being replaced (`None` when a rebooted node
+        /// joins from scratch); the receiver drops its queue if it still
+        /// holds one.
+        dead_parent: Option<ProcessId>,
+    },
+    /// Membership: answer to [`Adopt`](Self::Adopt).
+    AdoptAck {
+        /// The (prospective) new parent answering.
+        from: ProcessId,
+        /// The child whose adoption is being answered.
+        child: ProcessId,
+        /// Echo of the attempt epoch (fences stale acks).
+        epoch: u64,
+        /// False when the attempt was rejected (stale epoch).
+        accepted: bool,
+    },
+    /// Membership: the adopted child announces that its interval stream
+    /// restarts below (the standalone-first re-reports that refill the
+    /// adopter's fresh queue, §III-B) and commits the adoption epoch.
+    ReReport {
+        /// The adopted child.
+        from: ProcessId,
+        /// The committed adoption epoch.
+        epoch: u64,
+    },
 }
 
 impl DetectMsg {
@@ -72,11 +129,15 @@ impl DetectMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             DetectMsg::Interval { interval, .. } => 8 + interval.wire_size(),
-            DetectMsg::Heartbeat { .. } => 8,
+            DetectMsg::Heartbeat { parent, .. } => 13 + 4 * usize::from(parent.is_some()),
             DetectMsg::Ack { .. } => 16,
             DetectMsg::SetParent { .. } => 9,
             DetectMsg::AddChild { .. } | DetectMsg::RemoveChild { .. } => 8,
             DetectMsg::PromoteRoot | DetectMsg::DemoteRoot => 4,
+            DetectMsg::Suspect { .. } => 8,
+            DetectMsg::Adopt { dead_parent, .. } => 13 + 4 * usize::from(dead_parent.is_some()),
+            DetectMsg::AdoptAck { .. } => 17,
+            DetectMsg::ReReport { .. } => 12,
         }
     }
 
@@ -224,7 +285,18 @@ mod tests {
             resync: false,
         };
         assert!(wide.wire_size() > narrow.wire_size());
-        assert!(DetectMsg::Heartbeat { from: ProcessId(0) }.wire_size() < narrow.wire_size());
+        let hb = DetectMsg::Heartbeat {
+            from: ProcessId(0),
+            epoch: 0,
+            parent: None,
+        };
+        assert!(hb.wire_size() < narrow.wire_size());
+        let hb_with_hint = DetectMsg::Heartbeat {
+            from: ProcessId(0),
+            epoch: 0,
+            parent: Some(ProcessId(1)),
+        };
+        assert!(hb_with_hint.wire_size() > hb.wire_size());
     }
 
     fn iv(seq: u64, lo: Vec<u32>, hi: Vec<u32>) -> Interval {

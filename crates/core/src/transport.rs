@@ -19,6 +19,7 @@
 //! detection fingerprints for the same workload run through either one.
 
 use crate::engine::{EngineOutput, NodeEngine};
+use crate::membership::{Membership, MembershipEvent, RepairState};
 use crate::monitor::MonitorConfig;
 use crate::protocol::{ConnCodec, DetectMsg, INTERVAL_MSG_OVERHEAD};
 use crate::report::GlobalDetection;
@@ -101,6 +102,15 @@ pub struct MonitorCore {
     pub(crate) uplink_codec: ConnCodec,
     /// Heartbeats observed: peer → last time.
     pub(crate) heartbeat_seen: BTreeMap<ProcessId, SimTime>,
+    /// Decentralized membership view: own epoch, peers' epochs, the
+    /// grandparent hint, and the adoption state machine (§III-F repair
+    /// as a protocol feature — see [`crate::membership`]).
+    pub(crate) membership: Membership,
+    /// Interval messages sent through the re-report path (resync bursts
+    /// after a reconnect or adoption) — the §III-F repair traffic.
+    pub(crate) re_report_msgs: u64,
+    /// Bytes billed for the re-report path (standalone frames).
+    pub(crate) re_report_bytes: u64,
 }
 
 impl MonitorCore {
@@ -126,6 +136,9 @@ impl MonitorCore {
             retransmit_backoff: 1,
             uplink_codec: ConnCodec::new(),
             heartbeat_seen: BTreeMap::new(),
+            membership: Membership::new(0),
+            re_report_msgs: 0,
+            re_report_bytes: 0,
         }
     }
 
@@ -174,6 +187,27 @@ impl MonitorCore {
         &self.heartbeat_seen
     }
 
+    /// This node's membership view (epochs + repair state).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Mutable membership view (the TCP runtime seeds the initial epoch
+    /// and join state from its node config).
+    pub fn membership_mut(&mut self) -> &mut Membership {
+        &mut self.membership
+    }
+
+    /// Interval messages sent through the re-report/resync path.
+    pub fn re_report_msgs(&self) -> u64 {
+        self.re_report_msgs
+    }
+
+    /// Bytes billed for the re-report/resync path.
+    pub fn re_report_bytes(&self) -> u64 {
+        self.re_report_bytes
+    }
+
     /// Records a liveness observation of `peer` (a received heartbeat, or
     /// any session-layer evidence such as a completed handshake).
     pub fn note_heartbeat(&mut self, peer: ProcessId, now: SimTime) {
@@ -189,11 +223,21 @@ impl MonitorCore {
         peers
     }
 
-    /// Sends one heartbeat to every tree peer.
+    /// Sends one heartbeat to every tree peer, carrying this node's
+    /// epoch and its parent (the grandparent hint for its children).
     pub fn send_heartbeats(&mut self, t: &mut impl Transport) {
         let me = self.me;
+        let epoch = self.membership.epoch();
+        let parent = self.parent;
         for peer in self.heartbeat_targets() {
-            t.send(peer, DetectMsg::Heartbeat { from: me });
+            t.send(
+                peer,
+                DetectMsg::Heartbeat {
+                    from: me,
+                    epoch,
+                    parent,
+                },
+            );
         }
     }
 
@@ -214,6 +258,97 @@ impl MonitorCore {
                 now.saturating_sub(last) > timeout
             })
             .collect()
+    }
+
+    /// Drops a dead (or departed) child's queue and everything keyed to
+    /// it — the local half of §III-F repair.
+    fn drop_dead_child(&mut self, child: ProcessId, t: &mut impl Transport) {
+        self.reorder.remove(&child);
+        self.heartbeat_seen.remove(&child);
+        let outputs = self.engine.remove_child(child);
+        self.handle_outputs(t, outputs);
+    }
+
+    /// One decentralized failure-detection round: every suspect that is a
+    /// child gets its queue dropped locally; a suspect parent starts (or
+    /// keeps knocking on) the grandparent-adoption handshake. Returns
+    /// what was decided so the transport-specific driver can act — the
+    /// simulated backend sends the handshake immediately over the
+    /// routed network, the TCP backend first re-dials its uplink socket
+    /// at the new target (see `ftscp-net`).
+    ///
+    /// Crash-free runs reach this via a timer and do nothing: no
+    /// suspicion, no messages, no tree mutation.
+    pub fn membership_tick(
+        &mut self,
+        timeout: SimTime,
+        t: &mut impl Transport,
+    ) -> Vec<MembershipEvent> {
+        let now = t.now();
+        let mut events = Vec::new();
+        for peer in self.suspects(now, timeout) {
+            // Surgery needs evidence of life first: a peer never heard
+            // from is a slow starter (real deployments stagger), not a
+            // corpse — and without its heartbeats there is no grandparent
+            // hint to adopt toward anyway.
+            if !self.heartbeat_seen.contains_key(&peer) {
+                continue;
+            }
+            if self.engine.has_child(peer) {
+                self.drop_dead_child(peer, t);
+                events.push(MembershipEvent::ChildDropped(peer));
+            } else if Some(peer) == self.parent {
+                if let RepairState::Adopting { target, .. } = *self.membership.state() {
+                    // Handshake already in flight (slow or lossy path):
+                    // keep knocking under the same epoch.
+                    events.push(MembershipEvent::AdoptionStarted { target });
+                    continue;
+                }
+                match self.membership.grandparent() {
+                    Some(g) if g != self.me => {
+                        self.membership.begin_adoption(g, Some(peer));
+                        events.push(MembershipEvent::AdoptionStarted { target: g });
+                    }
+                    _ => {
+                        // The root died (its heartbeats carried no
+                        // parent) or no hint was ever heard: no adopter.
+                        events.push(MembershipEvent::Orphaned { dead_parent: peer });
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// (Re-)sends the outstanding adoption handshake: `Suspect` (when a
+    /// dead parent is being replaced) followed by `Adopt`, both to the
+    /// prospective new parent. No-op unless an attempt is open.
+    pub fn send_adoption_request(&mut self, t: &mut impl Transport) {
+        let RepairState::Adopting {
+            target,
+            epoch,
+            dead_parent,
+        } = *self.membership.state()
+        else {
+            return;
+        };
+        if let Some(dead) = dead_parent {
+            t.send(
+                target,
+                DetectMsg::Suspect {
+                    from: self.me,
+                    suspect: dead,
+                },
+            );
+        }
+        t.send(
+            target,
+            DetectMsg::Adopt {
+                child: self.me,
+                epoch,
+                dead_parent,
+            },
+        );
     }
 
     /// A new local predicate interval completed at this node (lines
@@ -264,14 +399,30 @@ impl MonitorCore {
     /// flood the network with the whole backlog at once; the cumulative
     /// ack moves the window so later calls pick up where this one stopped.
     pub fn retransmit_unacked(&mut self, t: &mut impl Transport, resync_first: bool) {
-        let Some(parent) = self.parent else { return };
+        let _ = self.retransmit_unacked_counted(t, resync_first);
+    }
+
+    /// [`retransmit_unacked`](Self::retransmit_unacked), reporting how
+    /// many messages/bytes went out (the resync path accounts its burst
+    /// as §III-F re-report traffic).
+    fn retransmit_unacked_counted(
+        &mut self,
+        t: &mut impl Transport,
+        resync_first: bool,
+    ) -> (u64, u64) {
+        let Some(parent) = self.parent else {
+            return (0, 0);
+        };
         let mut first = true;
+        let (mut msgs, mut bytes) = (0u64, 0u64);
         for interval in self.unacked.values().take(self.config.retransmit_burst) {
             self.interval_msgs_sent += 1;
             // Retransmissions are standalone frames (decodable by a parent
             // that missed the originals) and do not advance the uplink
             // codec — the live stream's base is unaffected by re-sends.
             let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(interval);
+            msgs += 1;
+            bytes += size as u64;
             t.send_sized(
                 parent,
                 DetectMsg::Interval {
@@ -283,6 +434,7 @@ impl MonitorCore {
             );
             first = false;
         }
+        (msgs, bytes)
     }
 
     /// The uplink channel to the parent was (re-)established cold: the
@@ -298,11 +450,15 @@ impl MonitorCore {
         if self.config.retransmit_period.is_some() && !self.unacked.is_empty() {
             // Reliability layer: the (new) parent needs everything the
             // previous connection never acknowledged.
-            self.retransmit_unacked(t, true);
+            let (msgs, bytes) = self.retransmit_unacked_counted(t, true);
+            self.re_report_msgs += msgs;
+            self.re_report_bytes += bytes;
         } else if let (Some(p), Some(last)) = (self.parent, self.engine.last_output().cloned()) {
             // Standalone frame: the receiving decoder is cold.
             self.interval_msgs_sent += 1;
             let size = INTERVAL_MSG_OVERHEAD + ConnCodec::standalone_len(&last);
+            self.re_report_msgs += 1;
+            self.re_report_bytes += size as u64;
             t.send_sized(
                 p,
                 DetectMsg::Interval {
@@ -414,7 +570,114 @@ impl MonitorCore {
                     self.retransmit_backoff = 1;
                 }
             }
-            DetectMsg::Heartbeat { from } => {
+            DetectMsg::Heartbeat {
+                from,
+                epoch,
+                parent,
+            } => {
+                // Only tree neighbours are liveness peers; a heartbeat from
+                // anyone else (e.g. a node we already evicted) is noise.
+                if self.parent != Some(from) && !self.engine.has_child(from) {
+                    return;
+                }
+                // Epoch filter: a heartbeat from a stale incarnation must
+                // not resurrect a suspicion-cleared peer.
+                if !self.membership.observe_peer_epoch(from, epoch) {
+                    return;
+                }
+                self.heartbeat_seen.insert(from, t.now());
+                if self.parent == Some(from) {
+                    // The parent's own uplink is our adoption target if the
+                    // parent dies (§III-F grandparent adoption).
+                    self.membership.note_grandparent(parent);
+                }
+            }
+            DetectMsg::Suspect { suspect, .. } => {
+                // A grandchild reports our child dead ahead of our own
+                // timeout: evict eagerly so the Adopt that follows lands on
+                // a queue bank without the dead child's queue.
+                if self.engine.has_child(suspect) {
+                    self.drop_dead_child(suspect, t);
+                }
+            }
+            DetectMsg::Adopt {
+                child,
+                epoch,
+                dead_parent,
+            } => {
+                if child == self.me {
+                    return;
+                }
+                if !self.membership.observe_peer_epoch(child, epoch) {
+                    // Stale incarnation: refuse so the sender's (obsolete)
+                    // attempt terminates instead of hanging.
+                    t.send(
+                        child,
+                        DetectMsg::AdoptAck {
+                            from: self.me,
+                            child,
+                            epoch,
+                            accepted: false,
+                        },
+                    );
+                    return;
+                }
+                // The Adopt carries the dead parent so the handshake works
+                // even when the preceding Suspect was lost or reordered.
+                if let Some(dead) = dead_parent {
+                    if dead != self.me && self.engine.has_child(dead) {
+                        self.drop_dead_child(dead, t);
+                    }
+                }
+                if !self.engine.has_child(child) {
+                    self.engine.add_child(child);
+                    // A fresh queue accepts any sequence number.
+                    self.reorder.remove(&child);
+                }
+                self.heartbeat_seen.insert(child, t.now());
+                t.send(
+                    child,
+                    DetectMsg::AdoptAck {
+                        from: self.me,
+                        child,
+                        epoch,
+                        accepted: true,
+                    },
+                );
+            }
+            DetectMsg::AdoptAck {
+                from,
+                child,
+                epoch,
+                accepted,
+            } => {
+                if child != self.me || !self.membership.matches_adoption(from, epoch) {
+                    return;
+                }
+                self.membership.finish_adoption();
+                if accepted {
+                    self.parent = Some(from);
+                    self.engine.set_root(false);
+                    self.retransmit_backoff = 1;
+                    self.heartbeat_seen.insert(from, t.now());
+                    t.send(
+                        from,
+                        DetectMsg::ReReport {
+                            from: self.me,
+                            epoch,
+                        },
+                    );
+                    // §III-F re-report: refill the adopter's fresh queue,
+                    // standalone-first (its decoder is cold).
+                    self.resync_uplink(t);
+                }
+            }
+            DetectMsg::ReReport { from, epoch } => {
+                // Informational: the adopted child announces its epoch and
+                // that re-reports follow. Must NOT touch the reorder entry —
+                // the resync Interval may already have arrived (non-FIFO
+                // delivery) and seeded the new stream position.
+                self.membership.observe_peer_epoch(from, epoch);
                 self.heartbeat_seen.insert(from, t.now());
             }
             DetectMsg::SetParent { parent } => {
@@ -616,5 +879,146 @@ mod tests {
         let mut dsts: Vec<u32> = t.sent.iter().map(|(d, _, _)| d.0).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![0, 2], "beacons to parent and child");
+    }
+
+    #[test]
+    fn fresh_epoch_heartbeat_clears_suspicion() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[ProcessId(2)],
+            2,
+            MonitorConfig::default(),
+        );
+        let timeout = SimTime::from_millis(100);
+        let mut t = RecTransport {
+            now: SimTime::from_millis(500),
+            ..Default::default()
+        };
+        core.note_heartbeat(ProcessId(0), t.now);
+        assert_eq!(
+            core.suspects(t.now, timeout),
+            vec![ProcessId(2)],
+            "silent child suspected"
+        );
+        // The child reboots and beacons again under a fresh epoch: the
+        // restart must clear suspicion, not be shrugged off as stale.
+        core.on_message(
+            DetectMsg::Heartbeat {
+                from: ProcessId(2),
+                epoch: 7,
+                parent: Some(ProcessId(1)),
+            },
+            &mut t,
+        );
+        assert!(
+            core.suspects(t.now, timeout).is_empty(),
+            "fresh-epoch heartbeat clears suspicion"
+        );
+    }
+
+    #[test]
+    fn unknown_and_stale_epoch_heartbeats_are_ignored() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[ProcessId(2)],
+            2,
+            MonitorConfig::default(),
+        );
+        let timeout = SimTime::from_millis(100);
+        let mut t = RecTransport::default();
+        core.on_message(
+            DetectMsg::Heartbeat {
+                from: ProcessId(2),
+                epoch: 3,
+                parent: Some(ProcessId(1)),
+            },
+            &mut t,
+        );
+        core.note_heartbeat(ProcessId(0), t.now);
+        // Epochs only move forward: a frame from the child's previous
+        // incarnation, still in flight, must not refresh liveness.
+        t.now = SimTime::from_millis(150);
+        core.on_message(
+            DetectMsg::Heartbeat {
+                from: ProcessId(2),
+                epoch: 2,
+                parent: Some(ProcessId(1)),
+            },
+            &mut t,
+        );
+        // Non-neighbours are not liveness peers at all.
+        core.on_message(
+            DetectMsg::Heartbeat {
+                from: ProcessId(9),
+                epoch: 0,
+                parent: None,
+            },
+            &mut t,
+        );
+        let suspects = core.suspects(SimTime::from_millis(150), timeout);
+        assert_eq!(
+            suspects,
+            vec![ProcessId(2), ProcessId(0)],
+            "stale-epoch beacon did not refresh the child; stranger ignored"
+        );
+        assert_eq!(core.membership().peer_epoch(ProcessId(9)), 0);
+    }
+
+    #[test]
+    fn simultaneous_parent_and_child_suspicion_does_not_deadlock() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[ProcessId(2)],
+            3,
+            MonitorConfig::default(),
+        );
+        let timeout = SimTime::from_millis(100);
+        let mut t = RecTransport::default();
+        // Learn the grandparent from the parent's beacon, then let both
+        // neighbours go silent past the timeout.
+        core.on_message(
+            DetectMsg::Heartbeat {
+                from: ProcessId(0),
+                epoch: 0,
+                parent: Some(ProcessId(7)),
+            },
+            &mut t,
+        );
+        core.note_heartbeat(ProcessId(2), t.now);
+        t.now = SimTime::from_millis(500);
+        let events = core.membership_tick(timeout, &mut t);
+        assert!(
+            events.contains(&MembershipEvent::ChildDropped(ProcessId(2))),
+            "dead child dropped in the same tick"
+        );
+        assert!(
+            events.contains(&MembershipEvent::AdoptionStarted {
+                target: ProcessId(7)
+            }),
+            "adoption toward the grandparent still starts"
+        );
+        assert!(!core.engine().has_child(ProcessId(2)));
+        core.send_adoption_request(&mut t);
+        let epoch = core.membership().epoch();
+        core.on_message(
+            DetectMsg::AdoptAck {
+                from: ProcessId(7),
+                child: ProcessId(1),
+                epoch,
+                accepted: true,
+            },
+            &mut t,
+        );
+        assert_eq!(core.parent(), Some(ProcessId(7)), "handshake completed");
+        assert!(!core.membership().is_adopting());
+        assert!(
+            t.sent
+                .iter()
+                .any(|(d, m, _)| *d == ProcessId(7) && matches!(m, DetectMsg::ReReport { .. })),
+            "re-report announced to the adopter"
+        );
     }
 }

@@ -256,6 +256,7 @@ fn retransmit_backoff_caps_traffic_during_outage() {
                 retransmit_period: Some(SimTime::from_millis(15)),
                 retransmit_burst: 2,
                 retransmit_backoff_cap: cap,
+                ..Default::default()
             },
             ..config(47)
         };

@@ -12,6 +12,14 @@
 //! parent accepts). Each node's local intervals are fed through a real
 //! [`EventClient`](crate::client::EventClient) connection — the ingestion
 //! endpoint is exercised on every node, not just leaves.
+//!
+//! Whole-node failures are first-class: [`Deployment::crash_node`] kills
+//! a node's entire thread bundle mid-run, and the *survivors* repair the
+//! tree themselves through the decentralized membership protocol
+//! (heartbeat suspicion → grandparent adoption → re-reports; see
+//! `ftscp_core::membership`) — no harness involvement.
+//! [`Deployment::restart_node`] brings a crashed node back on a fresh
+//! port, rejoining through the same adoption handshake.
 
 use crate::client::EventClient;
 use crate::node::{spawn, NodeConfig, NodeHandle, NodeReport};
@@ -40,6 +48,9 @@ pub struct LoopbackConfig {
     /// Monitor protocol configuration applied to every node. `SimTime`
     /// periods are wall-clock microseconds here.
     pub monitor: MonitorConfig,
+    /// Heartbeat suspicion timeout (wall-clock): peers silent longer
+    /// than this are declared dead and repaired around.
+    pub heartbeat_timeout: SimTime,
     /// Delay between consecutive events on each feed — zero blasts the
     /// stream; a small pacing stretches the run so mid-run fault
     /// injection lands on live traffic.
@@ -59,7 +70,9 @@ impl Default for LoopbackConfig {
                 retransmit_period: Some(SimTime::from_millis(25)),
                 retransmit_burst: 64,
                 retransmit_backoff_cap: 8,
+                ..Default::default()
             },
+            heartbeat_timeout: SimTime::from_millis(500),
             event_pacing: Duration::ZERO,
             run_timeout: Duration::from_secs(30),
         }
@@ -71,7 +84,8 @@ impl Default for LoopbackConfig {
 pub struct LoopbackReport {
     /// Detections at the root, in emission order.
     pub detections: Vec<GlobalDetection>,
-    /// Per-node reports, indexed by process id.
+    /// Per-node reports, indexed by process id (crashed nodes report
+    /// what they had at crash time).
     pub node_reports: Vec<NodeReport>,
     /// Wall-clock duration from launch to root completion (or timeout).
     pub elapsed: Duration,
@@ -120,18 +134,21 @@ impl LoopbackReport {
 
 /// A running loopback tree plus its event feeders.
 pub struct Deployment {
-    handles: Vec<NodeHandle>,
+    handles: Vec<Option<NodeHandle>>,
+    /// Crash-time reports of nodes taken down by `crash_node`.
+    crash_reports: Vec<Option<NodeReport>>,
     addrs: Vec<SocketAddr>,
     root: ProcessId,
     feeders: Vec<JoinHandle<io::Result<()>>>,
     started: Instant,
     total_intervals: u64,
+    crashes_injected: bool,
 }
 
 impl Deployment {
     /// Binds one listener per tree node and spawns all nodes. The tree
-    /// must contain every node in `0..capacity` (static topology — the
-    /// TCP runtime does not do tree repair).
+    /// must contain every node in `0..capacity` at launch (failures come
+    /// later, via [`crash_node`](Self::crash_node)).
     pub fn launch(tree: &SpanningTree, config: &LoopbackConfig) -> io::Result<Deployment> {
         let n = tree.capacity();
         let mut listeners = Vec::with_capacity(n);
@@ -153,15 +170,18 @@ impl Deployment {
             cfg.level = tree.level(node) as u32;
             cfg.expected_feeds = 1; // every process feeds its own intervals
             cfg.monitor = config.monitor;
-            handles.push(spawn(listener, cfg)?);
+            cfg.heartbeat_timeout = config.heartbeat_timeout;
+            handles.push(Some(spawn(listener, cfg)?));
         }
         Ok(Deployment {
             handles,
+            crash_reports: (0..n).map(|_| None).collect(),
             addrs,
             root: pid(tree.root()),
             feeders: Vec::new(),
             started: Instant::now(),
             total_intervals: 0,
+            crashes_injected: false,
         })
     }
 
@@ -195,23 +215,82 @@ impl Deployment {
     /// Fault injection: severs `p`'s uplink mid-run (see
     /// [`NodeHandle::drop_uplink`]).
     pub fn drop_uplink(&self, p: ProcessId) {
-        self.handles[p.index()].drop_uplink();
+        if let Some(h) = &self.handles[p.index()] {
+            h.drop_uplink();
+        }
+    }
+
+    /// Crash-stop failure: kills `p`'s entire thread bundle (listener,
+    /// connections, main loop) mid-run. Peers observe dead sockets and
+    /// silent heartbeats; the *survivors* repair the tree through the
+    /// decentralized adoption protocol. Idempotent; returns the node's
+    /// report as of crash time.
+    pub fn crash_node(&mut self, p: ProcessId) -> Option<NodeReport> {
+        let handle = self.handles[p.index()].take()?;
+        self.crashes_injected = true;
+        let report = handle.finish();
+        self.crash_reports[p.index()] = Some(report.clone());
+        Some(report)
+    }
+
+    /// Brings a crashed node back as a fresh incarnation on a new port,
+    /// rejoining the tree as a leaf under `parent` through the adoption
+    /// handshake (the node dials the parent and sends `Adopt` with a
+    /// fresh epoch; no re-spawned node keeps any pre-crash state).
+    /// Returns an error if the node is still running.
+    pub fn restart_node(
+        &mut self,
+        p: ProcessId,
+        parent: ProcessId,
+        config: &LoopbackConfig,
+    ) -> io::Result<()> {
+        if self.handles[p.index()].is_some() {
+            return Err(io::Error::other("node is still running"));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        self.addrs[p.index()] = listener.local_addr()?;
+        let mut cfg = NodeConfig::new(p, Some((parent, self.addrs[parent.index()])));
+        cfg.level = 1;
+        cfg.expected_feeds = 1; // same contract as launch: it feeds itself
+        cfg.monitor = config.monitor;
+        cfg.heartbeat_timeout = config.heartbeat_timeout;
+        cfg.rejoin = true;
+        self.handles[p.index()] = Some(spawn(listener, cfg)?);
+        Ok(())
     }
 
     /// Waits for the root to drain (bounded by `run_timeout`), then tears
-    /// everything down and reports.
+    /// everything down and reports. A crashed root cannot drain: the run
+    /// halts immediately and gracefully instead of burning the timeout.
     pub fn finish(self, config: &LoopbackConfig) -> io::Result<LoopbackReport> {
-        let timed_out = !self.handles[self.root.index()].wait_done(config.run_timeout);
+        let timed_out = match &self.handles[self.root.index()] {
+            Some(h) => !h.wait_done(config.run_timeout),
+            None => false, // root crashed: nothing to wait for
+        };
         let elapsed = self.started.elapsed();
         for feeder in self.feeders {
             match feeder.join() {
-                Ok(res) => res?,
+                // A feeder aimed at a crashed node dies with it — only
+                // crash-free runs insist on clean feeds.
+                Ok(res) => {
+                    if !self.crashes_injected {
+                        res?;
+                    }
+                }
                 Err(_) => return Err(io::Error::other("feeder thread panicked")),
             }
         }
         let root = self.root;
-        let node_reports: Vec<NodeReport> =
-            self.handles.into_iter().map(NodeHandle::finish).collect();
+        let crash_reports = self.crash_reports;
+        let node_reports: Vec<NodeReport> = self
+            .handles
+            .into_iter()
+            .zip(crash_reports)
+            .map(|(h, crashed)| match h {
+                Some(h) => h.finish(),
+                None => crashed.unwrap_or_default(),
+            })
+            .collect();
         let detections = node_reports[root.index()].detections.clone();
         Ok(LoopbackReport {
             detections,

@@ -40,6 +40,7 @@
 
 use crate::frame::{write_frame, FrameBuffer};
 use crate::wire::{decode_msg, encode_msg, interval_frame_kind, NetMsg, PeerKind, PROTO_VERSION};
+use ftscp_core::membership::MembershipEvent;
 use ftscp_core::monitor::MonitorConfig;
 use ftscp_core::protocol::{ConnCodec, DetectMsg};
 use ftscp_core::report::GlobalDetection;
@@ -80,6 +81,10 @@ pub struct NodeConfig {
     pub heartbeat_timeout: SimTime,
     /// Delay between uplink reconnect attempts.
     pub reconnect_backoff: Duration,
+    /// Fresh incarnation of a crashed node: instead of assuming the
+    /// parent still knows it, the node joins through the adoption
+    /// handshake (`Adopt` with a fresh epoch on first connect).
+    pub rejoin: bool,
 }
 
 impl NodeConfig {
@@ -94,6 +99,7 @@ impl NodeConfig {
             monitor: MonitorConfig::default(),
             heartbeat_timeout: SimTime::from_millis(500),
             reconnect_backoff: Duration::from_millis(20),
+            rejoin: false,
         }
     }
 }
@@ -140,6 +146,10 @@ struct Shared {
     /// ([`NodeHandle::drop_uplink`]) — severing it from outside exercises
     /// the reconnect-with-resync path.
     uplink_stream: Mutex<Option<TcpStream>>,
+    /// Where the uplink thread should dial. Re-targeted by the main loop
+    /// when the adoption handshake picks a new parent (the grandparent);
+    /// the thread re-reads it on every (re)connect attempt.
+    uplink_target: Mutex<Option<(ProcessId, SocketAddr)>>,
 }
 
 enum Event {
@@ -149,8 +159,12 @@ enum Event {
     Closed { conn: u64 },
     /// A freshly accepted connection; `writer` feeds its writer thread.
     Accepted { conn: u64, writer: Sender<NetMsg> },
-    /// The uplink (re)connected and handshake sent; `writer` is live.
-    UplinkUp { writer: Sender<NetMsg> },
+    /// The uplink (re)connected to `peer` and handshake sent; `writer`
+    /// is live.
+    UplinkUp {
+        peer: ProcessId,
+        writer: Sender<NetMsg>,
+    },
     /// The uplink died; sends will drop until the next `UplinkUp`.
     UplinkDown,
     /// Stop the main loop and report.
@@ -231,13 +245,13 @@ pub fn spawn(listener: TcpListener, config: NodeConfig) -> io::Result<NodeHandle
         done_cv: Condvar::new(),
         counters: Counters::default(),
         uplink_stream: Mutex::new(None),
+        uplink_target: Mutex::new(config.parent),
     });
     let (events_tx, events_rx) = channel::<Event>();
 
     spawn_listener(listener, Arc::clone(&shared), events_tx.clone());
-    if let Some((_, parent_addr)) = config.parent {
+    if config.parent.is_some() {
         spawn_uplink(
-            parent_addr,
             config.me,
             config.reconnect_backoff,
             Arc::clone(&shared),
@@ -386,18 +400,20 @@ fn read_connection(stream: TcpStream, conn: u64, shared: &Shared, events: &Sende
 }
 
 /// The uplink thread: connect → handshake → read until the connection
-/// dies → tell the main loop → back off → reconnect. Runs until shutdown.
-fn spawn_uplink(
-    parent: SocketAddr,
-    me: ProcessId,
-    backoff: Duration,
-    shared: Arc<Shared>,
-    events: Sender<Event>,
-) {
+/// dies → tell the main loop → back off → reconnect. Runs until
+/// shutdown. The dial target is re-read from [`Shared::uplink_target`]
+/// on every attempt, so the main loop can point the uplink at a new
+/// parent (the §III-F adoption path) just by updating the target and
+/// severing the current socket.
+fn spawn_uplink(me: ProcessId, backoff: Duration, shared: Arc<Shared>, events: Sender<Event>) {
     thread::spawn(move || {
         let mut first = true;
         while !shared.shutdown.load(Ordering::SeqCst) {
-            let stream = match TcpStream::connect(parent) {
+            let Some((peer, addr)) = *shared.uplink_target.lock().expect("target lock") else {
+                thread::sleep(backoff);
+                continue;
+            };
+            let stream = match TcpStream::connect(addr) {
                 Ok(s) => s,
                 Err(_) => {
                     thread::sleep(backoff);
@@ -418,7 +434,7 @@ fn spawn_uplink(
                 kind: PeerKind::Child,
                 proto: PROTO_VERSION,
             });
-            if events.send(Event::UplinkUp { writer }).is_err() {
+            if events.send(Event::UplinkUp { peer, writer }).is_err() {
                 return;
             }
             // Read until the connection dies (conn id 0 = uplink).
@@ -438,12 +454,20 @@ fn spawn_uplink(
 
 /// [`Transport`] over the node's live connections: `now` is wall-clock
 /// microseconds since node start, sends route by process id to the
-/// parent's or a child's writer thread. Sends to unreachable peers are
+/// uplink's or a child's writer thread. Sends to unreachable peers are
 /// dropped — exactly the lossy-link model the core's reliability layer
 /// (unacked + retransmit + resync) is built for.
+///
+/// Routing is by the peer the uplink is *actually dialed at*
+/// (`uplink_peer`), not by `core.parent()`: during an adoption handshake
+/// the uplink already points at the prospective parent while the core's
+/// parent pointer still names the dead one, and the `Suspect`/`Adopt`
+/// frames must reach the former. Frames addressed to the dead parent
+/// find no route and drop — the reliability layer re-sends them once the
+/// handshake lands.
 struct NetTransport<'a> {
     start: &'a Instant,
-    parent: Option<ProcessId>,
+    uplink_peer: Option<ProcessId>,
     uplink: Option<&'a Sender<NetMsg>>,
     conns: &'a HashMap<u64, Sender<NetMsg>>,
     peer_conn: &'a HashMap<ProcessId, u64>,
@@ -456,7 +480,7 @@ impl Transport for NetTransport<'_> {
 
     fn send(&mut self, dst: ProcessId, msg: DetectMsg) {
         let wrapped = NetMsg::Detect(msg);
-        if Some(dst) == self.parent {
+        if Some(dst) == self.uplink_peer {
             if let Some(up) = self.uplink {
                 let _ = up.send(wrapped);
             }
@@ -483,6 +507,12 @@ struct MainState {
     conns: HashMap<u64, Sender<NetMsg>>,
     peer_conn: HashMap<ProcessId, u64>,
     uplink: Option<Sender<NetMsg>>,
+    /// The peer the live uplink is dialed at (≠ `core.parent()` while an
+    /// adoption handshake is in flight).
+    uplink_peer: Option<ProcessId>,
+    /// Grandparent hint from the parent's `Uplink` frames: whom to dial
+    /// if the parent dies.
+    gp_hint: Option<(ProcessId, SocketAddr)>,
     feeds_done: usize,
     child_fins: BTreeSet<ProcessId>,
     fin_sent: bool,
@@ -497,7 +527,7 @@ impl MainState {
     fn with_transport<R>(&mut self, f: impl FnOnce(&mut MonitorCore, &mut NetTransport) -> R) -> R {
         let mut t = NetTransport {
             start: &self.start,
-            parent: self.core.parent(),
+            uplink_peer: self.uplink_peer,
             uplink: self.uplink.as_ref(),
             conns: &self.conns,
             peer_conn: &self.peer_conn,
@@ -506,13 +536,16 @@ impl MainState {
     }
 
     /// True once every input stream this node will ever get has finished:
-    /// all expected event feeds and all children sent `Fin`, and nothing
-    /// is waiting for an ack.
+    /// all expected event feeds and all *current* children sent `Fin`,
+    /// and nothing is waiting for an ack. Children are the engine's live
+    /// set, not the static config: adoption adds children mid-run and a
+    /// crashed child must not gate termination forever.
     fn drained(&self) -> bool {
         self.feeds_done >= self.config.expected_feeds
             && self
-                .config
-                .children
+                .core
+                .engine()
+                .children()
                 .iter()
                 .all(|c| self.child_fins.contains(c))
             && self.core.unacked_count() == 0
@@ -548,13 +581,21 @@ impl MainState {
 }
 
 fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -> NodeReport {
-    let core = MonitorCore::new(
+    let mut core = MonitorCore::new(
         config.me,
         config.parent.map(|(p, _)| p),
         &config.children,
         config.level,
         config.monitor,
     );
+    if config.rejoin {
+        if let Some((p, _)) = config.parent {
+            // A restarted incarnation must not just resume the stream —
+            // the parent dropped it at crash time. Arm the adoption
+            // handshake; the first UplinkUp sends the Adopt frame.
+            core.membership_mut().begin_adoption(p, None);
+        }
+    }
     let mut st = MainState {
         core,
         config,
@@ -562,6 +603,8 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
         conns: HashMap::new(),
         peer_conn: HashMap::new(),
         uplink: None,
+        uplink_peer: None,
+        gp_hint: None,
         feeds_done: 0,
         child_fins: BTreeSet::new(),
         fin_sent: false,
@@ -574,13 +617,19 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
         .monitor
         .retransmit_period
         .map(|p| st.start + to_duration(p));
+    // Decentralized failure detection: check for silent peers at half the
+    // timeout (only meaningful with heartbeats on).
+    let suspect_timeout = st.config.heartbeat_timeout;
+    let suspect_period = Duration::from_micros((suspect_timeout.as_micros() / 2).max(1));
+    let mut next_suspect = heartbeat_period.map(|_| st.start + suspect_period);
 
     loop {
-        // Fire due timers (heartbeats, retransmit bursts).
+        // Fire due timers (heartbeats, retransmit bursts, suspicion).
         let now = Instant::now();
         if let (Some(at), Some(period)) = (next_heartbeat, heartbeat_period) {
             if now >= at {
                 st.with_transport(|core, t| core.send_heartbeats(t));
+                send_uplink_hints(&mut st, &shared);
                 next_heartbeat = Some(now + period);
             }
         }
@@ -590,9 +639,15 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
                 next_retransmit = delay.map(|d| now + to_duration(d));
             }
         }
+        if let Some(at) = next_suspect {
+            if now >= at {
+                membership_round(&mut st, &shared, suspect_timeout);
+                next_suspect = Some(now + suspect_period);
+            }
+        }
 
         // Sleep until the next deadline or event.
-        let deadline = [next_heartbeat, next_retransmit]
+        let deadline = [next_heartbeat, next_retransmit, next_suspect]
             .into_iter()
             .flatten()
             .min();
@@ -616,15 +671,24 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
                 // connection — its replacement may have registered first.
                 st.peer_conn.retain(|_, &mut c| c != conn);
             }
-            Event::UplinkUp { writer } => {
+            Event::UplinkUp { peer, writer } => {
                 st.uplink = Some(writer);
-                // New connection, cold decoder on the other end: restart
-                // the uplink stream from a standalone frame.
-                st.with_transport(|core, t| core.resync_uplink(t));
-                st.maybe_finish(&shared); // re-announce Fin if we were done
+                st.uplink_peer = Some(peer);
+                if st.core.membership().is_adopting() {
+                    // The uplink now points at the prospective parent:
+                    // open (or re-knock on) the adoption handshake. The
+                    // resync happens when the AdoptAck lands.
+                    st.with_transport(|core, t| core.send_adoption_request(t));
+                } else {
+                    // New connection, cold decoder on the other end:
+                    // restart the uplink stream from a standalone frame.
+                    st.with_transport(|core, t| core.resync_uplink(t));
+                    st.maybe_finish(&shared); // re-announce Fin if we were done
+                }
             }
             Event::UplinkDown => {
                 st.uplink = None;
+                st.uplink_peer = None;
                 // The next connection is a new session: a Fin already sent
                 // on the dead one must be announced again.
                 st.fin_sent = false;
@@ -654,6 +718,58 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
         interval_msgs_sent: st.core.interval_msgs_sent(),
         suspects_at_exit: st.core.suspects(now, timeout),
     }
+}
+
+/// Sends the TCP half of the grandparent hint to every connected child:
+/// where this node's own uplink points (id + address). A child that
+/// loses this node dials that address for the adoption handshake.
+fn send_uplink_hints(st: &mut MainState, shared: &Shared) {
+    let target = *shared.uplink_target.lock().expect("target lock");
+    let hint = NetMsg::Uplink {
+        parent: target.map(|(p, addr)| (p, addr.to_string())),
+    };
+    for (peer, conn) in &st.peer_conn {
+        if st.core.engine().has_child(*peer) {
+            if let Some(writer) = st.conns.get(conn) {
+                let _ = writer.send(hint.clone());
+            }
+        }
+    }
+}
+
+/// One decentralized failure-detection round (the TCP driver of
+/// [`MonitorCore::membership_tick`]): dead children are dropped by the
+/// core itself; a dead parent re-targets the uplink thread at the
+/// grandparent and severs the current socket — the handshake goes out
+/// once `UplinkUp` reports the new connection.
+fn membership_round(st: &mut MainState, shared: &Shared, timeout: SimTime) {
+    let decisions = st.with_transport(|core, t| core.membership_tick(timeout, t));
+    for decision in decisions {
+        match decision {
+            MembershipEvent::AdoptionStarted { target } => {
+                if st.uplink_peer == Some(target) && st.uplink.is_some() {
+                    // Already dialed at the target: (re-)knock directly.
+                    st.with_transport(|core, t| core.send_adoption_request(t));
+                } else if let Some((gp, addr)) = st.gp_hint {
+                    if gp == target {
+                        *shared.uplink_target.lock().expect("target lock") = Some((gp, addr));
+                        // Sever the current socket (if any): the uplink
+                        // thread re-reads the target and dials the
+                        // grandparent.
+                        if let Some(stream) =
+                            shared.uplink_stream.lock().expect("uplink lock").as_ref()
+                        {
+                            let _ = stream.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+            }
+            // A dropped child may have been the last thing gating Fin;
+            // an orphaned node just keeps serving its subtree.
+            MembershipEvent::ChildDropped(_) | MembershipEvent::Orphaned { .. } => {}
+        }
+    }
+    st.maybe_finish(shared);
 }
 
 fn handle_msg(st: &mut MainState, shared: &Shared, conn: u64, msg: NetMsg) {
@@ -700,6 +816,12 @@ fn handle_msg(st: &mut MainState, shared: &Shared, conn: u64, msg: NetMsg) {
                 st.feeds_done += 1;
             }
             st.maybe_finish(shared);
+        }
+        NetMsg::Uplink { parent } => {
+            if conn != 0 {
+                return; // the hint only makes sense from the parent direction
+            }
+            st.gp_hint = parent.and_then(|(p, addr)| addr.parse().ok().map(|a| (p, a)));
         }
     }
 }

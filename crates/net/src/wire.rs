@@ -14,16 +14,27 @@
 //!   2 HelloAck := u32 node
 //!   3 Detect   := u8 subtag, fields…
 //!        0 Interval    := u32 from, u8 resync, interval frame (codec)
-//!        1 Heartbeat   := u32 from
+//!        1 Heartbeat   := u32 from, u64 epoch, u8 has_parent, [u32 parent]
 //!        2 Ack         := u32 from, u64 upto
 //!        3 SetParent   := u8 has_parent, [u32 parent]
 //!        4 AddChild    := u32 child
 //!        5 RemoveChild := u32 child
 //!        6 PromoteRoot
 //!        7 DemoteRoot
+//!        8 Suspect     := u32 from, u32 suspect
+//!        9 Adopt       := u32 child, u64 epoch, u8 has_dead, [u32 dead_parent]
+//!       10 AdoptAck    := u32 from, u32 child, u64 epoch, u8 accepted
+//!       11 ReReport    := u32 from, u64 epoch
 //!   4 Event    := interval frame (codec)
 //!   5 Fin      := u32 node
+//!   6 Uplink   := u8 has_parent, [u32 parent, u16 addr_len, addr bytes]
 //! ```
+//!
+//! `Uplink` is the TCP-specific half of the grandparent hint: a parent
+//! periodically tells each child where *its own* uplink points (process
+//! id + listen address), so an orphaned child knows whom to dial for the
+//! §III-F adoption handshake. The protocol-level hint (the id alone)
+//! also rides on `Heartbeat`, as on the simulated backend.
 
 use bytes::{Bytes, BytesMut};
 use ftscp_core::protocol::{ConnCodec, DetectMsg};
@@ -33,7 +44,9 @@ use ftscp_vclock::ProcessId;
 
 /// Session protocol version carried in HELLO; a mismatch kills the
 /// connection during the handshake instead of corrupting streams later.
-pub const PROTO_VERSION: u8 = 1;
+/// v2 added the membership messages (epoch-carrying heartbeats, the
+/// adoption handshake, and the `Uplink` grandparent hint).
+pub const PROTO_VERSION: u8 = 2;
 
 /// What a connecting peer is, declared in its HELLO.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +87,12 @@ pub enum NetMsg {
     Fin {
         /// The finishing peer.
         from: ProcessId,
+    },
+    /// Grandparent hint (parent → child, periodic): where the sender's
+    /// own uplink points. `None` means the sender is the root.
+    Uplink {
+        /// The sender's parent and its listen address, if any.
+        parent: Option<(ProcessId, String)>,
     },
 }
 
@@ -122,9 +141,21 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
                     out.push(u8::from(*resync));
                     put_interval(&mut out, interval, codec);
                 }
-                DetectMsg::Heartbeat { from } => {
+                DetectMsg::Heartbeat {
+                    from,
+                    epoch,
+                    parent,
+                } => {
                     out.push(1);
                     put_u32(&mut out, from.0);
+                    put_u64(&mut out, *epoch);
+                    match parent {
+                        Some(p) => {
+                            out.push(1);
+                            put_u32(&mut out, p.0);
+                        }
+                        None => out.push(0),
+                    }
                 }
                 DetectMsg::Ack { from, upto } => {
                     out.push(2);
@@ -151,6 +182,44 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
                 }
                 DetectMsg::PromoteRoot => out.push(6),
                 DetectMsg::DemoteRoot => out.push(7),
+                DetectMsg::Suspect { from, suspect } => {
+                    out.push(8);
+                    put_u32(&mut out, from.0);
+                    put_u32(&mut out, suspect.0);
+                }
+                DetectMsg::Adopt {
+                    child,
+                    epoch,
+                    dead_parent,
+                } => {
+                    out.push(9);
+                    put_u32(&mut out, child.0);
+                    put_u64(&mut out, *epoch);
+                    match dead_parent {
+                        Some(d) => {
+                            out.push(1);
+                            put_u32(&mut out, d.0);
+                        }
+                        None => out.push(0),
+                    }
+                }
+                DetectMsg::AdoptAck {
+                    from,
+                    child,
+                    epoch,
+                    accepted,
+                } => {
+                    out.push(10);
+                    put_u32(&mut out, from.0);
+                    put_u32(&mut out, child.0);
+                    put_u64(&mut out, *epoch);
+                    out.push(u8::from(*accepted));
+                }
+                DetectMsg::ReReport { from, epoch } => {
+                    out.push(11);
+                    put_u32(&mut out, from.0);
+                    put_u64(&mut out, *epoch);
+                }
             }
         }
         NetMsg::Event(iv) => {
@@ -160,6 +229,20 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
         NetMsg::Fin { from } => {
             out.push(5);
             put_u32(&mut out, from.0);
+        }
+        NetMsg::Uplink { parent } => {
+            out.push(6);
+            match parent {
+                Some((p, addr)) => {
+                    out.push(1);
+                    put_u32(&mut out, p.0);
+                    let bytes = addr.as_bytes();
+                    debug_assert!(bytes.len() <= u16::MAX as usize);
+                    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                    out.extend_from_slice(bytes);
+                }
+                None => out.push(0),
+            }
         }
     }
     out
@@ -186,6 +269,15 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
     }
 
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        if self.0.len() < 2 {
+            return Err(DecodeError("message truncated"));
+        }
+        let (head, rest) = self.0.split_at(2);
+        self.0 = rest;
+        Ok(u16::from_le_bytes(head.try_into().expect("2 bytes")))
+    }
+
     fn u64(&mut self) -> Result<u64, DecodeError> {
         if self.0.len() < 8 {
             return Err(DecodeError("message truncated"));
@@ -193,6 +285,15 @@ impl<'a> Cursor<'a> {
         let (head, rest) = self.0.split_at(8);
         self.0 = rest;
         Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        if self.0.len() < len {
+            return Err(DecodeError("message truncated"));
+        }
+        let (head, rest) = self.0.split_at(len);
+        self.0 = rest;
+        Ok(head)
     }
 
     fn interval(&mut self, codec: &mut ConnCodec) -> Result<Interval, DecodeError> {
@@ -242,6 +343,12 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
                 }
                 1 => DetectMsg::Heartbeat {
                     from: ProcessId(c.u32()?),
+                    epoch: c.u64()?,
+                    parent: match c.u8()? {
+                        0 => None,
+                        1 => Some(ProcessId(c.u32()?)),
+                        _ => return Err(DecodeError("bad parent flag")),
+                    },
                 },
                 2 => DetectMsg::Ack {
                     from: ProcessId(c.u32()?),
@@ -262,6 +369,33 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
                 },
                 6 => DetectMsg::PromoteRoot,
                 7 => DetectMsg::DemoteRoot,
+                8 => DetectMsg::Suspect {
+                    from: ProcessId(c.u32()?),
+                    suspect: ProcessId(c.u32()?),
+                },
+                9 => DetectMsg::Adopt {
+                    child: ProcessId(c.u32()?),
+                    epoch: c.u64()?,
+                    dead_parent: match c.u8()? {
+                        0 => None,
+                        1 => Some(ProcessId(c.u32()?)),
+                        _ => return Err(DecodeError("bad dead-parent flag")),
+                    },
+                },
+                10 => DetectMsg::AdoptAck {
+                    from: ProcessId(c.u32()?),
+                    child: ProcessId(c.u32()?),
+                    epoch: c.u64()?,
+                    accepted: match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(DecodeError("bad accepted flag")),
+                    },
+                },
+                11 => DetectMsg::ReReport {
+                    from: ProcessId(c.u32()?),
+                    epoch: c.u64()?,
+                },
                 _ => return Err(DecodeError("unknown detect subtag")),
             };
             NetMsg::Detect(d)
@@ -269,6 +403,21 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
         4 => NetMsg::Event(c.interval(codec)?),
         5 => NetMsg::Fin {
             from: ProcessId(c.u32()?),
+        },
+        6 => NetMsg::Uplink {
+            parent: match c.u8()? {
+                0 => None,
+                1 => {
+                    let p = ProcessId(c.u32()?);
+                    let len = c.u16()? as usize;
+                    let addr = c.bytes(len)?;
+                    let addr = std::str::from_utf8(addr)
+                        .map_err(|_| DecodeError("uplink addr not utf-8"))?
+                        .to_owned();
+                    Some((p, addr))
+                }
+                _ => return Err(DecodeError("bad parent flag")),
+            },
         },
         _ => return Err(DecodeError("unknown message tag")),
     };
@@ -330,7 +479,16 @@ mod tests {
                 interval: iv(0, vec![1, 2], vec![3, 4]),
                 resync: true,
             }),
-            NetMsg::Detect(DetectMsg::Heartbeat { from: ProcessId(3) }),
+            NetMsg::Detect(DetectMsg::Heartbeat {
+                from: ProcessId(3),
+                epoch: 6,
+                parent: Some(ProcessId(0)),
+            }),
+            NetMsg::Detect(DetectMsg::Heartbeat {
+                from: ProcessId(0),
+                epoch: 0,
+                parent: None,
+            }),
             NetMsg::Detect(DetectMsg::Ack {
                 from: ProcessId(1),
                 upto: 42,
@@ -347,8 +505,36 @@ mod tests {
             }),
             NetMsg::Detect(DetectMsg::PromoteRoot),
             NetMsg::Detect(DetectMsg::DemoteRoot),
+            NetMsg::Detect(DetectMsg::Suspect {
+                from: ProcessId(4),
+                suspect: ProcessId(2),
+            }),
+            NetMsg::Detect(DetectMsg::Adopt {
+                child: ProcessId(4),
+                epoch: 3,
+                dead_parent: Some(ProcessId(2)),
+            }),
+            NetMsg::Detect(DetectMsg::Adopt {
+                child: ProcessId(4),
+                epoch: 3,
+                dead_parent: None,
+            }),
+            NetMsg::Detect(DetectMsg::AdoptAck {
+                from: ProcessId(0),
+                child: ProcessId(4),
+                epoch: 3,
+                accepted: true,
+            }),
+            NetMsg::Detect(DetectMsg::ReReport {
+                from: ProcessId(4),
+                epoch: 3,
+            }),
             NetMsg::Event(iv(1, vec![2, 2], vec![5, 3])),
             NetMsg::Fin { from: ProcessId(4) },
+            NetMsg::Uplink {
+                parent: Some((ProcessId(0), "127.0.0.1:7400".to_owned())),
+            },
+            NetMsg::Uplink { parent: None },
         ];
         for msg in msgs {
             assert_eq!(roundtrip(&msg), msg, "{msg:?}");

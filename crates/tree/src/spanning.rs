@@ -217,6 +217,56 @@ impl SpanningTree {
         tree
     }
 
+    /// Rebuilds a tree view from decentralized membership state: each
+    /// live member's claimed parent pointer, plus the current root. Only
+    /// nodes whose parent chain reaches `root` through live members are
+    /// included — dead nodes, and subtrees orphaned mid-adoption whose
+    /// parent pointer still names a dead node, are simply *not in* the
+    /// view (consistent with how failures are represented everywhere
+    /// else in this structure).
+    pub fn from_membership(
+        members: &[(NodeId, Option<NodeId>)],
+        capacity: usize,
+        root: NodeId,
+    ) -> SpanningTree {
+        let mut member = vec![false; capacity];
+        for &(n, _) in members {
+            member[n.index()] = true;
+        }
+        let mut children = vec![Vec::new(); capacity];
+        for &(n, p) in members {
+            if let Some(p) = p {
+                if member[p.index()] {
+                    children[p.index()].push(n);
+                }
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        // Keep only what the root actually reaches: a cycle among stale
+        // claims, or an orphan hanging off a dead parent, stays out.
+        let mut tree = SpanningTree {
+            root,
+            parent: vec![None; capacity],
+            children: vec![Vec::new(); capacity],
+            in_tree: vec![false; capacity],
+        };
+        let mut q = VecDeque::from([root]);
+        tree.in_tree[root.index()] = true;
+        while let Some(u) = q.pop_front() {
+            for &v in &children[u.index()] {
+                if !tree.in_tree[v.index()] {
+                    tree.in_tree[v.index()] = true;
+                    tree.parent[v.index()] = Some(u);
+                    tree.children[u.index()].push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        tree
+    }
+
     /// The tree's root.
     pub fn root(&self) -> NodeId {
         self.root
@@ -495,6 +545,26 @@ mod tests {
     #[should_panic(expected = "exactly one root")]
     fn from_parents_rejects_two_roots() {
         let _ = SpanningTree::from_parents(vec![None, None]);
+    }
+
+    #[test]
+    fn from_membership_excludes_dead_and_orphaned() {
+        // 0 ← 1 ← 3, 0 ← 2(dead), 2 ← 4: node 4's parent claim names a
+        // dead node, so 4 is orphaned out of the view along with 2.
+        let members = vec![
+            (NodeId(0), None),
+            (NodeId(1), Some(NodeId(0))),
+            (NodeId(3), Some(NodeId(1))),
+            (NodeId(4), Some(NodeId(2))),
+        ];
+        let tree = SpanningTree::from_membership(&members, 5, NodeId(0));
+        assert_eq!(tree.root(), NodeId(0));
+        assert_eq!(tree.node_count(), 3);
+        assert!(tree.contains(NodeId(3)));
+        assert!(!tree.contains(NodeId(2)), "dead node out");
+        assert!(!tree.contains(NodeId(4)), "orphan out until adopted");
+        assert_eq!(tree.children(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(1)));
     }
 
     #[test]
