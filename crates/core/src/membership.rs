@@ -88,13 +88,33 @@ pub enum MembershipEvent {
     },
 }
 
+/// Knocks an orphan sends at one adoption target before giving up on it
+/// and falling back to an older hint (or declaring itself orphaned). The
+/// suspicion driver re-knocks every `timeout / 2`, so a cap of 4 gives a
+/// slow-but-alive adopter two full suspicion periods to answer; a *dead*
+/// adopter (the grandparent died with the parent) stops being dialed
+/// after the fourth knock instead of forever.
+pub const ADOPT_ATTEMPT_CAP: u32 = 4;
+
 /// Per-node membership view: own epoch, the freshest epoch heard from
-/// each peer, the grandparent hint, and the repair state machine.
+/// each peer, the grandparent hint history, and the repair state machine.
 #[derive(Clone, Debug)]
 pub struct Membership {
     epoch: u64,
     peer_epochs: BTreeMap<ProcessId, u64>,
     grandparent: Option<ProcessId>,
+    /// Every distinct grandparent hint ever heard, most recent last — the
+    /// fallback-adopter ladder when the freshest hint turns out to be a
+    /// corpse (the parent re-parented over its lifetime, so older hints
+    /// name other live ancestors).
+    hint_history: Vec<ProcessId>,
+    /// Adoption targets that exhausted their knock budget during the
+    /// current outage; never dialed again until an adoption succeeds or
+    /// a genuinely new hint arrives.
+    failed_targets: Vec<ProcessId>,
+    /// Knocks sent at the current adoption target (bounded by
+    /// [`ADOPT_ATTEMPT_CAP`]).
+    attempts: u32,
     state: RepairState,
 }
 
@@ -105,6 +125,9 @@ impl Membership {
             epoch,
             peer_epochs: BTreeMap::new(),
             grandparent: None,
+            hint_history: Vec::new(),
+            failed_targets: Vec::new(),
+            attempts: 0,
             state: RepairState::Stable,
         }
     }
@@ -135,9 +158,75 @@ impl Membership {
         self.grandparent
     }
 
-    /// Records the parent's own parent as carried by its heartbeat.
+    /// Records the parent's own parent as carried by its heartbeat. Every
+    /// distinct hint also enters the fallback history (most recent last),
+    /// and a hint not seen before clears the failed-target memory — a
+    /// genuinely refreshed hint re-opens adoption paths a previous outage
+    /// wrote off.
     pub fn note_grandparent(&mut self, grandparent: Option<ProcessId>) {
         self.grandparent = grandparent;
+        if let Some(g) = grandparent {
+            if self.hint_history.last() != Some(&g) {
+                if !self.hint_history.contains(&g) {
+                    self.failed_targets.clear();
+                }
+                self.hint_history.retain(|&h| h != g);
+                self.hint_history.push(g);
+            }
+        }
+    }
+
+    /// The fallback-adopter ladder: every distinct grandparent hint ever
+    /// heard, most recent last.
+    pub fn hint_history(&self) -> &[ProcessId] {
+        &self.hint_history
+    }
+
+    /// Adoption targets written off during the current outage.
+    pub fn failed_targets(&self) -> &[ProcessId] {
+        &self.failed_targets
+    }
+
+    /// Knocks sent at the current adoption target.
+    pub fn adoption_attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Counts one more knock at the current adoption target. Returns
+    /// `true` while the target's budget ([`ADOPT_ATTEMPT_CAP`]) allows
+    /// another knock, `false` when the target should be abandoned.
+    pub fn note_adoption_attempt(&mut self) -> bool {
+        self.attempts += 1;
+        self.attempts <= ADOPT_ATTEMPT_CAP
+    }
+
+    /// The freshest hint that is still worth dialing: most recent first,
+    /// skipping this node itself, the dead parent being replaced, and
+    /// every target already written off.
+    pub fn next_adoption_candidate(
+        &self,
+        me: ProcessId,
+        dead_parent: Option<ProcessId>,
+    ) -> Option<ProcessId> {
+        self.hint_history
+            .iter()
+            .rev()
+            .copied()
+            .find(|&c| c != me && Some(c) != dead_parent && !self.failed_targets.contains(&c))
+    }
+
+    /// Abandons the current adoption target (its knock budget ran out):
+    /// the target joins the failed list and the attempt closes. The next
+    /// suspicion tick re-opens adoption toward the best remaining
+    /// candidate, or reports the node orphaned when the ladder is empty.
+    pub fn abandon_adoption_target(&mut self) {
+        if let RepairState::Adopting { target, .. } = self.state {
+            if !self.failed_targets.contains(&target) {
+                self.failed_targets.push(target);
+            }
+        }
+        self.attempts = 0;
+        self.state = RepairState::Stable;
     }
 
     /// Folds a peer's claimed epoch into the view. Returns false when the
@@ -172,6 +261,7 @@ impl Membership {
             }
         }
         self.epoch += 1;
+        self.attempts = 1;
         self.state = RepairState::Adopting {
             target,
             epoch: self.epoch,
@@ -189,8 +279,12 @@ impl Membership {
         )
     }
 
-    /// Closes the outstanding attempt (acked, rejected, or abandoned).
+    /// Closes the outstanding attempt because the target *answered*
+    /// (acked or refused): the outage is over or being re-negotiated, so
+    /// the failed-target memory resets along with the knock counter.
     pub fn finish_adoption(&mut self) {
+        self.attempts = 0;
+        self.failed_targets.clear();
         self.state = RepairState::Stable;
     }
 }
@@ -306,6 +400,67 @@ mod tests {
         m.finish_adoption();
         assert!(!m.is_adopting());
         assert!(!m.matches_adoption(ProcessId(1), e), "attempt closed");
+    }
+
+    #[test]
+    fn hint_ladder_and_failed_target_memory() {
+        let mut m = Membership::new(0);
+        m.note_grandparent(Some(ProcessId(7)));
+        m.note_grandparent(Some(ProcessId(8)));
+        m.note_grandparent(Some(ProcessId(7))); // re-heard: moves to most-recent
+        assert_eq!(m.hint_history(), &[ProcessId(8), ProcessId(7)]);
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(1), Some(ProcessId(0))),
+            Some(ProcessId(7)),
+            "most recent hint dialed first"
+        );
+        m.begin_adoption(ProcessId(7), Some(ProcessId(0)));
+        m.abandon_adoption_target();
+        assert_eq!(m.failed_targets(), &[ProcessId(7)]);
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(1), Some(ProcessId(0))),
+            Some(ProcessId(8)),
+            "fallback skips the written-off target"
+        );
+        m.begin_adoption(ProcessId(8), Some(ProcessId(0)));
+        m.abandon_adoption_target();
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(1), Some(ProcessId(0))),
+            None,
+            "ladder exhausted"
+        );
+        // A re-heard old hint does not forgive a written-off target...
+        m.note_grandparent(Some(ProcessId(8)));
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(1), Some(ProcessId(0))),
+            None
+        );
+        // ...but a genuinely new hint re-opens every path.
+        m.note_grandparent(Some(ProcessId(9)));
+        assert!(m.failed_targets().is_empty());
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(1), Some(ProcessId(0))),
+            Some(ProcessId(9))
+        );
+    }
+
+    #[test]
+    fn knock_budget_counts_and_resets() {
+        let mut m = Membership::new(0);
+        m.begin_adoption(ProcessId(2), None);
+        assert_eq!(m.adoption_attempts(), 1, "the opening knock counts");
+        for k in 2..=ADOPT_ATTEMPT_CAP {
+            assert!(m.note_adoption_attempt(), "knock {k} within budget");
+        }
+        assert!(!m.note_adoption_attempt(), "budget exhausted");
+        m.abandon_adoption_target();
+        assert_eq!(m.adoption_attempts(), 0);
+        assert!(!m.is_adopting());
+        // A target that *answers* clears the outage memory entirely.
+        m.begin_adoption(ProcessId(3), None);
+        m.finish_adoption();
+        assert!(m.failed_targets().is_empty());
+        assert_eq!(m.adoption_attempts(), 0);
     }
 
     #[test]

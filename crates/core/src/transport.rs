@@ -299,19 +299,28 @@ impl MonitorCore {
                 events.push(MembershipEvent::ChildDropped(peer));
             } else if Some(peer) == self.parent {
                 if let RepairState::Adopting { target, .. } = *self.membership.state() {
-                    // Handshake already in flight (slow or lossy path):
-                    // keep knocking under the same epoch.
-                    events.push(MembershipEvent::AdoptionStarted { target });
-                    continue;
+                    if self.membership.note_adoption_attempt() {
+                        // Handshake already in flight (slow or lossy
+                        // path): keep knocking under the same epoch,
+                        // within the target's knock budget.
+                        events.push(MembershipEvent::AdoptionStarted { target });
+                        continue;
+                    }
+                    // Budget exhausted: the target never answered — it
+                    // died with the parent. Write it off and fall back
+                    // down the hint ladder instead of dialing a corpse
+                    // forever.
+                    self.membership.abandon_adoption_target();
                 }
-                match self.membership.grandparent() {
-                    Some(g) if g != self.me => {
+                match self.membership.next_adoption_candidate(self.me, Some(peer)) {
+                    Some(g) => {
                         self.membership.begin_adoption(g, Some(peer));
                         events.push(MembershipEvent::AdoptionStarted { target: g });
                     }
-                    _ => {
+                    None => {
                         // The root died (its heartbeats carried no
-                        // parent) or no hint was ever heard: no adopter.
+                        // parent), no hint was ever heard, or every
+                        // hinted ancestor is written off: no adopter.
                         events.push(MembershipEvent::Orphaned { dead_parent: peer });
                     }
                 }
@@ -719,6 +728,7 @@ impl MonitorCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::membership::ADOPT_ATTEMPT_CAP;
     use ftscp_vclock::VectorClock;
 
     /// Minimal recording transport for unit tests: collects sends and
@@ -964,6 +974,133 @@ mod tests {
             "stale-epoch beacon did not refresh the child; stranger ignored"
         );
         assert_eq!(core.membership().peer_epoch(ProcessId(9)), 0);
+    }
+
+    #[test]
+    fn dead_grandparent_falls_back_down_the_hint_ladder() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[],
+            2,
+            MonitorConfig::default(),
+        );
+        let timeout = SimTime::from_millis(100);
+        let mut t = RecTransport::default();
+        // The parent re-parented over its lifetime: hints 7 then 8.
+        for (at, gp) in [(0u64, 7u32), (10, 8)] {
+            t.now = SimTime::from_millis(at);
+            core.on_message(
+                DetectMsg::Heartbeat {
+                    from: ProcessId(0),
+                    epoch: 0,
+                    parent: Some(ProcessId(gp)),
+                },
+                &mut t,
+            );
+        }
+        // The parent dies — and, unbeknownst to this node, so did 8.
+        t.now = SimTime::from_millis(500);
+        let first = core.membership_tick(timeout, &mut t);
+        assert_eq!(
+            first,
+            vec![MembershipEvent::AdoptionStarted {
+                target: ProcessId(8)
+            }],
+            "freshest hint dialed first"
+        );
+        let epoch8 = core.membership().epoch();
+        for _ in 1..ADOPT_ATTEMPT_CAP {
+            let ev = core.membership_tick(timeout, &mut t);
+            assert_eq!(
+                ev,
+                vec![MembershipEvent::AdoptionStarted {
+                    target: ProcessId(8)
+                }],
+                "re-knocks stay within the budget"
+            );
+        }
+        // Budget spent: 8 is written off, the older hint 7 takes over.
+        let retarget = core.membership_tick(timeout, &mut t);
+        assert_eq!(
+            retarget,
+            vec![MembershipEvent::AdoptionStarted {
+                target: ProcessId(7)
+            }],
+            "falls back to the older hint instead of dialing the corpse forever"
+        );
+        assert_eq!(core.membership().failed_targets(), &[ProcessId(8)]);
+        // A late ack from the abandoned target answers a closed attempt.
+        core.on_message(
+            DetectMsg::AdoptAck {
+                from: ProcessId(8),
+                child: ProcessId(1),
+                epoch: epoch8,
+                accepted: true,
+            },
+            &mut t,
+        );
+        assert_eq!(core.parent(), Some(ProcessId(0)), "stale ack ignored");
+        assert!(
+            core.membership().is_adopting(),
+            "attempt toward 7 still open"
+        );
+        // 7 answers: handshake completes and the outage memory resets.
+        let epoch7 = core.membership().epoch();
+        core.on_message(
+            DetectMsg::AdoptAck {
+                from: ProcessId(7),
+                child: ProcessId(1),
+                epoch: epoch7,
+                accepted: true,
+            },
+            &mut t,
+        );
+        assert_eq!(core.parent(), Some(ProcessId(7)));
+        assert!(core.membership().failed_targets().is_empty());
+    }
+
+    #[test]
+    fn exhausted_hint_ladder_reports_orphaned() {
+        let mut core = MonitorCore::new(
+            ProcessId(1),
+            Some(ProcessId(0)),
+            &[],
+            2,
+            MonitorConfig::default(),
+        );
+        let timeout = SimTime::from_millis(100);
+        let mut t = RecTransport::default();
+        core.on_message(
+            DetectMsg::Heartbeat {
+                from: ProcessId(0),
+                epoch: 0,
+                parent: Some(ProcessId(7)),
+            },
+            &mut t,
+        );
+        t.now = SimTime::from_millis(500);
+        for _ in 0..ADOPT_ATTEMPT_CAP {
+            let ev = core.membership_tick(timeout, &mut t);
+            assert_eq!(
+                ev,
+                vec![MembershipEvent::AdoptionStarted {
+                    target: ProcessId(7)
+                }]
+            );
+        }
+        // The only hinted ancestor never answered: orphaned, not stuck in
+        // an eternal retry toward the dead address.
+        for _ in 0..2 {
+            let ev = core.membership_tick(timeout, &mut t);
+            assert_eq!(
+                ev,
+                vec![MembershipEvent::Orphaned {
+                    dead_parent: ProcessId(0)
+                }]
+            );
+            assert!(!core.membership().is_adopting());
+        }
     }
 
     #[test]

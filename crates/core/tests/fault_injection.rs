@@ -6,14 +6,15 @@
 //! detected (liveness over the live portion) — plus determinism: the same
 //! seed and the same plan replay the identical detection sequence.
 
-use ftscp_core::deploy::{DeployConfig, Deployment};
+use ftscp_core::deploy::{DeployConfig, Deployment, RepairMode};
 use ftscp_core::faultcheck::{detection_fingerprint, verify_detections, verify_no_silent_drops};
 use ftscp_core::monitor::MonitorConfig;
 use ftscp_core::HierarchicalDetector;
-use ftscp_simnet::{FaultPlan, LinkModel, NodeId, SimConfig, SimTime, Topology};
+use ftscp_simnet::{FaultPlan, FaultPlanParams, LinkModel, NodeId, SimConfig, SimTime, Topology};
 use ftscp_tree::SpanningTree;
 use ftscp_vclock::ProcessId;
 use ftscp_workload::{Execution, RandomExecution};
+use proptest::prelude::*;
 
 fn config(seed: u64) -> DeployConfig {
     DeployConfig {
@@ -240,6 +241,240 @@ fn reordering_bursts_are_tolerated() {
         reference_coverages(&tree, &exec),
         "reorder buffers restore per-child order"
     );
+}
+
+/// Timer-skew primitive, fast-clock direction: a clock running at 2/3
+/// speed chases every interval deadline with geometrically shrinking
+/// re-arms. Regression for the DST-campaign find (seed 30) where the
+/// skew truncated the final 1µs re-arm to zero and the run livelocked;
+/// the skew now rounds up, so the run completes and loses nothing.
+#[test]
+fn fast_clock_skew_completes_losslessly() {
+    let n = 7;
+    let (exec, topo, tree) = workload(n, 6, 53);
+    let cfg = DeployConfig {
+        monitor: MonitorConfig {
+            retransmit_period: Some(SimTime::from_millis(15)),
+            ..Default::default()
+        },
+        ..config(53)
+    };
+    let mut dep = Deployment::new(topo, tree.clone(), &exec, cfg);
+    dep.apply_fault_plan(&FaultPlan::new().skew_timers_at(SimTime::ZERO, NodeId(1), 2, 3));
+    dep.run();
+    let dets = dep.detections();
+    assert!(verify_detections(&exec, &dets).is_empty(), "safety holds");
+    assert!(verify_no_silent_drops(&dep).is_empty(), "nothing dropped");
+    assert_eq!(
+        coverages(&dep),
+        reference_coverages(&tree, &exec),
+        "a fast local clock shifts timings, never content"
+    );
+}
+
+/// §III-F compound scenario: two *internal* monitors on different tree
+/// levels crash at the same instant under heartbeat-driven repair.
+/// Node 1 (level 1) and node 3 (level 2, a child of node 1) die
+/// together, so node 3's children find their grandparent hint already
+/// dead. Safety and determinism must survive the storm outright.
+///
+/// What the current protocol recovers: node 4 re-adopts under the root,
+/// and nodes 7/8 exhaust their knock budget against dead node 1 and
+/// stay safely excluded (the bounded-retry dead end the model checker
+/// reaches as `orphan_dead_end`). Full re-adoption of that stranded
+/// pair is the open ROADMAP failure-storm item — asserted by the
+/// `#[ignore]`d companion below.
+#[test]
+fn simultaneous_internal_crash_storm_stays_safe_and_deterministic() {
+    let n = 15;
+    let (exec, topo, tree) = workload(n, 8, 61);
+    let cfg = DeployConfig {
+        repair_mode: RepairMode::HeartbeatDriven,
+        ..config(61)
+    };
+    let storm = FaultPlan::new()
+        .crash_at(SimTime::from_millis(150), NodeId(1))
+        .crash_at(SimTime::from_millis(150), NodeId(3));
+    let run = || {
+        let mut dep = Deployment::new(topo.clone(), tree.clone(), &exec, cfg);
+        dep.apply_fault_plan(&storm);
+        dep.run();
+        dep
+    };
+    let dep = run();
+    let dets = dep.detections();
+    assert!(verify_detections(&exec, &dets).is_empty(), "safety holds");
+    assert!(!dets.is_empty());
+    let last = dets.last().unwrap().covered_processes();
+    assert!(
+        !last.contains(&ProcessId(1)) && !last.contains(&ProcessId(3)),
+        "post-storm detections exclude the dead"
+    );
+    assert_eq!(
+        detection_fingerprint(&dets),
+        detection_fingerprint(&run().detections()),
+        "the storm replays deterministically"
+    );
+}
+
+/// ROADMAP (failure storms): after the simultaneous internal crashes,
+/// *all* thirteen survivors should eventually re-join and be covered —
+/// including node 3's children, whose only adoption hint (their
+/// grandparent, node 1) died with their parent. Requires re-adoption
+/// beyond the bounded hint ladder; until then the pair stays excluded.
+#[test]
+#[ignore = "ROADMAP: failure storms — survivors behind a dead grandparent stay orphaned"]
+fn simultaneous_internal_crash_storm_recovers_all_survivors() {
+    let n = 15;
+    let (exec, topo, tree) = workload(n, 8, 61);
+    let cfg = DeployConfig {
+        repair_mode: RepairMode::HeartbeatDriven,
+        ..config(61)
+    };
+    let mut dep = Deployment::new(topo, tree, &exec, cfg);
+    dep.apply_fault_plan(
+        &FaultPlan::new()
+            .crash_at(SimTime::from_millis(150), NodeId(1))
+            .crash_at(SimTime::from_millis(150), NodeId(3)),
+    );
+    dep.run();
+    let dets = dep.detections();
+    assert!(verify_detections(&exec, &dets).is_empty(), "safety holds");
+    assert_eq!(
+        dets.last().unwrap().covered_processes().len(),
+        n - 2,
+        "every survivor is covered again after the storm"
+    );
+}
+
+/// A partition shorter than the suspicion timeout under heartbeat
+/// repair: nobody is suspected, the reliability layer re-delivers what
+/// the cut blocked, and the run is indistinguishable from fault-free.
+#[test]
+fn short_partition_under_heartbeat_repair_is_lossless() {
+    let n = 15;
+    let (exec, topo, tree) = workload(n, 8, 67);
+    let cfg = DeployConfig {
+        repair_mode: RepairMode::HeartbeatDriven,
+        monitor: MonitorConfig {
+            retransmit_period: Some(SimTime::from_millis(15)),
+            ..Default::default()
+        },
+        ..config(67)
+    };
+    let mut dep = Deployment::new(topo, tree.clone(), &exec, cfg);
+    // Cut off node 2's whole subtree for 70ms — under the 120ms
+    // suspicion timeout, so the repair machinery must stay quiet.
+    dep.apply_fault_plan(
+        &FaultPlan::new()
+            .partition_at(
+                SimTime::from_millis(50),
+                &[
+                    NodeId(2),
+                    NodeId(5),
+                    NodeId(6),
+                    NodeId(11),
+                    NodeId(12),
+                    NodeId(13),
+                    NodeId(14),
+                ],
+            )
+            .heal_at(SimTime::from_millis(120)),
+    );
+    dep.run();
+    assert!(dep.metrics().undeliverable > 0, "the cut blocked traffic");
+    let dets = dep.detections();
+    assert!(verify_detections(&exec, &dets).is_empty(), "safety holds");
+    assert!(verify_no_silent_drops(&dep).is_empty(), "nothing dropped");
+    assert_eq!(
+        coverages(&dep),
+        reference_coverages(&tree, &exec),
+        "a sub-timeout partition is invisible after the heal"
+    );
+}
+
+/// A partition *longer* than the suspicion timeout: both sides start
+/// repairing around each other (the root prunes the severed subtree's
+/// queues), yet after the heal resumed heartbeats and re-reports must
+/// stitch the subtree back in and restore full coverage. This narrows
+/// ROADMAP's partition-rejoin item: the single-cut subtree scenario
+/// recovers today; divergent multi-cut membership remains open.
+#[test]
+fn long_partition_under_heartbeat_repair_rejoins_after_heal() {
+    let n = 15;
+    let (exec, topo, tree) = workload(n, 8, 67);
+    let cfg = DeployConfig {
+        repair_mode: RepairMode::HeartbeatDriven,
+        monitor: MonitorConfig {
+            retransmit_period: Some(SimTime::from_millis(15)),
+            ..Default::default()
+        },
+        ..config(67)
+    };
+    let mut dep = Deployment::new(topo, tree, &exec, cfg);
+    dep.apply_fault_plan(
+        &FaultPlan::new()
+            .partition_at(
+                SimTime::from_millis(50),
+                &[
+                    NodeId(2),
+                    NodeId(5),
+                    NodeId(6),
+                    NodeId(11),
+                    NodeId(12),
+                    NodeId(13),
+                    NodeId(14),
+                ],
+            )
+            .heal_at(SimTime::from_millis(400)),
+    );
+    dep.run();
+    let dets = dep.detections();
+    assert!(verify_detections(&exec, &dets).is_empty(), "safety holds");
+    assert!(
+        dep.metrics().undeliverable > 0,
+        "the cut actually blocked traffic"
+    );
+    assert_eq!(
+        dets.last().unwrap().covered_processes().len(),
+        n,
+        "full coverage returns after the heal"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// DST cornerstone: `FaultPlan::randomized` is a pure function of
+    /// `(params, seed)`, and the deployment is a pure function of the
+    /// plan — so any campaign seed replays to the identical
+    /// faultcheck fingerprint. This is what makes a failing seed a
+    /// complete, shrinkable bug report.
+    #[test]
+    fn randomized_plans_replay_to_identical_fingerprints(seed in 0u64..100_000) {
+        let params = FaultPlanParams::for_network(7, SimTime::from_millis(60));
+        let plan = FaultPlan::randomized(&params, seed);
+        prop_assert_eq!(&plan, &FaultPlan::randomized(&params, seed));
+
+        let (exec, topo, tree) = workload(7, 6, seed);
+        let cfg = DeployConfig {
+            monitor: MonitorConfig {
+                retransmit_period: Some(SimTime::from_millis(15)),
+                ..Default::default()
+            },
+            ..config(seed)
+        };
+        let run = || {
+            let mut dep = Deployment::new(topo.clone(), tree.clone(), &exec, cfg);
+            if !plan.restarts().is_empty() {
+                dep.enable_checkpointing();
+            }
+            dep.apply_fault_plan(&plan);
+            dep.run();
+            detection_fingerprint(&dep.detections())
+        };
+        prop_assert_eq!(run(), run());
+    }
 }
 
 /// Recovery hardening: during a long outage the retransmit timer backs

@@ -1,0 +1,204 @@
+//! DST campaign driver: seeded randomized fault campaigns, seed
+//! shrinking, and the tree-repair model checker.
+//!
+//! ```text
+//! ftscp_dst [--seeds N] [--start-seed S] [--max-seeds M]   # campaign
+//! ftscp_dst --shrink SEED [--inject-crash-of NODE]         # minimize a failure
+//! ftscp_dst --model-check                                  # exhaustive repair check
+//! ```
+//!
+//! The campaign exits non-zero iff any seed fails; each failing seed is
+//! printed with a `--shrink` invocation to reproduce and minimize it.
+//! `--inject-crash-of` wires a deliberate fake violation into the
+//! verifier — the end-to-end test hook for the shrinker itself.
+//!
+//! `--model-check` runs the fixed configuration matrix (baseline /
+//! no-hold / no-fencing / double-crash) and exits non-zero if any
+//! verdict deviates from the expected one documented in `docs/DST.md`.
+
+use ftscp_dst::campaign::{run_campaign, run_case, CampaignCase, ViolationHook};
+use ftscp_dst::model::{check, ModelConfig};
+use ftscp_dst::shrink::{render_regression, shrink_case};
+use ftscp_simnet::NodeId;
+
+struct Args {
+    seeds: usize,
+    start_seed: u64,
+    max_seeds: Option<usize>,
+    shrink: Option<u64>,
+    inject_crash_of: Option<u32>,
+    model_check: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seeds: 1000,
+            start_seed: 0,
+            max_seeds: None,
+            shrink: None,
+            inject_crash_of: None,
+            model_check: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftscp_dst [--seeds N] [--start-seed S] [--max-seeds M]\n\
+         \x20      ftscp_dst --shrink SEED [--inject-crash-of NODE]\n\
+         \x20      ftscp_dst --model-check"
+    );
+    std::process::exit(2);
+}
+
+fn next_value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => args.seeds = next_value(&mut it),
+            "--start-seed" => args.start_seed = next_value(&mut it),
+            "--max-seeds" => args.max_seeds = Some(next_value(&mut it)),
+            "--shrink" => args.shrink = Some(next_value(&mut it)),
+            "--inject-crash-of" => args.inject_crash_of = Some(next_value(&mut it)),
+            "--model-check" => args.model_check = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn model_check() -> i32 {
+    let mut ok = true;
+    let mut gate = |name: &str, passed: bool, detail: String| {
+        let verdict = if passed { "ok" } else { "UNEXPECTED" };
+        println!("model-check: {name:<50} {verdict}");
+        print!("{detail}");
+        ok &= passed;
+    };
+
+    let baseline = check(&ModelConfig::chain4());
+    gate(
+        "baseline (fencing+hold, 1 crash, 1 dup): safe",
+        baseline.safety_ok() && baseline.orphan_dead_end.is_none(),
+        format!("  explored {} states, no violations\n", baseline.explored),
+    );
+
+    let no_hold = check(&ModelConfig::chain4().without_hold());
+    gate(
+        "no-hold: prune/adopt race found (ROADMAP known bug)",
+        no_hold.missed_subtree.is_some(),
+        match &no_hold.missed_subtree {
+            Some(trace) => format!("  counterexample: {}\n", trace.join(" -> ")),
+            None => String::new(),
+        },
+    );
+
+    let no_fence = check(&ModelConfig::chain4().without_fencing());
+    gate(
+        "no-fencing: stale-epoch ack accepted",
+        no_fence.stale_accept.is_some(),
+        match &no_fence.stale_accept {
+            Some(trace) => format!("  counterexample: {}\n", trace.join(" -> ")),
+            None => String::new(),
+        },
+    );
+
+    let storm = check(&ModelConfig::chain4().crashes(2).dups(0));
+    gate(
+        "double-crash storm: safe, orphan dead end reachable",
+        storm.safety_ok() && storm.orphan_dead_end.is_some(),
+        match &storm.orphan_dead_end {
+            Some(trace) => format!(
+                "  explored {} states; dead end (ROADMAP failure-storm item): {}\n",
+                storm.explored,
+                trace.join(" -> ")
+            ),
+            None => String::new(),
+        },
+    );
+
+    let ladder = check(&ModelConfig::chain4().crashes(2).dups(0).with_deep_hints());
+    gate(
+        "double-crash storm + deep hint ladder: safe, nobody stranded",
+        ladder.safety_ok() && ladder.orphan_dead_end.is_none(),
+        format!(
+            "  explored {} states, fallback ladder adopts every orphan\n",
+            ladder.explored
+        ),
+    );
+
+    if ok {
+        println!("model-check: all verdicts as expected");
+        0
+    } else {
+        println!("model-check: verdict matrix DIVERGED — the repair protocol abstraction changed");
+        1
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let hook = args
+        .inject_crash_of
+        .map(|v| ViolationHook::CrashOf(NodeId(v)));
+
+    if args.model_check {
+        std::process::exit(model_check());
+    }
+
+    if let Some(seed) = args.shrink {
+        let case = CampaignCase::from_seed(seed);
+        let fails = |c: &CampaignCase| !run_case(c, hook.as_ref()).violations.is_empty();
+        if !fails(&case) {
+            println!("seed {seed} passes — nothing to shrink");
+            std::process::exit(0);
+        }
+        let report = run_case(&case, hook.as_ref());
+        println!("seed {seed} fails:");
+        for v in &report.violations {
+            println!("  - {v}");
+        }
+        let shrunk = shrink_case(&case, &fails);
+        println!(
+            "shrunk: n={} degree={} rounds={} plan_ops={} (from n={} rounds={} plan_ops={})",
+            shrunk.n,
+            shrunk.degree,
+            shrunk.rounds,
+            shrunk.plan.len(),
+            case.n,
+            case.rounds,
+            case.plan.len()
+        );
+        println!("--- regression test ---");
+        print!("{}", render_regression(&shrunk));
+        std::process::exit(1);
+    }
+
+    let count = args.max_seeds.map_or(args.seeds, |m| args.seeds.min(m));
+    let summary = run_campaign(args.start_seed, count, hook.as_ref());
+    let failures = summary.failures();
+    for report in &failures {
+        println!("seed {} FAILED:", report.seed);
+        for v in &report.violations {
+            println!("  - {v}");
+        }
+        println!("  reproduce: ftscp_dst --shrink {}", report.seed);
+    }
+    println!(
+        "campaign: {} seeds [{}..{}), {} failures, aggregate fingerprint {:#018x}",
+        count,
+        args.start_seed,
+        args.start_seed + count as u64,
+        failures.len(),
+        summary.aggregate
+    );
+    std::process::exit(i32::from(!failures.is_empty()));
+}

@@ -1,0 +1,367 @@
+//! The randomized campaign: seed → case → verified run.
+//!
+//! A [`CampaignCase`] — workload, topology, repair mode, and
+//! [`FaultPlan`] — is a pure function of its seed, so any failing seed
+//! replays byte-for-byte on any machine and shrinks deterministically
+//! (see [`crate::shrink`]). Each case runs through the full
+//! [`Deployment`] twice and is checked for:
+//!
+//! * **validity** — every emitted solution passes
+//!   `faultcheck::verify_detections` (overlapping intervals, real
+//!   coverage) regardless of what faults fired;
+//! * **determinism** — both runs produce the identical detection
+//!   fingerprint;
+//! * **losslessness** — when the plan is lossless (no crashes, every
+//!   partition healed), no surviving node may end the run with
+//!   undelivered reports;
+//! * **exactness** — a fault-free scheduled-repair case must reproduce
+//!   the offline [`HierarchicalDetector`] reference verbatim.
+//!
+//! Deliberately absent: a *completeness* check under faults. A run that
+//! emits narrower-but-valid solutions after a crash passes — whether
+//! every live subtree is still represented is the model checker's
+//! domain ([`crate::model`]), where the repair handshake is small
+//! enough to explore exhaustively.
+
+use ftscp_analysis::shard::run_sharded;
+use ftscp_core::deploy::{DeployConfig, Deployment, RepairMode};
+use ftscp_core::faultcheck::{detection_fingerprint, verify_detections, verify_no_silent_drops};
+use ftscp_core::monitor::MonitorConfig;
+use ftscp_core::HierarchicalDetector;
+use ftscp_simnet::{
+    FaultOp, FaultPlan, FaultPlanParams, LinkModel, NodeId, SimConfig, SimTime, Topology,
+};
+use ftscp_tree::SpanningTree;
+use ftscp_workload::{Execution, RandomExecution};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Decorrelates case-shape randomness from the fault-plan randomness
+/// (which hashes the raw seed itself inside `FaultPlan::randomized`).
+const CASE_SALT: u64 = 0x51c6_4b1f_0d83_77a9;
+
+/// One self-contained campaign case. Every field is derived from
+/// `seed` by [`CampaignCase::from_seed`]; the struct stays public and
+/// plain so shrunk cases can be pasted into regression tests literally.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignCase {
+    /// Drives the workload, the network link timing, and the plan.
+    pub seed: u64,
+    /// Network size.
+    pub n: usize,
+    /// Spanning-tree fan-out.
+    pub degree: usize,
+    /// Intervals per process in the workload.
+    pub rounds: usize,
+    /// Probability a process skips a round (predicate stays false).
+    pub skip_prob: f64,
+    /// Probability an interval gets no concurrent partner.
+    pub solo_prob: f64,
+    /// How crashed monitors are repaired.
+    pub repair_mode: RepairMode,
+    /// The fault script.
+    pub plan: FaultPlan,
+}
+
+impl CampaignCase {
+    /// Derives the complete case from a seed.
+    ///
+    /// Shapes are drawn from small palettes rather than free ranges so
+    /// the campaign keeps hammering the structurally distinct
+    /// configurations (shallow/deep trees, binary/ternary fan-out,
+    /// sparse/dense workloads) instead of diffusing over near-identical
+    /// ones. Heartbeat-driven repair is paired with crash-only plans:
+    /// partitions under heartbeat repair trip known-open rejoin bugs
+    /// (see ROADMAP), which would drown the campaign in expected
+    /// failures.
+    pub fn from_seed(seed: u64) -> CampaignCase {
+        let mut rng = StdRng::seed_from_u64(seed ^ CASE_SALT);
+        let n = *[4usize, 5, 7, 9, 12].choose(&mut rng).unwrap();
+        let degree = *[2usize, 2, 3].choose(&mut rng).unwrap();
+        let rounds = rng.gen_range(2..=6usize);
+        let skip_prob = *[0.0, 0.0, 0.1, 0.3].choose(&mut rng).unwrap();
+        let solo_prob = *[0.0, 0.0, 0.1, 0.3].choose(&mut rng).unwrap();
+        let repair_mode = if rng.gen_bool(0.35) {
+            RepairMode::HeartbeatDriven
+        } else {
+            RepairMode::Scheduled
+        };
+        // Interval spacing is 10ms (the deployment default), so the
+        // workload occupies roughly rounds * 10ms; faults beyond that
+        // horizon would fire into a drained network.
+        let horizon = SimTime::from_millis(10 * (rounds as u64 + 1));
+        let mut params = FaultPlanParams::for_network(n, horizon);
+        if repair_mode == RepairMode::HeartbeatDriven {
+            params = params.crash_only();
+        }
+        let plan = FaultPlan::randomized(&params, seed);
+        CampaignCase {
+            seed,
+            n,
+            degree,
+            rounds,
+            skip_prob,
+            solo_prob,
+            repair_mode,
+            plan,
+        }
+    }
+
+    /// The workload this case runs (pure function of the case).
+    pub fn execution(&self) -> Execution {
+        RandomExecution::builder(self.n)
+            .intervals_per_process(self.rounds)
+            .skip_prob(self.skip_prob)
+            .solo_prob(self.solo_prob)
+            .seed(self.seed)
+            .build()
+    }
+
+    fn deploy_config(&self) -> DeployConfig {
+        DeployConfig {
+            sim: SimConfig {
+                seed: self.seed,
+                link: LinkModel {
+                    min_delay: SimTime(200),
+                    max_delay: SimTime(4_000),
+                    drop_prob: 0.0,
+                },
+            },
+            monitor: MonitorConfig {
+                retransmit_period: Some(SimTime::from_millis(15)),
+                ..Default::default()
+            },
+            repair_mode: self.repair_mode,
+            ..Default::default()
+        }
+    }
+}
+
+/// Test hook: deliberately injects a violation into [`run_case`] so
+/// the shrinker's contract ("reduce while the failure reproduces") can
+/// itself be tested without depending on a real protocol bug.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViolationHook {
+    /// Any case whose plan crashes `node` "fails".
+    CrashOf(NodeId),
+}
+
+/// The verdict of one case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseReport {
+    /// The seed the case was derived from.
+    pub seed: u64,
+    /// `faultcheck::detection_fingerprint` of the first run.
+    pub fingerprint: u64,
+    /// Number of root detections emitted.
+    pub detections: usize,
+    /// Human-readable invariant violations; empty means the case passed.
+    pub violations: Vec<String>,
+}
+
+/// True iff the plan can lose no monitor traffic: nobody crashes and
+/// every installed cut is healed afterwards.
+fn lossless(plan: &FaultPlan) -> bool {
+    let mut open_cuts = 0usize;
+    for (_, op) in plan.sorted_ops() {
+        match op {
+            FaultOp::Crash(_) => return false,
+            FaultOp::Partition(_) => open_cuts += 1,
+            FaultOp::Heal => open_cuts = 0,
+            _ => {}
+        }
+    }
+    open_cuts == 0
+}
+
+fn coverages(dep: &Deployment) -> Vec<Vec<(u32, u64)>> {
+    dep.detections()
+        .iter()
+        .map(|d| d.coverage.iter().map(|r| (r.process.0, r.seq)).collect())
+        .collect()
+}
+
+/// Runs one case through the full deployment (twice, for the
+/// determinism check) and re-verifies it.
+pub fn run_case(case: &CampaignCase, hook: Option<&ViolationHook>) -> CaseReport {
+    let exec = case.execution();
+    let topo = Topology::dary_tree(case.n, case.degree, 1);
+    let tree = SpanningTree::balanced_dary(case.n, case.degree);
+    let cfg = case.deploy_config();
+    let execute = || {
+        let mut dep = Deployment::new(topo.clone(), tree.clone(), &exec, cfg);
+        if !case.plan.restarts().is_empty() {
+            dep.enable_checkpointing();
+        }
+        dep.apply_fault_plan(&case.plan);
+        dep.run();
+        dep
+    };
+
+    let dep = execute();
+    let dets = dep.detections();
+    let mut violations = verify_detections(&exec, &dets);
+    if lossless(&case.plan) {
+        violations.extend(verify_no_silent_drops(&dep));
+    }
+    if case.plan.is_empty() && case.repair_mode == RepairMode::Scheduled {
+        let mut reference = HierarchicalDetector::new(&tree);
+        for iv in exec.intervals_interleaved() {
+            reference.feed(iv.clone());
+        }
+        let want: Vec<Vec<(u32, u64)>> = reference
+            .root_solutions()
+            .iter()
+            .map(|d| d.coverage.iter().map(|r| (r.process.0, r.seq)).collect())
+            .collect();
+        if coverages(&dep) != want {
+            violations.push(format!(
+                "fault-free run diverged from the offline reference: got {} solutions, want {}",
+                dets.len(),
+                want.len()
+            ));
+        }
+    }
+
+    let fingerprint = detection_fingerprint(&dets);
+    let replay = detection_fingerprint(&execute().detections());
+    if fingerprint != replay {
+        violations.push(format!(
+            "non-deterministic replay: fingerprint {fingerprint:#018x} vs {replay:#018x}"
+        ));
+    }
+
+    if let Some(ViolationHook::CrashOf(victim)) = hook {
+        if case.plan.crashes().iter().any(|&(_, v)| v == *victim) {
+            violations.push(format!(
+                "injected violation hook: plan crashes node {}",
+                victim.0
+            ));
+        }
+    }
+
+    CaseReport {
+        seed: case.seed,
+        fingerprint,
+        detections: dets.len(),
+        violations,
+    }
+}
+
+/// The aggregate of a campaign run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSummary {
+    /// One report per seed, in seed order.
+    pub reports: Vec<CaseReport>,
+    /// Order-sensitive FNV-1a digest over every `(seed, fingerprint,
+    /// pass/fail)` triple: two campaign invocations over the same seed
+    /// range must agree on this single number.
+    pub aggregate: u64,
+}
+
+impl CampaignSummary {
+    /// Reports that found at least one violation.
+    pub fn failures(&self) -> Vec<&CaseReport> {
+        self.reports
+            .iter()
+            .filter(|r| !r.violations.is_empty())
+            .collect()
+    }
+}
+
+fn fnv1a(digest: u64, word: u64) -> u64 {
+    let mut h = digest;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `count` seeded cases starting at `start_seed`, sharded across
+/// the available cores (results stay in seed order, so the aggregate
+/// fingerprint is independent of scheduling).
+pub fn run_campaign(
+    start_seed: u64,
+    count: usize,
+    hook: Option<&ViolationHook>,
+) -> CampaignSummary {
+    let reports = run_sharded(count, |i| {
+        run_case(&CampaignCase::from_seed(start_seed + i as u64), hook)
+    });
+    let mut aggregate = 0xcbf2_9ce4_8422_2325u64;
+    for r in &reports {
+        aggregate = fnv1a(aggregate, r.seed);
+        aggregate = fnv1a(aggregate, r.fingerprint);
+        aggregate = fnv1a(aggregate, r.violations.len() as u64);
+    }
+    CampaignSummary { reports, aggregate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_derivation_is_deterministic() {
+        for seed in [0u64, 1, 17, 999_983] {
+            assert_eq!(CampaignCase::from_seed(seed), CampaignCase::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn heartbeat_cases_get_crash_only_plans() {
+        let mut saw_hb = false;
+        for seed in 0..200u64 {
+            let case = CampaignCase::from_seed(seed);
+            if case.repair_mode == RepairMode::HeartbeatDriven {
+                saw_hb = true;
+                for (_, op) in case.plan.sorted_ops() {
+                    assert!(
+                        matches!(op, FaultOp::Crash(_) | FaultOp::Restart(_)),
+                        "seed {seed}: heartbeat-driven case scheduled {op:?}"
+                    );
+                }
+            }
+        }
+        assert!(saw_hb, "the palette never produced a heartbeat case");
+    }
+
+    #[test]
+    fn lossless_recognizes_healed_partitions_only() {
+        assert!(lossless(&FaultPlan::new()));
+        assert!(lossless(
+            &FaultPlan::new()
+                .partition_at(SimTime(10), &[NodeId(1)])
+                .heal_at(SimTime(20))
+        ));
+        assert!(!lossless(
+            &FaultPlan::new().partition_at(SimTime(10), &[NodeId(1)])
+        ));
+        assert!(!lossless(
+            &FaultPlan::new().crash_at(SimTime(10), NodeId(1))
+        ));
+    }
+
+    #[test]
+    fn violation_hook_fires_only_on_matching_crashes() {
+        // Find one case that crashes some node and one that doesn't.
+        let victim_seed = (0..500u64)
+            .find(|&s| !CampaignCase::from_seed(s).plan.crashes().is_empty())
+            .expect("some seed crashes a node");
+        let case = CampaignCase::from_seed(victim_seed);
+        let victim = case.plan.crashes()[0].1;
+        let report = run_case(&case, Some(&ViolationHook::CrashOf(victim)));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("injected violation hook")));
+        let other = NodeId(u32::MAX);
+        let clean = run_case(&case, Some(&ViolationHook::CrashOf(other)));
+        assert!(!clean
+            .violations
+            .iter()
+            .any(|v| v.contains("injected violation hook")));
+    }
+}

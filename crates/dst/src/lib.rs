@@ -1,0 +1,31 @@
+//! Deterministic simulation testing (DST) for the fault-tolerant
+//! detector.
+//!
+//! Three tools, one goal — finding protocol bugs that scripted suites
+//! never reach:
+//!
+//! * [`campaign`] derives thousands of `(workload, topology, fault
+//!   plan)` cases from seeds, runs each through the full deployment
+//!   twice, and re-verifies every run with `ftscp_core::faultcheck`.
+//!   A seed is a complete bug report: the entire case is a pure
+//!   function of it.
+//! * [`shrink`] reduces a failing case to a minimal one by a greedy
+//!   delete/narrow fixpoint and renders it as a ready-to-paste
+//!   regression test.
+//! * [`model`] is an explicit-state model checker that exhaustively
+//!   explores an abstraction of the tree-repair handshake on a small
+//!   chain, checking safety invariants the randomized campaign cannot
+//!   observe (completeness of emitted solutions, stale-epoch fencing).
+//!
+//! See `docs/DST.md` for usage and the campaign/model-checker split of
+//! responsibilities.
+
+pub mod campaign;
+pub mod model;
+pub mod shrink;
+
+pub use campaign::{
+    run_campaign, run_case, CampaignCase, CampaignSummary, CaseReport, ViolationHook,
+};
+pub use model::{check, ModelConfig, ModelReport};
+pub use shrink::{render_regression, shrink_case};

@@ -1,0 +1,649 @@
+//! Explicit-state model checking of the tree-repair handshake.
+//!
+//! The randomized campaign re-verifies *validity* of what the detector
+//! emits, but it cannot see *completeness*: a run that quietly narrows
+//! its solutions to exclude a live subtree passes every `faultcheck`
+//! invariant. This module attacks that blind spot the classic way — by
+//! shrinking the protocol to a finite abstraction and exhaustively
+//! enumerating every interleaving.
+//!
+//! # The abstraction
+//!
+//! A chain of `n` monitors (`0 ← 1 ← ⋯ ← n-1`, node 0 the root). Each
+//! node keeps exactly the repair-relevant state: aliveness, parent
+//! pointer, child bitmask (which child *queues* it holds), a `waiting`
+//! bitmask (children whose queues were dropped but whose slot is held
+//! open — see below), its adoption epoch, the in-flight adoption
+//! attempt, and the written-off target set. The network is a multiset
+//! of `Adopt` / `AdoptAck` messages with optional duplication. The
+//! `Suspect` notification rides inside `Adopt` as the `dead_parent`
+//! field, and `ReReport` is elided: re-sent interval data affects
+//! which *values* reach the root, never which *subtrees* the repair
+//! structure keeps — the two invariants below only depend on the
+//! latter.
+//!
+//! Nondeterministic actions: crashing a node (up to a budget),
+//! a parent detecting a dead child, an orphan detecting its dead
+//! parent and dialing its best not-yet-written-off hint, abandoning an
+//! adoption attempt whose target is dead (the bounded knock budget of
+//! `core::membership` expiring), delivering any in-flight message, and
+//! duplicating one.
+//!
+//! # Invariants
+//!
+//! * **I1 — no emitted solution misses a live subtree.** The root may
+//!   emit whenever its hold set is clear; an emission covers exactly
+//!   the downward closure of its child-queue edges (`children ∪
+//!   waiting`, walked through dead nodes — their pre-crash data is
+//!   still in their parent's queue). Every *live* node must sit inside
+//!   that closure.
+//! * **I2 — no stale-epoch adoption message is accepted.** An
+//!   `AdoptAck` must match the adopter's outstanding `(target, epoch)`
+//!   pair exactly; accepting anything else re-wires the tree to a
+//!   retired attempt.
+//!
+//! Additionally the checker reports (as a diagnosis, not a safety
+//! violation) whether an **orphan dead end** is reachable: a live node
+//! whose parent is dead, whose hint ladder is exhausted, while a live
+//! root still exists — the bounded-retry outcome of ROADMAP's
+//! failure-storm item, where the node stays safely excluded instead of
+//! re-joining.
+//!
+//! # `hold_after_drop` is a candidate fix, not the shipped protocol
+//!
+//! With `hold_after_drop = true`, a parent that drops a dead child's
+//! queue parks the child in `waiting` until an adopter takes over, and
+//! the root suppresses emissions while its own hold set is non-empty.
+//! The real protocol does *not* do this — it prunes immediately, and
+//! the checker with `hold_after_drop = false` finds the resulting
+//! prune/adopt race (a counterexample where the root emits while the
+//! orphan subtree is mid-adoption). That is ROADMAP's known-open
+//! prune/adopt race, reproduced here in its minimal form; the flag
+//! documents the fix this model proves sufficient at this abstraction
+//! level.
+
+use std::collections::{HashMap, VecDeque};
+
+const NO_PARENT: u8 = u8::MAX;
+
+/// Checker configuration: topology (a chain), fault budgets, and which
+/// defenses are enabled.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Chain length (2..=8; bitmask-bounded).
+    pub n: usize,
+    /// Per-node adoption hint ladder, best candidate first. The chain
+    /// default gives every node its grandparent — exactly what the
+    /// real membership layer learns from heartbeat piggybacks when no
+    /// re-parenting ever happened.
+    pub hints: Vec<Vec<u8>>,
+    /// How many crashes the adversary may inject.
+    pub max_crashes: u8,
+    /// How many message duplications the adversary may inject.
+    pub max_dups: u8,
+    /// Reject `AdoptAck`s that don't match the outstanding attempt
+    /// (the shipped `matches_adoption` fence).
+    pub epoch_fencing: bool,
+    /// Park dropped children in `waiting` and gate root emissions on
+    /// an empty hold set (candidate fix; NOT in the shipped protocol).
+    pub hold_after_drop: bool,
+    /// Exploration cap; exceeding it sets `truncated` in the report.
+    pub max_states: usize,
+}
+
+impl ModelConfig {
+    /// A chain of `n` monitors with grandparent hints and the shipped
+    /// defenses on (fencing + hold), one crash, one duplication.
+    pub fn chain(n: usize) -> ModelConfig {
+        assert!((2..=8).contains(&n), "chain length must be in 2..=8");
+        let hints = (0..n)
+            .map(|i| if i >= 2 { vec![(i - 2) as u8] } else { vec![] })
+            .collect();
+        ModelConfig {
+            n,
+            hints,
+            max_crashes: 1,
+            max_dups: 1,
+            epoch_fencing: true,
+            hold_after_drop: true,
+            max_states: 2_000_000,
+        }
+    }
+
+    /// The 4-node baseline instance.
+    pub fn chain4() -> ModelConfig {
+        ModelConfig::chain(4)
+    }
+
+    /// Deepens every hint ladder to all proper ancestors (freshest
+    /// first) — what a node has accrued once its ancestors re-parented
+    /// at least once. This is the configuration that exercises the
+    /// bounded-knock fallback: abandon a dead target, retarget the
+    /// next rung.
+    pub fn with_deep_hints(mut self) -> ModelConfig {
+        self.hints = (0..self.n)
+            .map(|i| (0..i.saturating_sub(1)).rev().map(|a| a as u8).collect())
+            .collect();
+        self
+    }
+
+    /// Disables the hold-after-drop defense (models the shipped
+    /// protocol's immediate prune).
+    pub fn without_hold(mut self) -> ModelConfig {
+        self.hold_after_drop = false;
+        self
+    }
+
+    /// Disables stale-epoch fencing.
+    pub fn without_fencing(mut self) -> ModelConfig {
+        self.epoch_fencing = false;
+        self
+    }
+
+    /// Sets the crash budget.
+    pub fn crashes(mut self, k: u8) -> ModelConfig {
+        self.max_crashes = k;
+        self
+    }
+
+    /// Sets the duplication budget.
+    pub fn dups(mut self, k: u8) -> ModelConfig {
+        self.max_dups = k;
+        self
+    }
+}
+
+/// In-flight repair message.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+enum Msg {
+    /// `child` (whose parent `dead_parent` died) asks `to` to adopt it
+    /// under `epoch`. Carries the `Suspect(dead_parent)` notification.
+    Adopt {
+        to: u8,
+        child: u8,
+        epoch: u8,
+        dead_parent: u8,
+    },
+    /// `from` accepted `to` as a child under `epoch`.
+    Ack { to: u8, from: u8, epoch: u8 },
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    alive: bool,
+    parent: u8,
+    /// Bitmask: children whose report queue this node holds.
+    children: u8,
+    /// Bitmask: dropped children held open pending adoption
+    /// (`hold_after_drop` only).
+    waiting: u8,
+    /// Current adoption epoch (bumped per attempt).
+    epoch: u8,
+    /// Outstanding attempt: `(target, epoch)`.
+    adopting: Option<(u8, u8)>,
+    /// Bitmask: targets written off by the knock budget.
+    failed: u8,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct State {
+    nodes: Vec<Node>,
+    /// Sorted — a canonical multiset, so interleavings that differ
+    /// only in send order collapse.
+    msgs: Vec<Msg>,
+    crashes_left: u8,
+    dups_left: u8,
+}
+
+/// One transition, for counterexample traces.
+#[derive(Clone, Debug)]
+enum Action {
+    Crash(u8),
+    DetectChild { parent: u8, child: u8 },
+    DetectParent { node: u8, target: u8, epoch: u8 },
+    Abandon { node: u8, target: u8 },
+    Deliver(Msg),
+    Duplicate(Msg),
+}
+
+fn fmt_action(a: &Action) -> String {
+    match a {
+        Action::Crash(v) => format!("Crash({v})"),
+        Action::DetectChild { parent, child } => {
+            format!("DetectChild(parent={parent}, child={child})")
+        }
+        Action::DetectParent {
+            node,
+            target,
+            epoch,
+        } => {
+            format!("DetectParent(node={node}, target={target}, epoch={epoch})")
+        }
+        Action::Abandon { node, target } => format!("Abandon(node={node}, target={target})"),
+        Action::Deliver(m) => format!("Deliver({m:?})"),
+        Action::Duplicate(m) => format!("Duplicate({m:?})"),
+    }
+}
+
+/// What exhaustive exploration found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelReport {
+    /// Distinct states visited.
+    pub explored: usize,
+    /// True if `max_states` cut the search short (verdicts then only
+    /// cover the explored prefix).
+    pub truncated: bool,
+    /// I1 counterexample: shortest action trace to an emission that
+    /// misses a live subtree.
+    pub missed_subtree: Option<Vec<String>>,
+    /// I2 counterexample: shortest trace to a stale-epoch acceptance.
+    pub stale_accept: Option<Vec<String>>,
+    /// Diagnosis: shortest trace stranding a live node with an
+    /// exhausted hint ladder under a live root.
+    pub orphan_dead_end: Option<Vec<String>>,
+}
+
+impl ModelReport {
+    /// True iff both safety invariants held over the full state space.
+    pub fn safety_ok(&self) -> bool {
+        self.missed_subtree.is_none() && self.stale_accept.is_none() && !self.truncated
+    }
+}
+
+fn initial(cfg: &ModelConfig) -> State {
+    let nodes = (0..cfg.n)
+        .map(|i| Node {
+            alive: true,
+            parent: if i == 0 { NO_PARENT } else { (i - 1) as u8 },
+            children: if i + 1 < cfg.n { 1u8 << (i + 1) } else { 0 },
+            waiting: 0,
+            epoch: 0,
+            adopting: None,
+            failed: 0,
+        })
+        .collect();
+    State {
+        nodes,
+        msgs: Vec::new(),
+        crashes_left: cfg.max_crashes,
+        dups_left: cfg.max_dups,
+    }
+}
+
+fn bit(i: u8) -> u8 {
+    1u8 << i
+}
+
+/// Downward closure of child-queue edges from the root, walked through
+/// dead nodes: a dead child's pre-crash outputs (which already folded
+/// in *its* children's data, per its frozen bitmask) still sit in its
+/// parent's queue, so its whole at-crash subtree is represented.
+fn covered_mask(nodes: &[Node], root: usize) -> u8 {
+    let mut mask = bit(root as u8);
+    let mut stack = vec![root];
+    while let Some(p) = stack.pop() {
+        let edges = nodes[p].children | nodes[p].waiting;
+        for c in 0..nodes.len() {
+            if edges & bit(c as u8) != 0 && mask & bit(c as u8) == 0 {
+                mask |= bit(c as u8);
+                stack.push(c);
+            }
+        }
+    }
+    mask
+}
+
+/// Enumerates every enabled transition. The `bool` marks a stale-epoch
+/// acceptance (an I2 violation) happening *on* that transition.
+fn successors(s: &State, cfg: &ModelConfig) -> Vec<(Action, State, bool)> {
+    let n = cfg.n;
+    let mut out = Vec::new();
+
+    if s.crashes_left > 0 {
+        for v in 0..n {
+            if s.nodes[v].alive {
+                let mut t = s.clone();
+                t.nodes[v].alive = false;
+                t.crashes_left -= 1;
+                out.push((Action::Crash(v as u8), t, false));
+            }
+        }
+    }
+
+    for p in 0..n {
+        if !s.nodes[p].alive {
+            continue;
+        }
+        // A parent notices a dead child: drop its queue (and park it
+        // in the hold set under the candidate fix).
+        for c in 0..n {
+            if s.nodes[p].children & bit(c as u8) != 0 && !s.nodes[c].alive {
+                let mut t = s.clone();
+                t.nodes[p].children &= !bit(c as u8);
+                if cfg.hold_after_drop {
+                    t.nodes[p].waiting |= bit(c as u8);
+                }
+                out.push((
+                    Action::DetectChild {
+                        parent: p as u8,
+                        child: c as u8,
+                    },
+                    t,
+                    false,
+                ));
+            }
+        }
+    }
+
+    for v in 0..n {
+        let node = &s.nodes[v];
+        if !node.alive || node.parent == NO_PARENT || s.nodes[node.parent as usize].alive {
+            continue;
+        }
+        if node.adopting.is_none() {
+            // Orphan dials the freshest hint not yet written off.
+            if let Some(&target) = cfg.hints[v].iter().find(|&&t| node.failed & bit(t) == 0) {
+                let epoch = node.epoch + 1;
+                let mut t = s.clone();
+                t.nodes[v].epoch = epoch;
+                t.nodes[v].adopting = Some((target, epoch));
+                t.msgs.push(Msg::Adopt {
+                    to: target,
+                    child: v as u8,
+                    epoch,
+                    dead_parent: node.parent,
+                });
+                t.msgs.sort();
+                out.push((
+                    Action::DetectParent {
+                        node: v as u8,
+                        target,
+                        epoch,
+                    },
+                    t,
+                    false,
+                ));
+            }
+        }
+        // The knock budget expires on a target that will never answer.
+        // (A slow-but-live target is assumed to answer within the
+        // budget — the untimed model can't weigh that race, and the
+        // live case re-dials the same target anyway.)
+        if let Some((target, _)) = node.adopting {
+            if !s.nodes[target as usize].alive {
+                let mut t = s.clone();
+                t.nodes[v].adopting = None;
+                t.nodes[v].failed |= bit(target);
+                out.push((
+                    Action::Abandon {
+                        node: v as u8,
+                        target,
+                    },
+                    t,
+                    false,
+                ));
+            }
+        }
+    }
+
+    // Deliveries (and duplications) of each distinct in-flight message.
+    let mut prev: Option<&Msg> = None;
+    for m in &s.msgs {
+        if prev == Some(m) {
+            continue;
+        }
+        prev = Some(m);
+        let mut t = s.clone();
+        let pos = t.msgs.iter().position(|x| x == m).unwrap();
+        t.msgs.remove(pos);
+        let mut stale = false;
+        match *m {
+            Msg::Adopt {
+                to,
+                child,
+                epoch,
+                dead_parent,
+            } => {
+                if t.nodes[to as usize].alive {
+                    let adopter = &mut t.nodes[to as usize];
+                    // The Suspect rider: the adopter drops the dead
+                    // intermediate (its data now re-routes via the
+                    // adopted child) and opens a queue for the child.
+                    adopter.children &= !bit(dead_parent);
+                    adopter.waiting &= !bit(dead_parent);
+                    adopter.children |= bit(child);
+                    t.msgs.push(Msg::Ack {
+                        to: child,
+                        from: to,
+                        epoch,
+                    });
+                    t.msgs.sort();
+                }
+            }
+            Msg::Ack { to, from, epoch } => {
+                if t.nodes[to as usize].alive {
+                    let v = &mut t.nodes[to as usize];
+                    if v.adopting == Some((from, epoch)) {
+                        v.parent = from;
+                        v.adopting = None;
+                        v.failed = 0;
+                    } else if !cfg.epoch_fencing {
+                        // Unfenced bug: a retired attempt re-wires the
+                        // parent pointer.
+                        stale = true;
+                        v.parent = from;
+                        v.adopting = None;
+                    }
+                }
+            }
+        }
+        out.push((Action::Deliver(m.clone()), t, stale));
+
+        if s.dups_left > 0 {
+            let mut t = s.clone();
+            t.msgs.push(m.clone());
+            t.msgs.sort();
+            t.dups_left -= 1;
+            out.push((Action::Duplicate(m.clone()), t, false));
+        }
+    }
+
+    out
+}
+
+struct Search {
+    ids: HashMap<State, usize>,
+    states: Vec<State>,
+    /// Predecessor edge of each state (None for the initial state).
+    parents: Vec<Option<(usize, Action)>>,
+}
+
+impl Search {
+    fn trace(&self, mut id: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some((prev, action)) = &self.parents[id] {
+            out.push(fmt_action(action));
+            id = *prev;
+        }
+        out.reverse();
+        out
+    }
+}
+
+fn inspect(id: usize, search: &Search, cfg: &ModelConfig, report: &mut ModelReport) {
+    let s = &search.states[id];
+    let root = match s
+        .nodes
+        .iter()
+        .position(|nd| nd.alive && nd.parent == NO_PARENT)
+    {
+        Some(r) => r,
+        // The root itself died: global detection is over, neither
+        // invariant applies.
+        None => return,
+    };
+
+    let emission_allowed = !cfg.hold_after_drop || s.nodes[root].waiting == 0;
+    if emission_allowed && report.missed_subtree.is_none() {
+        let covered = covered_mask(&s.nodes, root);
+        let missed = (0..cfg.n).any(|v| s.nodes[v].alive && covered & bit(v as u8) == 0);
+        if missed {
+            report.missed_subtree = Some(search.trace(id));
+        }
+    }
+
+    if report.orphan_dead_end.is_none() {
+        let stranded = (0..cfg.n).any(|v| {
+            let nd = &s.nodes[v];
+            nd.alive
+                && nd.parent != NO_PARENT
+                && !s.nodes[nd.parent as usize].alive
+                && nd.adopting.is_none()
+                && !cfg.hints[v].is_empty()
+                && cfg.hints[v].iter().all(|&t| nd.failed & bit(t) != 0)
+        });
+        if stranded {
+            report.orphan_dead_end = Some(search.trace(id));
+        }
+    }
+}
+
+/// Exhaustively explores `cfg` by breadth-first search (so every
+/// recorded counterexample trace is shortest-possible) and reports the
+/// verdicts.
+pub fn check(cfg: &ModelConfig) -> ModelReport {
+    let mut report = ModelReport {
+        explored: 0,
+        truncated: false,
+        missed_subtree: None,
+        stale_accept: None,
+        orphan_dead_end: None,
+    };
+    let init = initial(cfg);
+    let mut search = Search {
+        ids: HashMap::new(),
+        states: vec![init.clone()],
+        parents: vec![None],
+    };
+    search.ids.insert(init, 0);
+    inspect(0, &search, cfg, &mut report);
+    let mut queue = VecDeque::from([0usize]);
+
+    'bfs: while let Some(id) = queue.pop_front() {
+        let current = search.states[id].clone();
+        for (action, next, stale) in successors(&current, cfg) {
+            if stale && report.stale_accept.is_none() {
+                let mut t = search.trace(id);
+                t.push(fmt_action(&action));
+                report.stale_accept = Some(t);
+            }
+            if search.ids.contains_key(&next) {
+                continue;
+            }
+            if search.states.len() >= cfg.max_states {
+                report.truncated = true;
+                break 'bfs;
+            }
+            let next_id = search.states.len();
+            search.ids.insert(next.clone(), next_id);
+            search.states.push(next);
+            search.parents.push(Some((id, action)));
+            queue.push_back(next_id);
+            inspect(next_id, &search, cfg, &mut report);
+        }
+    }
+
+    report.explored = search.states.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_chain_is_safe_and_never_strands_anyone() {
+        let report = check(&ModelConfig::chain4());
+        assert!(report.safety_ok(), "{report:?}");
+        assert!(report.orphan_dead_end.is_none(), "{report:?}");
+        // The abstraction collapses hard (single hint rungs, one
+        // crash): exhaustive here means a few dozen distinct states.
+        assert!(report.explored > 20, "exploration actually happened");
+    }
+
+    #[test]
+    fn immediate_prune_without_hold_misses_a_live_subtree() {
+        let report = check(&ModelConfig::chain4().without_hold());
+        let trace = report
+            .missed_subtree
+            .expect("the prune/adopt race is reachable");
+        // Minimal counterexample: one crash, then the parent prunes —
+        // the root can now emit while the orphan subtree is live.
+        assert_eq!(trace.len(), 2, "{trace:?}");
+        assert!(trace[0].starts_with("Crash("), "{trace:?}");
+        assert!(trace[1].starts_with("DetectChild("), "{trace:?}");
+        assert!(report.stale_accept.is_none(), "fencing still on");
+    }
+
+    #[test]
+    fn unfenced_ack_is_accepted_stale() {
+        let report = check(&ModelConfig::chain4().without_fencing());
+        let trace = report.stale_accept.expect("a stale ack slips through");
+        assert!(
+            trace
+                .iter()
+                .any(|a| a.starts_with("Duplicate(") || a.starts_with("Abandon(")),
+            "staleness needs a duplicate or a retired attempt: {trace:?}"
+        );
+        assert!(report.missed_subtree.is_none(), "hold still on");
+    }
+
+    #[test]
+    fn double_crash_storm_reaches_the_orphan_dead_end_safely() {
+        let report = check(&ModelConfig::chain4().crashes(2).dups(0));
+        assert!(report.safety_ok(), "{report:?}");
+        let trace = report
+            .orphan_dead_end
+            .expect("exhausted hint ladder is reachable");
+        assert!(
+            trace.iter().any(|a| a.starts_with("Abandon(")),
+            "the dead end goes through the knock budget: {trace:?}"
+        );
+        assert_eq!(
+            trace.iter().filter(|a| a.starts_with("Crash(")).count(),
+            2,
+            "needs both crashes: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn deep_hint_ladder_rescues_the_double_crash_orphan() {
+        // Same storm as above, but every node knows all its ancestors:
+        // the knock budget writes off the dead rung and the fallback
+        // rung adopts — no reachable state strands a live node.
+        let report = check(&ModelConfig::chain4().crashes(2).dups(0).with_deep_hints());
+        assert!(report.safety_ok(), "{report:?}");
+        assert!(
+            report.orphan_dead_end.is_none(),
+            "the ladder reaches the root: {report:?}"
+        );
+    }
+
+    #[test]
+    fn checker_is_deterministic() {
+        for cfg in [
+            ModelConfig::chain4(),
+            ModelConfig::chain4().without_hold(),
+            ModelConfig::chain4().crashes(2).dups(0),
+        ] {
+            assert_eq!(check(&cfg), check(&cfg));
+        }
+    }
+
+    #[test]
+    fn five_node_chain_stays_tractable() {
+        let report = check(&ModelConfig::chain(5));
+        assert!(report.safety_ok(), "{report:?}");
+        assert!(!report.truncated);
+    }
+}

@@ -47,7 +47,7 @@ use ftscp_core::report::GlobalDetection;
 use ftscp_core::transport::{MonitorCore, Transport};
 use ftscp_simnet::SimTime;
 use ftscp_vclock::ProcessId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -510,9 +510,13 @@ struct MainState {
     /// The peer the live uplink is dialed at (≠ `core.parent()` while an
     /// adoption handshake is in flight).
     uplink_peer: Option<ProcessId>,
-    /// Grandparent hint from the parent's `Uplink` frames: whom to dial
-    /// if the parent dies.
-    gp_hint: Option<(ProcessId, SocketAddr)>,
+    /// Address book built from the parent's `Uplink` frames: every
+    /// ancestor ever hinted, by id. The core's membership ladder picks
+    /// *which* ancestor to adopt toward (freshest hint first, written-off
+    /// targets skipped); this map answers *where* to dial it — so a
+    /// fallback target from an older hint is reachable even after the
+    /// freshest one turned out to be dead.
+    hint_addrs: BTreeMap<ProcessId, SocketAddr>,
     feeds_done: usize,
     child_fins: BTreeSet<ProcessId>,
     fin_sent: bool,
@@ -604,7 +608,7 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
         peer_conn: HashMap::new(),
         uplink: None,
         uplink_peer: None,
-        gp_hint: None,
+        hint_addrs: BTreeMap::new(),
         feeds_done: 0,
         child_fins: BTreeSet::new(),
         fin_sent: false,
@@ -750,17 +754,14 @@ fn membership_round(st: &mut MainState, shared: &Shared, timeout: SimTime) {
                 if st.uplink_peer == Some(target) && st.uplink.is_some() {
                     // Already dialed at the target: (re-)knock directly.
                     st.with_transport(|core, t| core.send_adoption_request(t));
-                } else if let Some((gp, addr)) = st.gp_hint {
-                    if gp == target {
-                        *shared.uplink_target.lock().expect("target lock") = Some((gp, addr));
-                        // Sever the current socket (if any): the uplink
-                        // thread re-reads the target and dials the
-                        // grandparent.
-                        if let Some(stream) =
-                            shared.uplink_stream.lock().expect("uplink lock").as_ref()
-                        {
-                            let _ = stream.shutdown(Shutdown::Both);
-                        }
+                } else if let Some(&addr) = st.hint_addrs.get(&target) {
+                    *shared.uplink_target.lock().expect("target lock") = Some((target, addr));
+                    // Sever the current socket (if any): the uplink
+                    // thread re-reads the target and dials the new
+                    // adoption candidate.
+                    if let Some(stream) = shared.uplink_stream.lock().expect("uplink lock").as_ref()
+                    {
+                        let _ = stream.shutdown(Shutdown::Both);
                     }
                 }
             }
@@ -821,7 +822,9 @@ fn handle_msg(st: &mut MainState, shared: &Shared, conn: u64, msg: NetMsg) {
             if conn != 0 {
                 return; // the hint only makes sense from the parent direction
             }
-            st.gp_hint = parent.and_then(|(p, addr)| addr.parse().ok().map(|a| (p, a)));
+            if let Some((p, a)) = parent.and_then(|(p, addr)| addr.parse().ok().map(|a| (p, a))) {
+                st.hint_addrs.insert(p, a);
+            }
         }
     }
 }

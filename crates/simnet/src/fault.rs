@@ -26,6 +26,9 @@
 
 use crate::node::NodeId;
 use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -173,6 +176,106 @@ impl FaultPlan {
         out
     }
 
+    /// Synthesizes a randomized plan from `seed` — the fuel of the DST
+    /// campaign (`ftscp-dst`). The plan is a pure function of
+    /// `(params, seed)`: the same pair always yields the identical plan,
+    /// so a failing campaign seed replays byte-for-byte and shrinks
+    /// deterministically. Randomization covers every fault primitive:
+    ///
+    /// * up to `max_crashes` crash-stops with distinct victims at
+    ///   randomized times — collapsed onto one instant with probability
+    ///   `storm_prob` (a k-simultaneous failure storm, the compound
+    ///   scenario scripted suites never cover);
+    /// * each victim restarts later with probability `restart_prob`
+    ///   (crash-recovery; the deployment must have checkpointing for
+    ///   state to survive);
+    /// * up to `max_partitions` non-overlapping partition windows, each
+    ///   cutting a random proper subset of the network and healing
+    ///   before the next opens;
+    /// * a message-duplication window and an extra-delay reordering
+    ///   window, each present with its configured probability;
+    /// * per-node timer skew with probability `skew_prob`.
+    pub fn randomized(params: &FaultPlanParams, seed: u64) -> FaultPlan {
+        assert!(params.n >= 2, "randomized plans need at least two nodes");
+        assert!(params.horizon > SimTime::ZERO, "empty fault horizon");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let horizon = params.horizon.0;
+        let mut plan = FaultPlan::new();
+
+        // Crashes (possibly a simultaneous storm), then their restarts.
+        let crash_cap = params.max_crashes.min(params.n.saturating_sub(2));
+        let crashes = if crash_cap == 0 {
+            0
+        } else {
+            rng.gen_range(0..=crash_cap)
+        };
+        let mut victims: Vec<u32> = (0..params.n as u32).collect();
+        victims.shuffle(&mut rng);
+        victims.truncate(crashes);
+        let storm = crashes >= 2 && rng.gen_bool(params.storm_prob);
+        let storm_at = rng.gen_range(1..=horizon);
+        for &v in &victims {
+            let at = if storm {
+                storm_at
+            } else {
+                rng.gen_range(1..=horizon)
+            };
+            plan = plan.crash_at(SimTime(at), NodeId(v));
+            if rng.gen_bool(params.restart_prob) {
+                let back = rng.gen_range(at + 1..=horizon + horizon / 2 + 2);
+                plan = plan.restart_at(SimTime(back), NodeId(v));
+            }
+        }
+
+        // Non-overlapping partition windows (Heal clears every cut, so
+        // overlapping windows would heal each other early).
+        let partitions = if params.max_partitions == 0 {
+            0
+        } else {
+            rng.gen_range(0..=params.max_partitions)
+        };
+        let mut cursor = 1u64;
+        for _ in 0..partitions {
+            if cursor + 2 > horizon {
+                break;
+            }
+            let from = rng.gen_range(cursor..=horizon - 1);
+            let to = rng.gen_range(from + 1..=horizon);
+            let side_len = rng.gen_range(1..params.n);
+            let mut side: Vec<u32> = (0..params.n as u32).collect();
+            side.shuffle(&mut rng);
+            side.truncate(side_len);
+            let side: Vec<NodeId> = side.into_iter().map(NodeId).collect();
+            plan = plan.partition_at(SimTime(from), &side).heal_at(SimTime(to));
+            cursor = to + 1;
+        }
+
+        // Duplication and reordering windows.
+        if rng.gen_bool(params.duplication_prob) {
+            let from = rng.gen_range(0..horizon);
+            let to = rng.gen_range(from + 1..=horizon);
+            let prob = rng.gen_range(0.1..=1.0);
+            plan = plan.duplicate_between(SimTime(from), SimTime(to), prob);
+        }
+        if rng.gen_bool(params.reorder_prob) {
+            let from = rng.gen_range(0..horizon);
+            let to = rng.gen_range(from + 1..=horizon);
+            let window = rng.gen_range(1..=horizon / 4 + 1);
+            let prob = rng.gen_range(0.1..=1.0);
+            plan = plan.reorder_between(SimTime(from), SimTime(to), SimTime(window), prob);
+        }
+
+        // Timer skew: one node's clock runs fast or slow.
+        if rng.gen_bool(params.skew_prob) {
+            let node = NodeId(rng.gen_range(0..params.n as u32));
+            let &(num, den) = [(5u32, 4u32), (3, 2), (2, 1), (4, 5), (2, 3)]
+                .choose(&mut rng)
+                .expect("non-empty");
+            plan = plan.skew_timers_at(SimTime(rng.gen_range(0..horizon)), node, num, den);
+        }
+        plan
+    }
+
     /// All restart times per node.
     pub fn restarts(&self) -> Vec<(SimTime, NodeId)> {
         let mut out: Vec<(SimTime, NodeId)> = self
@@ -185,6 +288,64 @@ impl FaultPlan {
             .collect();
         out.sort();
         out
+    }
+}
+
+/// Knobs of [`FaultPlan::randomized`]: the network size, the time window
+/// faults may land in, and per-primitive intensity. The defaults from
+/// [`FaultPlanParams::for_network`] exercise every primitive with enough
+/// probability that a few hundred seeds cover all combinations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlanParams {
+    /// Network size (victims and partition sides are drawn from `0..n`).
+    pub n: usize,
+    /// Latest injection time; restarts may land up to 50% past it so a
+    /// crash near the horizon still gets its recovery.
+    pub horizon: SimTime,
+    /// Cap on crash-stops per plan (further capped at `n - 2` so at
+    /// least two nodes always survive).
+    pub max_crashes: usize,
+    /// Probability that a crashed node restarts later.
+    pub restart_prob: f64,
+    /// Probability that a multi-crash plan collapses all crash times
+    /// onto one instant — a k-simultaneous failure storm.
+    pub storm_prob: f64,
+    /// Cap on partition/heal windows per plan.
+    pub max_partitions: usize,
+    /// Probability of a message-duplication window.
+    pub duplication_prob: f64,
+    /// Probability of a reordering (extra-delay) window.
+    pub reorder_prob: f64,
+    /// Probability of a timer-skew operation.
+    pub skew_prob: f64,
+}
+
+impl FaultPlanParams {
+    /// Default intensities for an `n`-node network with faults injected
+    /// across `horizon`.
+    pub fn for_network(n: usize, horizon: SimTime) -> Self {
+        FaultPlanParams {
+            n,
+            horizon,
+            max_crashes: 3,
+            restart_prob: 0.4,
+            storm_prob: 0.3,
+            max_partitions: 2,
+            duplication_prob: 0.4,
+            reorder_prob: 0.5,
+            skew_prob: 0.3,
+        }
+    }
+
+    /// Restricts the plan to crash/restart faults only (no partitions,
+    /// duplication, reordering, or skew) — used by campaign modes whose
+    /// remaining fault coverage is tracked as a known-open ROADMAP item.
+    pub fn crash_only(mut self) -> Self {
+        self.max_partitions = 0;
+        self.duplication_prob = 0.0;
+        self.reorder_prob = 0.0;
+        self.skew_prob = 0.0;
+        self
     }
 }
 
@@ -218,9 +379,15 @@ impl ActiveFaults {
     }
 
     /// Applies `node`'s current clock skew to a timer delay.
+    ///
+    /// Rounds up: a fast clock (`num < den`) must never scale a
+    /// positive delay to zero, or an application that re-arms a timer
+    /// for the remaining time to a fixed deadline (the monitor's
+    /// interval schedule does) spins forever at one instant — the
+    /// skewed timer keeps firing "early" at the same simulated time.
     pub fn timer_delay(&self, node: NodeId, delay: SimTime) -> SimTime {
         match self.skew.get(&node.0) {
-            Some(&(num, den)) => SimTime(delay.0 * u64::from(num) / u64::from(den)),
+            Some(&(num, den)) => SimTime((delay.0 * u64::from(num)).div_ceil(u64::from(den))),
             None => delay,
         }
     }
@@ -358,5 +525,101 @@ mod tests {
     #[should_panic(expected = "empty duplication window")]
     fn degenerate_windows_rejected() {
         let _ = FaultPlan::new().duplicate_between(SimTime(5), SimTime(5), 0.1);
+    }
+
+    #[test]
+    fn randomized_plans_are_pure_functions_of_seed() {
+        let params = FaultPlanParams::for_network(9, SimTime::from_millis(500));
+        for seed in 0..64 {
+            assert_eq!(
+                FaultPlan::randomized(&params, seed),
+                FaultPlan::randomized(&params, seed),
+                "seed {seed} must replay identically"
+            );
+        }
+        // Sensitivity: across a window of seeds the plans are not all
+        // equal (any single pair may collide on an empty plan).
+        let distinct: std::collections::BTreeSet<usize> = (0..64)
+            .map(|s| FaultPlan::randomized(&params, s).len())
+            .collect();
+        assert!(distinct.len() > 1, "seeds must actually vary the plan");
+    }
+
+    #[test]
+    fn randomized_plans_respect_caps() {
+        let horizon = SimTime::from_millis(300);
+        let params = FaultPlanParams::for_network(5, horizon);
+        for seed in 0..256 {
+            let plan = FaultPlan::randomized(&params, seed);
+            let crashes = plan.crashes();
+            assert!(crashes.len() <= 3, "seed {seed}: crash cap is n - 2");
+            let victims: std::collections::BTreeSet<u32> =
+                crashes.iter().map(|&(_, n)| n.0).collect();
+            assert_eq!(victims.len(), crashes.len(), "victims are distinct");
+            for (t, op) in plan.sorted_ops() {
+                assert!(
+                    t <= SimTime(horizon.0 + horizon.0 / 2 + 2),
+                    "seed {seed}: op beyond the horizon"
+                );
+                if let FaultOp::Partition(side) = op {
+                    assert!(!side.is_empty() && side.len() < 5, "proper subset");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storms_produce_simultaneous_crashes() {
+        let params = FaultPlanParams {
+            storm_prob: 1.0,
+            max_crashes: 3,
+            ..FaultPlanParams::for_network(8, SimTime::from_millis(200))
+        };
+        let storm_seed = (0..200)
+            .find(|&s| FaultPlan::randomized(&params, s).crashes().len() >= 2)
+            .expect("some seed yields a multi-crash plan");
+        let crashes = FaultPlan::randomized(&params, storm_seed).crashes();
+        let t0 = crashes[0].0;
+        assert!(
+            crashes.iter().all(|&(t, _)| t == t0),
+            "storm collapses all crash times onto one instant"
+        );
+    }
+
+    #[test]
+    fn fast_clock_skew_never_scales_a_delay_to_zero() {
+        // Regression: campaign seed 30 livelocked because a 2/3 clock
+        // truncated a 1µs re-armed delay to 0, so the monitor's
+        // deadline-chasing interval timer re-fired at the same instant
+        // forever. The skew must round up.
+        let mut faults = ActiveFaults::default();
+        let mut alive = vec![true; 2];
+        faults.apply(
+            &FaultOp::TimerSkew {
+                node: NodeId(1),
+                num: 2,
+                den: 3,
+            },
+            &mut alive,
+            2,
+        );
+        assert_eq!(faults.timer_delay(NodeId(1), SimTime(1)), SimTime(1));
+        assert_eq!(faults.timer_delay(NodeId(1), SimTime(3)), SimTime(2));
+        assert_eq!(faults.timer_delay(NodeId(1), SimTime(0)), SimTime(0));
+        // Exact multiples are untouched by the rounding.
+        assert_eq!(faults.timer_delay(NodeId(1), SimTime(300)), SimTime(200));
+    }
+
+    #[test]
+    fn crash_only_plans_carry_no_other_primitives() {
+        let params = FaultPlanParams::for_network(6, SimTime::from_millis(200)).crash_only();
+        for seed in 0..128 {
+            for (_, op) in FaultPlan::randomized(&params, seed).sorted_ops() {
+                assert!(
+                    matches!(op, FaultOp::Crash(_) | FaultOp::Restart(_)),
+                    "seed {seed}: unexpected op {op:?}"
+                );
+            }
+        }
     }
 }

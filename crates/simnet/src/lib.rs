@@ -39,7 +39,7 @@ pub mod time;
 pub mod topology;
 
 pub use event::TimerToken;
-pub use fault::{ActiveFaults, FaultOp, FaultPlan};
+pub use fault::{ActiveFaults, FaultOp, FaultPlan, FaultPlanParams};
 pub use metrics::{NetMetrics, NodeMetrics};
 pub use node::NodeId;
 pub use sim::{Application, Ctx, LinkModel, SimConfig, Simulation};
