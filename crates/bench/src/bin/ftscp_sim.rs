@@ -19,7 +19,9 @@
 //! vs deep clock clones, encoded bytes per interval dense vs delta, plus
 //! a `repair` row measuring the decentralized crash-recovery protocol
 //! (re-report traffic and simulated time-to-first-solution after a
-//! mid-run internal-node crash on the `h = 3` workload).
+//! mid-run internal-node crash on the `h = 3` workload), and a `reactor`
+//! row driving one real-TCP node through a 512-connection fan-in on a
+//! single epoll loop (`ftscp_net::scale::run_scale`).
 //!
 //! `--bench-check` regenerates the same grid in memory and exits nonzero
 //! if any deterministic cost counter regressed more than 10% against the
@@ -380,6 +382,62 @@ fn bench_repair() -> RepairRun {
     }
 }
 
+/// The `reactor` row: one real-TCP root node sustaining a 512-child
+/// fan-in on a single epoll loop (`ftscp_net::scale::run_scale`, the
+/// same harness as `net/tests/scale.rs`). Heartbeats and retransmits
+/// are off, so `detections`, `bytes_received` (the children's protocol
+/// payload), and `reconnects` are deterministic and gated; `syscalls`
+/// is scheduling-dependent and `elapsed_ms`/`intervals_per_sec` are
+/// wall-clock — reported, never gated.
+struct ReactorRun {
+    available: bool,
+    children: usize,
+    rounds: u64,
+    intervals: u64,
+    detections: usize,
+    bytes_sent: u64,
+    bytes_received: u64,
+    reconnects: u64,
+    syscalls: u64,
+    intervals_per_sec: f64,
+    elapsed_ms: f64,
+}
+
+fn bench_reactor() -> ReactorRun {
+    use ftscp_net::scale::run_scale;
+
+    let children = 512usize;
+    let rounds = 3u64;
+    let mut run = ReactorRun {
+        available: false,
+        children,
+        rounds,
+        intervals: 0,
+        detections: 0,
+        bytes_sent: 0,
+        bytes_received: 0,
+        reconnects: 0,
+        syscalls: 0,
+        intervals_per_sec: 0.0,
+        elapsed_ms: 0.0,
+    };
+    let report = match run_scale(children, rounds, std::time::Duration::from_secs(120)) {
+        Ok(Some(r)) => r,
+        // Socketless environment or an unraisable fd limit: record zeros.
+        Ok(None) | Err(_) => return run,
+    };
+    run.available = true;
+    run.intervals = (children as u64 + 1) * rounds;
+    run.detections = report.node.detections.len();
+    run.bytes_sent = report.node.bytes_sent;
+    run.bytes_received = report.node.bytes_received;
+    run.reconnects = report.node.reconnects;
+    run.syscalls = report.node.syscalls;
+    run.elapsed_ms = report.elapsed.as_secs_f64() * 1e3;
+    run.intervals_per_sec = run.intervals as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    run
+}
+
 /// Runs the whole measurement grid — every `(point, sweep mode)`
 /// deployment plus one codec pass per point — as independent jobs on the
 /// sharded worker pool, then assembles and cross-checks the points.
@@ -486,7 +544,12 @@ fn bench_points() -> Vec<BenchPoint> {
     points
 }
 
-fn render_bench_json(points: &[BenchPoint], net: &NetRun, repair: &RepairRun) -> String {
+fn render_bench_json(
+    points: &[BenchPoint],
+    net: &NetRun,
+    repair: &RepairRun,
+    reactor: &ReactorRun,
+) -> String {
     // Hand-formatted JSON: the build environment has no serde_json.
     let mut out = String::new();
     out.push_str("{\n");
@@ -553,7 +616,7 @@ fn render_bench_json(points: &[BenchPoint], net: &NetRun, repair: &RepairRun) ->
         "  \"net_loopback\": {{\"available\": {}, \"n\": {}, \"intervals\": {}, \
          \"detections\": {}, \"interval_msgs\": {}, \"interval_frames\": {}, \
          \"standalone_frames\": {}, \"bytes_on_wire\": {}, \"reconnects\": {}, \
-         \"intervals_per_sec\": {:.0}, \"elapsed_ms\": {:.3}}}\n",
+         \"intervals_per_sec\": {:.0}, \"elapsed_ms\": {:.3}}},\n",
         net.available,
         net.n,
         net.intervals,
@@ -566,6 +629,23 @@ fn render_bench_json(points: &[BenchPoint], net: &NetRun, repair: &RepairRun) ->
         net.intervals_per_sec,
         net.elapsed_ms
     ));
+    out.push_str(&format!(
+        "  \"reactor\": {{\"available\": {}, \"children\": {}, \"rounds\": {}, \
+         \"intervals\": {}, \"detections\": {}, \"bytes_sent\": {}, \
+         \"bytes_received\": {}, \"reconnects\": {}, \"syscalls\": {}, \
+         \"intervals_per_sec\": {:.0}, \"elapsed_ms\": {:.3}}}\n",
+        reactor.available,
+        reactor.children,
+        reactor.rounds,
+        reactor.intervals,
+        reactor.detections,
+        reactor.bytes_sent,
+        reactor.bytes_received,
+        reactor.reconnects,
+        reactor.syscalls,
+        reactor.intervals_per_sec,
+        reactor.elapsed_ms
+    ));
     out.push_str("}\n");
     out
 }
@@ -576,10 +656,14 @@ fn run_bench_json() {
     let points = bench_points();
     let net = bench_net_loopback();
     let repair = bench_repair();
+    let reactor = bench_reactor();
     if !net.available {
         eprintln!("note: loopback sockets unavailable — net_loopback row records zeros");
     }
-    let out = render_bench_json(&points, &net, &repair);
+    if !reactor.available {
+        eprintln!("note: reactor scale run unavailable — reactor row records zeros");
+    }
+    let out = render_bench_json(&points, &net, &repair, &reactor);
     std::fs::write(BENCH_JSON_PATH, &out).expect("write BENCH_hotpath.json");
     print!("{out}");
     eprintln!("written to {BENCH_JSON_PATH}");
@@ -649,7 +733,8 @@ fn run_bench_check() {
         .unwrap_or_else(|e| panic!("read committed {BENCH_JSON_PATH}: {e}"));
     let net = bench_net_loopback();
     let repair = bench_repair();
-    let current = render_bench_json(&bench_points(), &net, &repair);
+    let reactor = bench_reactor();
+    let current = render_bench_json(&bench_points(), &net, &repair, &reactor);
 
     let mut failures = Vec::new();
     for (section, key) in GATED_KEYS {
@@ -703,6 +788,40 @@ fn run_bench_check() {
         eprintln!(
             "bench check: net_loopback counters not gated (loopback sockets unavailable {})",
             if net.available {
+                "in the committed baseline"
+            } else {
+                "here"
+            }
+        );
+    }
+
+    // The reactor row gates the same way: only when both sides could run
+    // the 512-connection fan-in. `detections` and `bytes_received` (the
+    // children's protocol payload) are deterministic with heartbeats and
+    // retransmits off; `reconnects` must stay at its committed value
+    // (zero — any reconnect under loopback is a reactor bug). `syscalls`
+    // and wall-clock are scheduling-dependent and never gated.
+    const REACTOR_GATED_KEYS: [&str; 3] = ["detections", "bytes_received", "reconnects"];
+    let committed_reactor_available = extract_all(&committed, "reactor", "intervals") != vec![0.0];
+    if reactor.available && committed_reactor_available {
+        for key in REACTOR_GATED_KEYS {
+            let was = extract_all(&committed, "reactor", key);
+            let now = extract_all(&current, "reactor", key);
+            match (was.first(), now.first()) {
+                (Some(w), Some(n)) if *n > w * 1.10 => {
+                    failures.push(format!("\"reactor.{key}\" regressed {w:.1} -> {n:.1}",))
+                }
+                (Some(_), Some(_)) => {}
+                _ => failures.push(format!(
+                    "committed bench JSON lacks \"reactor.{key}\" \
+                     (regenerate with --bench-json)"
+                )),
+            }
+        }
+    } else {
+        eprintln!(
+            "bench check: reactor counters not gated (scale run unavailable {})",
+            if reactor.available {
                 "in the committed baseline"
             } else {
                 "here"

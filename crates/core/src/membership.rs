@@ -13,11 +13,14 @@
 //!   ride on every [`Heartbeat`](crate::protocol::DetectMsg::Heartbeat),
 //!   so stale beacons from a previous incarnation and stale adoption
 //!   handshakes are rejected deterministically;
-//! * heartbeats also carry the sender's **parent**, so every child
+//! * heartbeats also carry the sender's **ancestor chain** (its parent
+//!   plus the rungs above, relayed one edge per beacon), so every child
 //!   passively learns its *grandparent* — the preferred adopter of
 //!   §III-F's reattachment rule (the same preference
 //!   [`tree::reconnect`](ftscp_tree::SpanningTree::handle_failure)
-//!   encodes for the clairvoyant oracle);
+//!   encodes for the clairvoyant oracle) — and, behind it, the full
+//!   fallback ladder of great-grandparents for the storm where the
+//!   grandparent died with the parent;
 //! * when heartbeat suspicion (`MonitorCore::suspects`) fires, a node
 //!   that lost a **child** drops the dead queue locally, and a node that
 //!   lost its **parent** runs the adoption handshake:
@@ -96,6 +99,12 @@ pub enum MembershipEvent {
 /// after the fourth knock instead of forever.
 pub const ADOPT_ATTEMPT_CAP: u32 = 4;
 
+/// Longest ancestor chain carried on a heartbeat (and remembered from
+/// one). Deep enough to climb any realistic monitor hierarchy — the
+/// paper's trees are logarithmic, so 8 rungs cover hundreds of nodes —
+/// while bounding the beacon's wire size.
+pub const ANCESTOR_HINT_CAP: usize = 8;
+
 /// Per-node membership view: own epoch, the freshest epoch heard from
 /// each peer, the grandparent hint history, and the repair state machine.
 #[derive(Clone, Debug)]
@@ -103,6 +112,15 @@ pub struct Membership {
     epoch: u64,
     peer_epochs: BTreeMap<ProcessId, u64>,
     grandparent: Option<ProcessId>,
+    /// This node's ancestors *above its own parent*, nearest first — the
+    /// chain carried by the parent's last heartbeat ([grandparent,
+    /// great-grandparent, …], capped at [`ANCESTOR_HINT_CAP`]). Relayed
+    /// verbatim as the `ancestors` field of this node's own heartbeats,
+    /// so chains propagate one edge per beacon down the tree. May go
+    /// stale across a re-parenting until the new parent's first beacon
+    /// overwrites it — chains are hints, and the knock budget handles
+    /// hints that turn out to be corpses.
+    above_parent: Vec<ProcessId>,
     /// Every distinct grandparent hint ever heard, most recent last — the
     /// fallback-adopter ladder when the freshest hint turns out to be a
     /// corpse (the parent re-parented over its lifetime, so older hints
@@ -125,6 +143,7 @@ impl Membership {
             epoch,
             peer_epochs: BTreeMap::new(),
             grandparent: None,
+            above_parent: Vec::new(),
             hint_history: Vec::new(),
             failed_targets: Vec::new(),
             attempts: 0,
@@ -166,14 +185,45 @@ impl Membership {
     pub fn note_grandparent(&mut self, grandparent: Option<ProcessId>) {
         self.grandparent = grandparent;
         if let Some(g) = grandparent {
-            if self.hint_history.last() != Some(&g) {
-                if !self.hint_history.contains(&g) {
-                    self.failed_targets.clear();
-                }
-                self.hint_history.retain(|&h| h != g);
-                self.hint_history.push(g);
-            }
+            self.note_hint(g);
         }
+    }
+
+    /// Folds one adoption hint into the ladder (most recent last; a
+    /// never-seen hint clears the failed-target memory).
+    fn note_hint(&mut self, hint: ProcessId) {
+        if self.hint_history.last() != Some(&hint) {
+            if !self.hint_history.contains(&hint) {
+                self.failed_targets.clear();
+            }
+            self.hint_history.retain(|&h| h != hint);
+            self.hint_history.push(hint);
+        }
+    }
+
+    /// Records the full ancestor chain carried by the parent's heartbeat:
+    /// `chain` is this node's ancestors above its own parent, nearest
+    /// first ([grandparent, great-grandparent, …]; empty when the parent
+    /// is a root). The nearest rung becomes the grandparent hint, every
+    /// rung enters the fallback ladder (farthest folded first, so
+    /// [`next_adoption_candidate`](Self::next_adoption_candidate) dials
+    /// nearest-first), and the capped chain is kept for relay on this
+    /// node's own heartbeats.
+    pub fn note_ancestors(&mut self, chain: &[ProcessId]) {
+        let chain = &chain[..chain.len().min(ANCESTOR_HINT_CAP)];
+        for &a in chain.iter().rev() {
+            self.note_hint(a);
+        }
+        self.grandparent = chain.first().copied();
+        self.above_parent.clear();
+        self.above_parent.extend_from_slice(chain);
+    }
+
+    /// This node's ancestors above its own parent, nearest first — what
+    /// its own heartbeats relay to its children as their chain beyond
+    /// the grandparent.
+    pub fn ancestor_chain(&self) -> &[ProcessId] {
+        &self.above_parent
     }
 
     /// The fallback-adopter ladder: every distinct grandparent hint ever
@@ -442,6 +492,50 @@ mod tests {
             m.next_adoption_candidate(ProcessId(1), Some(ProcessId(0))),
             Some(ProcessId(9))
         );
+    }
+
+    #[test]
+    fn ancestor_chain_feeds_the_ladder_nearest_first() {
+        let mut m = Membership::new(0);
+        // Parent's beacon: grandparent 2, great-grandparent 1, root 0.
+        m.note_ancestors(&[ProcessId(2), ProcessId(1), ProcessId(0)]);
+        assert_eq!(m.grandparent(), Some(ProcessId(2)));
+        assert_eq!(
+            m.ancestor_chain(),
+            &[ProcessId(2), ProcessId(1), ProcessId(0)],
+            "kept verbatim for relay on this node's own beacons"
+        );
+        // Ladder dials nearest first, then climbs.
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(9), None),
+            Some(ProcessId(2))
+        );
+        m.begin_adoption(ProcessId(2), None);
+        m.abandon_adoption_target();
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(9), None),
+            Some(ProcessId(1)),
+            "a dead grandparent falls back to the next rung up"
+        );
+        m.begin_adoption(ProcessId(1), None);
+        m.abandon_adoption_target();
+        assert_eq!(
+            m.next_adoption_candidate(ProcessId(9), None),
+            Some(ProcessId(0)),
+            "…all the way to the root"
+        );
+        // Repeated identical beacons keep the ladder stable.
+        let ladder = m.hint_history().to_vec();
+        m.note_ancestors(&[ProcessId(2), ProcessId(1), ProcessId(0)]);
+        assert_eq!(m.hint_history(), &ladder[..]);
+        // A root parent's beacon clears the chain (nothing above it).
+        m.note_ancestors(&[]);
+        assert_eq!(m.grandparent(), None);
+        assert!(m.ancestor_chain().is_empty());
+        // The cap bounds what is remembered and relayed.
+        let long: Vec<ProcessId> = (0..20).map(ProcessId).collect();
+        m.note_ancestors(&long);
+        assert_eq!(m.ancestor_chain().len(), ANCESTOR_HINT_CAP);
     }
 
     #[test]

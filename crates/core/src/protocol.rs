@@ -36,9 +36,11 @@ pub enum DetectMsg {
     },
     /// Liveness beacon exchanged along tree edges. Besides proving the
     /// sender alive it carries its incarnation (stale beacons from a dead
-    /// incarnation are rejected by epoch) and its current parent — the
-    /// grandparent hint that tells each child where to go when the sender
-    /// dies (§III-F's preferred adopter).
+    /// incarnation are rejected by epoch) and its ancestor chain: its
+    /// current parent — the grandparent hint that tells each child where
+    /// to go when the sender dies (§III-F's preferred adopter) — plus the
+    /// ancestors above it, so a child's fallback ladder reaches past a
+    /// grandparent that died together with the parent.
     Heartbeat {
         /// The beaconing node.
         from: ProcessId,
@@ -47,6 +49,11 @@ pub enum DetectMsg {
         /// The beaconing node's own parent (the receiver's grandparent
         /// when the receiver is a child of `from`); `None` at a root.
         parent: Option<ProcessId>,
+        /// The beaconing node's ancestors *above* `parent`, nearest
+        /// first, as learned from its own parent's heartbeats (capped at
+        /// [`crate::membership::ANCESTOR_HINT_CAP`]). Empty at a root or
+        /// when the parent's chain has not been heard yet.
+        ancestors: Vec<ProcessId>,
     },
     /// Cumulative acknowledgement: the parent has delivered every
     /// interval with `seq < upto` from `from`'s stream to its engine.
@@ -129,7 +136,9 @@ impl DetectMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             DetectMsg::Interval { interval, .. } => 8 + interval.wire_size(),
-            DetectMsg::Heartbeat { parent, .. } => 13 + 4 * usize::from(parent.is_some()),
+            DetectMsg::Heartbeat {
+                parent, ancestors, ..
+            } => 14 + 4 * (usize::from(parent.is_some()) + ancestors.len()),
             DetectMsg::Ack { .. } => 16,
             DetectMsg::SetParent { .. } => 9,
             DetectMsg::AddChild { .. } | DetectMsg::RemoveChild { .. } => 8,
@@ -289,14 +298,23 @@ mod tests {
             from: ProcessId(0),
             epoch: 0,
             parent: None,
+            ancestors: vec![],
         };
         assert!(hb.wire_size() < narrow.wire_size());
         let hb_with_hint = DetectMsg::Heartbeat {
             from: ProcessId(0),
             epoch: 0,
             parent: Some(ProcessId(1)),
+            ancestors: vec![],
         };
         assert!(hb_with_hint.wire_size() > hb.wire_size());
+        let hb_with_chain = DetectMsg::Heartbeat {
+            from: ProcessId(0),
+            epoch: 0,
+            parent: Some(ProcessId(1)),
+            ancestors: vec![ProcessId(2), ProcessId(3)],
+        };
+        assert!(hb_with_chain.wire_size() > hb_with_hint.wire_size());
     }
 
     fn iv(seq: u64, lo: Vec<u32>, hi: Vec<u32>) -> Interval {

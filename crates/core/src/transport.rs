@@ -111,6 +111,19 @@ pub struct MonitorCore {
     pub(crate) re_report_msgs: u64,
     /// Bytes billed for the re-report path (standalone frames).
     pub(crate) re_report_bytes: u64,
+    /// Hold-after-drop: children suspected dead whose queues are *kept*
+    /// until either the orphaned subtree reattaches (the `Adopt` that
+    /// names them as `dead_parent` finalizes the drop) or the deadline
+    /// expires (a dead leaf — no orphan is coming). While held, the
+    /// child's queue runs empty and an empty queue blocks conjunctive
+    /// emission — which is exactly the model's `waiting` gate: without
+    /// it, removing the queue releases solutions that were never checked
+    /// against the orphan subtree's intervals (the prune/adopt race).
+    pub(crate) held: BTreeMap<ProcessId, SimTime>,
+    /// Hold expiry window: the suspicion timeout observed on the last
+    /// membership tick (used to deadline holds opened by a `Suspect`
+    /// message between ticks).
+    pub(crate) hold_window: SimTime,
 }
 
 impl MonitorCore {
@@ -139,6 +152,8 @@ impl MonitorCore {
             membership: Membership::new(0),
             re_report_msgs: 0,
             re_report_bytes: 0,
+            held: BTreeMap::new(),
+            hold_window: SimTime::ZERO,
         }
     }
 
@@ -209,9 +224,18 @@ impl MonitorCore {
     }
 
     /// Records a liveness observation of `peer` (a received heartbeat, or
-    /// any session-layer evidence such as a completed handshake).
+    /// any session-layer evidence such as a completed handshake). Direct
+    /// evidence of life cancels a pending hold — a restarted child must
+    /// not have its (revived) queue garbage-collected by the expiry path.
     pub fn note_heartbeat(&mut self, peer: ProcessId, now: SimTime) {
         self.heartbeat_seen.insert(peer, now);
+        self.held.remove(&peer);
+    }
+
+    /// Children currently held (suspected dead, queue retained pending
+    /// reattachment or expiry) — for tests and telemetry.
+    pub fn held_children(&self) -> Vec<ProcessId> {
+        self.held.keys().copied().collect()
     }
 
     /// Tree peers this node beacons to: children plus parent.
@@ -224,11 +248,14 @@ impl MonitorCore {
     }
 
     /// Sends one heartbeat to every tree peer, carrying this node's
-    /// epoch and its parent (the grandparent hint for its children).
+    /// epoch and its ancestor chain: its parent (the grandparent hint for
+    /// its children) plus the rungs above it relayed from its own
+    /// parent's beacons.
     pub fn send_heartbeats(&mut self, t: &mut impl Transport) {
         let me = self.me;
         let epoch = self.membership.epoch();
         let parent = self.parent;
+        let ancestors = self.membership.ancestor_chain().to_vec();
         for peer in self.heartbeat_targets() {
             t.send(
                 peer,
@@ -236,6 +263,7 @@ impl MonitorCore {
                     from: me,
                     epoch,
                     parent,
+                    ancestors: ancestors.clone(),
                 },
             );
         }
@@ -260,13 +288,33 @@ impl MonitorCore {
             .collect()
     }
 
-    /// Drops a dead (or departed) child's queue and everything keyed to
-    /// it — the local half of §III-F repair.
+    /// Finalizes the drop of a dead (or departed) child: removes its
+    /// queue and everything keyed to it — the local half of §III-F
+    /// repair. Removing the queue *releases* solutions it was blocking,
+    /// so this must only run once the blocked solutions can no longer be
+    /// missing the dead child's subtree: after the orphan reattached
+    /// (its fresh, empty queue takes over the blocking) or after the
+    /// hold expired (no orphan is coming). Suspicion-driven paths go
+    /// through [`hold_dead_child`](Self::hold_dead_child) first.
     fn drop_dead_child(&mut self, child: ProcessId, t: &mut impl Transport) {
+        self.held.remove(&child);
         self.reorder.remove(&child);
         self.heartbeat_seen.remove(&child);
         let outputs = self.engine.remove_child(child);
         self.handle_outputs(t, outputs);
+    }
+
+    /// Hold-after-drop: marks `child` dead but *keeps its queue* until
+    /// `deadline`. The queue runs empty, and an empty queue blocks
+    /// conjunctive emission — so solutions computed while the orphaned
+    /// subtree is detached cannot be released missing its intervals.
+    /// The hold closes early when an `Adopt` naming `child` as the dead
+    /// parent arrives (reattachment) or any fresh-incarnation liveness
+    /// evidence shows up (restart); it expires on a later membership
+    /// tick otherwise (a dead leaf blocks nothing forever).
+    fn hold_dead_child(&mut self, child: ProcessId, deadline: SimTime) {
+        self.heartbeat_seen.remove(&child);
+        self.held.insert(child, deadline);
     }
 
     /// One decentralized failure-detection round: every suspect that is a
@@ -285,8 +333,27 @@ impl MonitorCore {
         t: &mut impl Transport,
     ) -> Vec<MembershipEvent> {
         let now = t.now();
+        self.hold_window = timeout;
+        // Expire holds whose reattachment window closed: the dead child
+        // led a subtree with no survivors (or none that reached us), so
+        // nothing is coming to take over the blocking. Finalize, which
+        // releases whatever the empty queue was holding back.
+        let expired: Vec<ProcessId> = self
+            .held
+            .iter()
+            .filter(|&(_, &deadline)| deadline <= now)
+            .map(|(&c, _)| c)
+            .collect();
+        for child in expired {
+            self.drop_dead_child(child, t);
+        }
         let mut events = Vec::new();
         for peer in self.suspects(now, timeout) {
+            // Already held: the drop decision is made, the queue is just
+            // waiting for the orphan's Adopt (or the expiry above).
+            if self.held.contains_key(&peer) {
+                continue;
+            }
             // Surgery needs evidence of life first: a peer never heard
             // from is a slow starter (real deployments stagger), not a
             // corpse — and without its heartbeats there is no grandparent
@@ -295,7 +362,7 @@ impl MonitorCore {
                 continue;
             }
             if self.engine.has_child(peer) {
-                self.drop_dead_child(peer, t);
+                self.hold_dead_child(peer, SimTime(now.0 + timeout.0));
                 events.push(MembershipEvent::ChildDropped(peer));
             } else if Some(peer) == self.parent {
                 if let RepairState::Adopting { target, .. } = *self.membership.state() {
@@ -327,6 +394,18 @@ impl MonitorCore {
             }
         }
         events
+    }
+
+    /// The hold-expiry window for holds opened between membership ticks:
+    /// the last tick's suspicion timeout, the configured suspect timeout,
+    /// or (before either is known) one extra beat of nothing — the next
+    /// tick will still see the hold and only expire it past the deadline.
+    fn effective_hold_window(&self) -> SimTime {
+        if self.hold_window > SimTime::ZERO {
+            self.hold_window
+        } else {
+            self.config.suspect_timeout.unwrap_or(SimTime::ZERO)
+        }
     }
 
     /// (Re-)sends the outstanding adoption handshake: `Suspect` (when a
@@ -583,6 +662,7 @@ impl MonitorCore {
                 from,
                 epoch,
                 parent,
+                ancestors,
             } => {
                 // Only tree neighbours are liveness peers; a heartbeat from
                 // anyone else (e.g. a node we already evicted) is noise.
@@ -594,19 +674,26 @@ impl MonitorCore {
                 if !self.membership.observe_peer_epoch(from, epoch) {
                     return;
                 }
-                self.heartbeat_seen.insert(from, t.now());
+                self.note_heartbeat(from, t.now());
                 if self.parent == Some(from) {
                     // The parent's own uplink is our adoption target if the
-                    // parent dies (§III-F grandparent adoption).
-                    self.membership.note_grandparent(parent);
+                    // parent dies (§III-F grandparent adoption), and the
+                    // chain above it is the fallback ladder for the storm
+                    // where that target died too.
+                    let mut chain = Vec::with_capacity(1 + ancestors.len());
+                    chain.extend(parent);
+                    chain.extend_from_slice(&ancestors);
+                    self.membership.note_ancestors(&chain);
                 }
             }
             DetectMsg::Suspect { suspect, .. } => {
                 // A grandchild reports our child dead ahead of our own
-                // timeout: evict eagerly so the Adopt that follows lands on
-                // a queue bank without the dead child's queue.
-                if self.engine.has_child(suspect) {
-                    self.drop_dead_child(suspect, t);
+                // timeout: open the hold eagerly so the Adopt that follows
+                // (usually in the same batch) lands on a queue bank where
+                // the dead child already blocks instead of emits.
+                if self.engine.has_child(suspect) && !self.held.contains_key(&suspect) {
+                    let deadline = SimTime(t.now().0 + self.effective_hold_window().0);
+                    self.hold_dead_child(suspect, deadline);
                 }
             }
             DetectMsg::Adopt {
@@ -631,19 +718,37 @@ impl MonitorCore {
                     );
                     return;
                 }
-                // The Adopt carries the dead parent so the handshake works
-                // even when the preceding Suspect was lost or reordered.
-                if let Some(dead) = dead_parent {
-                    if dead != self.me && self.engine.has_child(dead) {
-                        self.drop_dead_child(dead, t);
-                    }
-                }
+                // Add the orphan before touching the dead parent's queue:
+                // the orphan's fresh, empty queue blocks emission until
+                // its re-reports arrive (hold-after-drop; model-checked
+                // in `ftscp-dst`).
                 if !self.engine.has_child(child) {
                     self.engine.add_child(child);
                     // A fresh queue accepts any sequence number.
                     self.reorder.remove(&child);
                 }
-                self.heartbeat_seen.insert(child, t.now());
+                // The Adopt carries the dead parent so the handshake works
+                // even when the preceding Suspect was lost or reordered.
+                // It does NOT finalize the hold: the dead node may have
+                // had *several* orphan children, and releasing on the
+                // first one's arrival would emit solutions missing its
+                // siblings' subtrees. The hold runs its full window so
+                // every orphan gets the same grace period to reattach;
+                // expiry (next membership tick past the deadline) is the
+                // sole finalizer.
+                if let Some(dead) = dead_parent {
+                    if dead != self.me
+                        && self.engine.has_child(dead)
+                        && !self.held.contains_key(&dead)
+                    {
+                        // Suspect lost or reordered behind the Adopt: open
+                        // the hold here so the queue blocks instead of
+                        // lingering live forever.
+                        let deadline = SimTime(t.now().0 + self.effective_hold_window().0);
+                        self.hold_dead_child(dead, deadline);
+                    }
+                }
+                self.note_heartbeat(child, t.now());
                 t.send(
                     child,
                     DetectMsg::AdoptAck {
@@ -687,7 +792,7 @@ impl MonitorCore {
                 // the resync Interval may already have arrived (non-FIFO
                 // delivery) and seeded the new stream position.
                 self.membership.observe_peer_epoch(from, epoch);
-                self.heartbeat_seen.insert(from, t.now());
+                self.note_heartbeat(from, t.now());
             }
             DetectMsg::SetParent { parent } => {
                 self.parent = parent;
@@ -918,6 +1023,7 @@ mod tests {
                 from: ProcessId(2),
                 epoch: 7,
                 parent: Some(ProcessId(1)),
+                ancestors: vec![],
             },
             &mut t,
         );
@@ -943,6 +1049,7 @@ mod tests {
                 from: ProcessId(2),
                 epoch: 3,
                 parent: Some(ProcessId(1)),
+                ancestors: vec![],
             },
             &mut t,
         );
@@ -955,6 +1062,7 @@ mod tests {
                 from: ProcessId(2),
                 epoch: 2,
                 parent: Some(ProcessId(1)),
+                ancestors: vec![],
             },
             &mut t,
         );
@@ -964,6 +1072,7 @@ mod tests {
                 from: ProcessId(9),
                 epoch: 0,
                 parent: None,
+                ancestors: vec![],
             },
             &mut t,
         );
@@ -995,6 +1104,7 @@ mod tests {
                     from: ProcessId(0),
                     epoch: 0,
                     parent: Some(ProcessId(gp)),
+                    ancestors: vec![],
                 },
                 &mut t,
             );
@@ -1076,6 +1186,7 @@ mod tests {
                 from: ProcessId(0),
                 epoch: 0,
                 parent: Some(ProcessId(7)),
+                ancestors: vec![],
             },
             &mut t,
         );
@@ -1121,6 +1232,7 @@ mod tests {
                 from: ProcessId(0),
                 epoch: 0,
                 parent: Some(ProcessId(7)),
+                ancestors: vec![],
             },
             &mut t,
         );
@@ -1129,7 +1241,7 @@ mod tests {
         let events = core.membership_tick(timeout, &mut t);
         assert!(
             events.contains(&MembershipEvent::ChildDropped(ProcessId(2))),
-            "dead child dropped in the same tick"
+            "dead child dropped (held) in the same tick"
         );
         assert!(
             events.contains(&MembershipEvent::AdoptionStarted {
@@ -1137,7 +1249,21 @@ mod tests {
             }),
             "adoption toward the grandparent still starts"
         );
-        assert!(!core.engine().has_child(ProcessId(2)));
+        // Hold-after-drop: the queue stays (blocking emission) until the
+        // reattachment window closes; only then is the drop finalized.
+        assert_eq!(core.held_children(), vec![ProcessId(2)]);
+        assert!(
+            core.engine().has_child(ProcessId(2)),
+            "queue held, not yet removed"
+        );
+        t.now = SimTime::from_millis(1100); // past the hold deadline
+        let later = core.membership_tick(timeout, &mut t);
+        assert!(
+            !core.engine().has_child(ProcessId(2)),
+            "hold expired: finalized"
+        );
+        assert!(core.held_children().is_empty());
+        assert!(!later.contains(&MembershipEvent::ChildDropped(ProcessId(2))));
         core.send_adoption_request(&mut t);
         let epoch = core.membership().epoch();
         core.on_message(

@@ -128,6 +128,42 @@ fn crash_injection_preserves_survivor_solutions() {
     );
 }
 
+/// Hold-after-drop regression (the model checker's prune/adopt race,
+/// shipped per docs/DST.md §2). An internal monitor (node 1) crashes
+/// mid-stream under heartbeat-driven repair. Without the hold, the root
+/// finalizes Q₁'s removal the instant suspicion fires and — while nodes
+/// 3 and 4 are still re-adopting — emits solutions assembled from only
+/// {root, subtree 2}: eight-process "detections" that silently exclude
+/// six live survivors. With the hold, the dead child's queue is retired
+/// only after the full hold window, by which point the orphans have
+/// re-joined, so every detection covers all fourteen survivors.
+#[test]
+fn internal_crash_hold_prevents_narrow_detections_during_readoption() {
+    let n = 15;
+    for seed in [0u64, 9, 23] {
+        let (exec, topo, tree) = workload(n, 20, seed);
+        let cfg = DeployConfig {
+            repair_mode: RepairMode::HeartbeatDriven,
+            ..config(seed)
+        };
+        let mut dep = Deployment::new(topo, tree, &exec, cfg);
+        dep.apply_fault_plan(&FaultPlan::new().crash_at(SimTime::from_millis(60), NodeId(1)));
+        dep.run();
+        let dets = dep.detections();
+        assert!(verify_detections(&exec, &dets).is_empty(), "safety holds");
+        assert!(!dets.is_empty());
+        for d in dets.iter() {
+            assert_eq!(
+                d.covered_processes().len(),
+                n - 1,
+                "seed {seed}: every detection covers all fourteen survivors \
+                 (anything narrower means the root released solutions while \
+                 node 1's orphans were still re-adopting)"
+            );
+        }
+    }
+}
+
 /// Restart primitive: a crash-restart pair reboots the node from its
 /// checkpoint, rejoins it as a leaf, and full coverage returns.
 #[test]
@@ -278,12 +314,13 @@ fn fast_clock_skew_completes_losslessly() {
 /// together, so node 3's children find their grandparent hint already
 /// dead. Safety and determinism must survive the storm outright.
 ///
-/// What the current protocol recovers: node 4 re-adopts under the root,
-/// and nodes 7/8 exhaust their knock budget against dead node 1 and
-/// stay safely excluded (the bounded-retry dead end the model checker
-/// reaches as `orphan_dead_end`). Full re-adoption of that stranded
-/// pair is the open ROADMAP failure-storm item — asserted by the
-/// `#[ignore]`d companion below.
+/// Node 4 re-adopts under the root via its grandparent hint. Nodes 7/8
+/// knock at dead node 1 first, exhaust its budget, then fall back one
+/// rung up the ancestor chain their parent's heartbeats relayed — the
+/// root — and re-join there (the model checker's `with_deep_hints`
+/// escape from the `orphan_dead_end`). The companion test below asserts
+/// the full-recovery endpoint; this one pins safety and determinism of
+/// the storm itself.
 #[test]
 fn simultaneous_internal_crash_storm_stays_safe_and_deterministic() {
     let n = 15;
@@ -317,13 +354,15 @@ fn simultaneous_internal_crash_storm_stays_safe_and_deterministic() {
     );
 }
 
-/// ROADMAP (failure storms): after the simultaneous internal crashes,
-/// *all* thirteen survivors should eventually re-join and be covered —
-/// including node 3's children, whose only adoption hint (their
-/// grandparent, node 1) died with their parent. Requires re-adoption
-/// beyond the bounded hint ladder; until then the pair stays excluded.
+/// After the simultaneous internal crashes, *all* thirteen survivors
+/// re-join and are covered — including node 3's children, whose
+/// grandparent (node 1) died with their parent. They climb the ancestor
+/// chain carried on heartbeats: knock at dead node 1 until the budget
+/// runs out, then dial the next rung up, the root. This closes
+/// ROADMAP's failure-storm item for the simulated backend (the TCP
+/// runtime still needs an *address* for a rung to dial it — see
+/// `net/tests/crash_recovery.rs` for the knock-budget contract there).
 #[test]
-#[ignore = "ROADMAP: failure storms — survivors behind a dead grandparent stay orphaned"]
 fn simultaneous_internal_crash_storm_recovers_all_survivors() {
     let n = 15;
     let (exec, topo, tree) = workload(n, 8, 61);

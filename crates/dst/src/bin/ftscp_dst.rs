@@ -93,7 +93,7 @@ fn model_check() -> i32 {
 
     let no_hold = check(&ModelConfig::chain4().without_hold());
     gate(
-        "no-hold: prune/adopt race found (ROADMAP known bug)",
+        "no-hold: prune/adopt race found (shipped-fix regression)",
         no_hold.missed_subtree.is_some(),
         match &no_hold.missed_subtree {
             Some(trace) => format!("  counterexample: {}\n", trace.join(" -> ")),

@@ -49,18 +49,24 @@
 //! failure-storm item, where the node stays safely excluded instead of
 //! re-joining.
 //!
-//! # `hold_after_drop` is a candidate fix, not the shipped protocol
+//! # `hold_after_drop` is the shipped defense
 //!
 //! With `hold_after_drop = true`, a parent that drops a dead child's
 //! queue parks the child in `waiting` until an adopter takes over, and
 //! the root suppresses emissions while its own hold set is non-empty.
-//! The real protocol does *not* do this — it prunes immediately, and
-//! the checker with `hold_after_drop = false` finds the resulting
-//! prune/adopt race (a counterexample where the root emits while the
-//! orphan subtree is mid-adoption). That is ROADMAP's known-open
-//! prune/adopt race, reproduced here in its minimal form; the flag
-//! documents the fix this model proves sufficient at this abstraction
-//! level.
+//! This is the defense the protocol ships (`MonitorCore` holds a
+//! suspected child's queue instead of pruning it outright); running the
+//! checker with `hold_after_drop = false` models the pre-fix immediate
+//! prune and must still find the prune/adopt race (a counterexample
+//! where the root emits while the orphan subtree is mid-adoption) —
+//! that run is the regression guard for the removed defense.
+//!
+//! One fidelity note: on this chain topology a dead node has at most
+//! one orphan, so "until an adopter takes over" is an exact release
+//! point. On branching trees a single `Adopt` does not prove *all* of
+//! the dead child's orphans re-homed, so the shipped implementation is
+//! stricter than the model — it holds for the full suspicion window
+//! and only the window's expiry finalizes the drop.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -85,7 +91,8 @@ pub struct ModelConfig {
     /// (the shipped `matches_adoption` fence).
     pub epoch_fencing: bool,
     /// Park dropped children in `waiting` and gate root emissions on
-    /// an empty hold set (candidate fix; NOT in the shipped protocol).
+    /// an empty hold set (the shipped defense; disable to model the
+    /// pre-fix immediate prune).
     pub hold_after_drop: bool,
     /// Exploration cap; exceeding it sets `truncated` in the report.
     pub max_states: usize,
@@ -127,8 +134,9 @@ impl ModelConfig {
         self
     }
 
-    /// Disables the hold-after-drop defense (models the shipped
-    /// protocol's immediate prune).
+    /// Disables the hold-after-drop defense (models the pre-fix
+    /// immediate prune; the checker must still find the prune/adopt
+    /// race in this configuration).
     pub fn without_hold(mut self) -> ModelConfig {
         self.hold_after_drop = false;
         self
@@ -315,7 +323,7 @@ fn successors(s: &State, cfg: &ModelConfig) -> Vec<(Action, State, bool)> {
             continue;
         }
         // A parent notices a dead child: drop its queue (and park it
-        // in the hold set under the candidate fix).
+        // in the hold set when the hold defense is on).
         for c in 0..n {
             if s.nodes[p].children & bit(c as u8) != 0 && !s.nodes[c].alive {
                 let mut t = s.clone();

@@ -117,6 +117,41 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.write_all(&frame_bytes(payload))
 }
 
+/// Result of one [`fill`] pass over a nonblocking source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillStatus {
+    /// The source would block; `bytes` arrived before that (possibly 0).
+    Open { bytes: usize },
+    /// The source reached EOF. Bytes read before EOF are in the buffer.
+    Eof,
+}
+
+/// Drains everything currently readable from a nonblocking `r` into
+/// `fb` — the reactor's read path. Loops until the source reports
+/// `WouldBlock` (→ [`FillStatus::Open`]) or EOF (→ [`FillStatus::Eof`]);
+/// `Interrupted` is retried, every other error is returned. Frames are
+/// *not* parsed here: call [`FrameBuffer::next_frame`] in a loop
+/// afterwards, which also keeps hostile-framing detection independent of
+/// socket behavior.
+pub fn fill(r: &mut impl Read, fb: &mut FrameBuffer) -> io::Result<FillStatus> {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut total = 0usize;
+    loop {
+        match r.read(&mut chunk) {
+            Ok(0) => return Ok(FillStatus::Eof),
+            Ok(n) => {
+                fb.push(&chunk[..n]);
+                total += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return Ok(FillStatus::Open { bytes: total })
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Blocking convenience: reads from `r` into `fb` until a full frame is
 /// available, EOF (`Ok(None)`), or an I/O / framing error. Timeouts set
 /// on the underlying socket surface as `io::Error` like any other.

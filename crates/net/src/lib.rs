@@ -2,8 +2,9 @@
 //!
 //! Everything below `ftscp-core`'s `MonitorCore` is swapped out: instead
 //! of the deterministic simulated network (`ftscp-simnet`), each monitor
-//! runs as a bundle of OS threads speaking length-prefixed frames over
-//! `std::net` TCP sockets. The detection logic itself — Algorithm 1's
+//! runs as a **single-threaded, readiness-polled reactor** over `std::net`
+//! TCP sockets (epoll on Linux via the vendored `polling` shim) speaking
+//! length-prefixed frames. The detection logic itself — Algorithm 1's
 //! queue bank, the ⊓-aggregation, the reorder buffer, the cumulative-ack
 //! reliability layer — is byte-for-byte the same code, reached through the
 //! `ftscp_core::transport::Transport` trait.
@@ -11,18 +12,26 @@
 //! Layering, bottom-up:
 //!
 //! - [`frame`] — `u32`-length-prefixed framing with a hard size cap;
-//!   hostile-input-safe reassembly ([`frame::FrameBuffer`]).
+//!   hostile-input-safe incremental reassembly ([`frame::FrameBuffer`])
+//!   plus the nonblocking drain helper ([`frame::fill`]).
 //! - [`wire`] — the session message set ([`wire::NetMsg`]): HELLO/role
 //!   handshake, the embedded `DetectMsg` protocol (carrying the existing
 //!   delta codec frames unchanged), event ingestion, and feed-complete
 //!   `Fin` markers.
-//! - [`node`] — one monitor node as a thread bundle: nonblocking
-//!   listener, reader/writer pair per connection, reconnecting uplink,
-//!   and a single main loop that owns the `MonitorCore`.
+//! - [`reactor`] — shared reactor building blocks: the timer wheel and
+//!   the nonblocking (`EINPROGRESS`-aware) TCP connect.
+//! - [`node`] — one monitor node as one reactor thread: nonblocking
+//!   listener, per-connection state machines (frame buffer + codec pair +
+//!   coalescing write queue), an uplink connect/session state machine,
+//!   and a timer wheel driving heartbeats, suspicion, retransmits, and
+//!   reconnect backoff — all multiplexed over a single poller.
 //! - [`client`] — the event-ingestion client used by monitored processes
 //!   (and by test harnesses replaying recorded executions).
 //! - [`loopback`] — whole-tree deployment on 127.0.0.1, the vehicle for
 //!   the simnet-vs-TCP differential tests and the `net_loopback` bench.
+//! - [`scale`] — synthetic many-children driver: one poller feeding
+//!   hundreds of protocol children into one node, for the ≥512-connection
+//!   smoke test and the `reactor` bench row.
 //!
 //! Why the differential guarantee holds: the exhaustive interleaving
 //! tests in `ftscp-intervals` prove the detector's solution sequence is
@@ -37,6 +46,8 @@ pub mod client;
 pub mod frame;
 pub mod loopback;
 pub mod node;
+pub mod reactor;
+pub mod scale;
 pub mod wire;
 
 pub use client::EventClient;

@@ -1,23 +1,37 @@
 //! The TCP monitor node: a [`MonitorCore`] driven by real sockets.
 //!
-//! Thread shape (one accepted connection = one reader + one writer
-//! thread, following the per-connection-handler server idiom):
+//! Runtime shape: **one reactor thread per node**, readiness-polled over
+//! every socket the node owns (epoll via the vendored [`polling`] shim;
+//! `poll(2)` off Linux):
 //!
 //! ```text
-//!             ┌──────────┐   accept   ┌─────────────────────┐
-//!  children & │ listener  │──────────▶│ conn reader / writer │──┐
-//!  clients ──▶│  thread   │           └─────────────────────┘  │ mpsc
-//!             └──────────┘                                      ▼
-//!  parent ◀──[ uplink thread: connect → handshake → reader ]─▶ main loop
-//!                         (reconnect loop with backoff)        (owns MonitorCore)
+//!                    ┌────────────────────── reactor thread ───────────────────────┐
+//!  children &  accept│  nonblocking listener                                       │
+//!  clients ─────────▶│  per-connection state machines (FrameBuffer + rx/tx codec   │
+//!                    │    + coalescing write queue)                                │
+//!  parent ◀─────────▶│  uplink state machine (nonblocking connect → handshake →    │
+//!                    │    session; reconnect backoff on the timer wheel)           │
+//!                    │  timer wheel: heartbeats · suspicion · retransmit · redial  │
+//!                    │  MonitorCore (owned exclusively by this thread)             │
+//!                    └─────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Every thread communicates with the main loop through one mpsc channel
-//! of [`Event`]s; the main loop owns all protocol state and is the only
-//! thread that touches the [`MonitorCore`]. Outbound frames go through
-//! per-connection writer threads, each owning the connection's tx
-//! [`ConnCodec`] — frames hit the codec in write order, which keeps the
-//! peer's rx codec in lockstep (TCP is FIFO per connection).
+//! The reactor thread is the only thread: it accepts, reads, decodes,
+//! drives the [`MonitorCore`], encodes, and writes. Each connection's
+//! state machine owns its [`FrameBuffer`] (partial-read reassembly), its
+//! rx/tx [`ConnCodec`] pair, and a coalescing write queue — outbound
+//! messages append to the queue and the queue is flushed once per loop
+//! iteration, so a heartbeat burst or an interval+ack pair leaves in one
+//! `write` syscall. When a socket's send buffer fills, the residue stays
+//! queued and the connection arms write-readiness interest; the frames
+//! still hit the tx codec in queue order, which keeps the peer's rx
+//! codec in lockstep (TCP is FIFO per connection).
+//!
+//! External control (the [`NodeHandle`]) never touches the reactor's
+//! state directly: shutdown is a flag the loop polls between waits,
+//! completion is a condvar the loop signals, and
+//! [`NodeHandle::drop_uplink`] severs a `try_clone` of the uplink socket
+//! — the reactor observes the EOF like any other peer death.
 //!
 //! ## Session layer
 //!
@@ -27,18 +41,21 @@
 //! * **Heartbeats**: `MonitorCore::send_heartbeats` fires on the
 //!   configured period over the same connections; `suspects()` exposes
 //!   peers silent past the configured timeout.
-//! * **Reconnect-with-resync**: the uplink thread reconnects with backoff
-//!   after any disconnect. Both sides start the new connection with cold
-//!   codecs, and the main loop calls `MonitorCore::resync_uplink`, so the
-//!   first interval frame is standalone (`base_flag = 0`) — the codec's
-//!   cold-decoder path, unreachable on the simulated transport without
-//!   fault injection, is the *normal* reconnect path here.
+//! * **Reconnect-with-resync**: after any uplink loss the timer wheel
+//!   re-dials with backoff (nonblocking connect: `EINPROGRESS` →
+//!   write-readiness → `SO_ERROR`). Both sides start the new connection
+//!   with cold codecs, and the reactor calls
+//!   `MonitorCore::resync_uplink`, so the first interval frame is
+//!   standalone (`base_flag = 0`) — the codec's cold-decoder path,
+//!   unreachable on the simulated transport without fault injection, is
+//!   the *normal* reconnect path here.
 //! * **FIN / termination**: event clients `Fin` after their last event; a
 //!   node `Fin`s its parent once all its feeds and children have finished
 //!   and nothing is unacknowledged. The root signals completion to
 //!   [`NodeHandle::wait_done`].
 
-use crate::frame::{write_frame, FrameBuffer};
+use crate::frame::{fill, frame_bytes, FillStatus, FrameBuffer};
+use crate::reactor::{connect_nonblocking, CountedRead, TimerWheel};
 use crate::wire::{decode_msg, encode_msg, interval_frame_kind, NetMsg, PeerKind, PROTO_VERSION};
 use ftscp_core::membership::MembershipEvent;
 use ftscp_core::monitor::MonitorConfig;
@@ -47,18 +64,33 @@ use ftscp_core::report::GlobalDetection;
 use ftscp_core::transport::{MonitorCore, Transport};
 use ftscp_simnet::SimTime;
 use ftscp_vclock::ProcessId;
+use polling::{Event as PollEvent, Events, Poller};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Read timeout on connection sockets: how often blocked readers check
-/// the shutdown flag. Latency of an orderly shutdown, nothing else.
-const READ_POLL: Duration = Duration::from_millis(50);
+/// Upper bound on one poller wait: how often the reactor re-checks the
+/// shutdown flag when no timer is due sooner. Latency of an orderly
+/// shutdown, nothing else.
+const WAKE_POLL: Duration = Duration::from_millis(25);
+
+/// Give a nonblocking connect this long to resolve before the attempt is
+/// written off and the backoff timer re-dials.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Poller keys: the listener and the uplink are fixed; accepted
+/// connections are keyed by `KEY_CONN_BASE + conn id`.
+const KEY_LISTENER: usize = 0;
+const KEY_UPLINK: usize = 1;
+const KEY_CONN_BASE: usize = 2;
+
+/// Connection id of the uplink in session-layer terms (`handle_msg`);
+/// accepted connections count from 1.
+const UPLINK_CONN: u64 = 0;
 
 /// Configuration of one TCP monitor node.
 #[derive(Clone, Debug)]
@@ -123,11 +155,15 @@ pub struct NodeReport {
     /// Interval messages the monitor originated (protocol accounting,
     /// same counter the simulated deployment reports).
     pub interval_msgs_sent: u64,
+    /// Socket/poll syscalls the reactor issued (waits, accepts, reads,
+    /// writes, connects) — the bench row's syscalls-per-interval
+    /// numerator. Scheduling-dependent; never a regression gate.
+    pub syscalls: u64,
     /// Peers suspected by the heartbeat failure detector at shutdown.
     pub suspects_at_exit: Vec<ProcessId>,
 }
 
-/// Wire/session counters shared across a node's threads.
+/// Wire/session counters shared with the [`NodeHandle`].
 #[derive(Default)]
 struct Counters {
     bytes_sent: AtomicU64,
@@ -135,6 +171,7 @@ struct Counters {
     interval_frames_sent: AtomicU64,
     standalone_frames_sent: AtomicU64,
     reconnects: AtomicU64,
+    syscalls: AtomicU64,
 }
 
 struct Shared {
@@ -146,36 +183,16 @@ struct Shared {
     /// ([`NodeHandle::drop_uplink`]) — severing it from outside exercises
     /// the reconnect-with-resync path.
     uplink_stream: Mutex<Option<TcpStream>>,
-    /// Where the uplink thread should dial. Re-targeted by the main loop
-    /// when the adoption handshake picks a new parent (the grandparent);
-    /// the thread re-reads it on every (re)connect attempt.
+    /// Where the reactor should dial its uplink. Re-targeted when the
+    /// adoption handshake picks a new parent (the grandparent); re-read
+    /// on every (re)connect attempt.
     uplink_target: Mutex<Option<(ProcessId, SocketAddr)>>,
-}
-
-enum Event {
-    /// A decoded frame from connection `conn` (0 = current uplink).
-    Msg { conn: u64, msg: NetMsg },
-    /// Connection `conn` closed (EOF, error, or framing violation).
-    Closed { conn: u64 },
-    /// A freshly accepted connection; `writer` feeds its writer thread.
-    Accepted { conn: u64, writer: Sender<NetMsg> },
-    /// The uplink (re)connected to `peer` and handshake sent; `writer`
-    /// is live.
-    UplinkUp {
-        peer: ProcessId,
-        writer: Sender<NetMsg>,
-    },
-    /// The uplink died; sends will drop until the next `UplinkUp`.
-    UplinkDown,
-    /// Stop the main loop and report.
-    Stop,
 }
 
 /// Handle to a running node: poke it, wait for it, collect its report.
 pub struct NodeHandle {
     me: ProcessId,
     shared: Arc<Shared>,
-    events: Sender<Event>,
     main: Option<JoinHandle<NodeReport>>,
     /// Local address of the node's listener.
     pub addr: SocketAddr,
@@ -211,8 +228,8 @@ impl NodeHandle {
     }
 
     /// Fault injection: severs the current parent connection at the
-    /// socket level. The uplink thread notices, reconnects, and the
-    /// protocol resyncs — mid-run, with live traffic in flight.
+    /// socket level. The reactor observes the EOF, backs off, reconnects,
+    /// and the protocol resyncs — mid-run, with live traffic in flight.
     pub fn drop_uplink(&self) {
         let guard = self.shared.uplink_stream.lock().expect("uplink lock");
         if let Some(stream) = guard.as_ref() {
@@ -220,11 +237,10 @@ impl NodeHandle {
         }
     }
 
-    /// Stops the node and collects its report. Idempotent threads unwind
-    /// via the shutdown flag; the main loop drains and exits.
+    /// Stops the node and collects its report. The reactor notices the
+    /// shutdown flag within one poll wait and exits its loop.
     pub fn finish(mut self) -> NodeReport {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = self.events.send(Event::Stop);
         match self.main.take() {
             Some(h) => h.join().unwrap_or_default(),
             None => NodeReport::default(),
@@ -247,269 +263,185 @@ pub fn spawn(listener: TcpListener, config: NodeConfig) -> io::Result<NodeHandle
         uplink_stream: Mutex::new(None),
         uplink_target: Mutex::new(config.parent),
     });
-    let (events_tx, events_rx) = channel::<Event>();
-
-    spawn_listener(listener, Arc::clone(&shared), events_tx.clone());
-    if config.parent.is_some() {
-        spawn_uplink(
-            config.me,
-            config.reconnect_backoff,
-            Arc::clone(&shared),
-            events_tx.clone(),
-        );
-    }
 
     let main_shared = Arc::clone(&shared);
     let main = thread::Builder::new()
         .name(format!("ftscp-node-{}", me.0))
-        .spawn(move || main_loop(config, main_shared, events_rx))?;
+        .spawn(move || reactor_loop(listener, config, main_shared))?;
 
     Ok(NodeHandle {
         me,
         shared,
-        events: events_tx,
         main: Some(main),
         addr,
     })
 }
 
 // ---------------------------------------------------------------------------
-// Connection threads
+// Connection state machine
 // ---------------------------------------------------------------------------
 
-fn spawn_listener(listener: TcpListener, shared: Arc<Shared>, events: Sender<Event>) {
-    thread::spawn(move || {
-        listener
-            .set_nonblocking(true)
-            .expect("listener nonblocking");
-        let mut next_conn: u64 = 1; // 0 is reserved for the uplink
-        while !shared.shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let conn = next_conn;
-                    next_conn += 1;
-                    let _ = stream.set_nodelay(true);
-                    let writer = spawn_conn_writer(&stream, Arc::clone(&shared));
-                    // Announce the connection before its reader exists:
-                    // the reader's first Msg must never beat Accepted to
-                    // the main loop (the spawn edge orders the sends).
-                    if events.send(Event::Accepted { conn, writer }).is_err() {
-                        return;
-                    }
-                    spawn_conn_reader(stream, conn, Arc::clone(&shared), events.clone());
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => thread::sleep(Duration::from_millis(5)),
-            }
-        }
-    });
+/// One live connection: the socket plus everything whose state advances
+/// in byte-stream order — partial-read reassembly, the rx/tx codec pair,
+/// and the coalescing write queue.
+struct Conn {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    rx: ConnCodec,
+    tx: ConnCodec,
+    /// Outbound bytes (already framed), `out[out_pos..]` unsent. Appends
+    /// coalesce: everything queued in one loop iteration leaves in one
+    /// `write` in the common case.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Whether write-readiness interest is currently registered.
+    want_write: bool,
 }
 
-/// Spawns the writer half of a connection: owns the tx codec; frames are
-/// encoded and counted in channel order, which is socket order.
-fn spawn_conn_writer(stream: &TcpStream, shared: Arc<Shared>) -> Sender<NetMsg> {
-    let (tx, rx) = channel::<NetMsg>();
-    let mut stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return tx, // sends will pile into a dead channel; reader will report Closed
-    };
-    thread::spawn(move || {
-        let mut codec = ConnCodec::new();
-        while let Ok(msg) = rx.recv() {
-            let payload = encode_msg(&msg, &mut codec);
-            if let Some(kind) = interval_frame_kind(&payload) {
-                shared
-                    .counters
-                    .interval_frames_sent
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            fb: FrameBuffer::new(),
+            rx: ConnCodec::new(),
+            tx: ConnCodec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            want_write: false,
+        }
+    }
+
+    /// Encodes `msg` through this connection's tx codec and appends the
+    /// frame to the write queue. Counting happens here — at the codec —
+    /// so frame-kind accounting matches what actually hits the wire.
+    fn enqueue(&mut self, msg: &NetMsg, counters: &Counters) {
+        let payload = encode_msg(msg, &mut self.tx);
+        if let Some(kind) = interval_frame_kind(&payload) {
+            counters
+                .interval_frames_sent
+                .fetch_add(1, Ordering::Relaxed);
+            if kind.is_cold_decodable() {
+                counters
+                    .standalone_frames_sent
                     .fetch_add(1, Ordering::Relaxed);
-                if kind.is_cold_decodable() {
-                    shared
-                        .counters
-                        .standalone_frames_sent
-                        .fetch_add(1, Ordering::Relaxed);
-                }
             }
-            if write_frame(&mut stream, &payload).is_err() {
-                return; // the reader observes the close and reports it
-            }
-            shared
-                .counters
-                .bytes_sent
-                .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
         }
-    });
-    tx
-}
+        counters
+            .bytes_sent
+            .fetch_add(4 + payload.len() as u64, Ordering::Relaxed);
+        self.out.extend_from_slice(&frame_bytes(&payload));
+    }
 
-/// Spawns the reader half: owns the rx codec, reassembles frames, decodes
-/// in order, forwards to the main loop.
-fn spawn_conn_reader(stream: TcpStream, conn: u64, shared: Arc<Shared>, events: Sender<Event>) {
-    thread::spawn(move || {
-        read_connection(stream, conn, &shared, &events);
-        let _ = events.send(Event::Closed { conn });
-    });
-}
+    fn pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
 
-/// Blocking read loop shared by accepted connections and the uplink.
-/// Returns when the connection dies or shutdown is requested.
-fn read_connection(stream: TcpStream, conn: u64, shared: &Shared, events: &Sender<Event>) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut stream = stream;
-    let mut fb = FrameBuffer::new();
-    let mut codec = ConnCodec::new();
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // Drain complete frames before reading more.
-        loop {
-            match fb.next_frame() {
-                Ok(Some(frame)) => {
-                    let msg = match decode_msg(&frame, &mut codec) {
-                        Ok(msg) => msg,
-                        Err(_) => return, // corrupt peer: kill the connection
-                    };
-                    if events.send(Event::Msg { conn, msg }).is_err() {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => return, // framing violation: kill the connection
+    /// Writes as much of the queue as the socket accepts. Returns whether
+    /// bytes remain queued (→ the caller arms write interest), or an
+    /// error if the connection is dead.
+    fn flush(&mut self, counters: &Counters) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            counters.syscalls.fetch_add(1, Ordering::Relaxed);
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
         }
-        match io::Read::read(&mut stream, &mut chunk) {
-            Ok(0) => return, // EOF
-            Ok(n) => {
-                shared
-                    .counters
-                    .bytes_received
-                    .fetch_add(n as u64, Ordering::Relaxed);
-                fb.push(&chunk[..n]);
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue; // poll tick: re-check the shutdown flag
-            }
-            Err(_) => return,
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > 64 * 1024 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
         }
+        Ok(self.pending_out())
     }
 }
 
-/// The uplink thread: connect → handshake → read until the connection
-/// dies → tell the main loop → back off → reconnect. Runs until
-/// shutdown. The dial target is re-read from [`Shared::uplink_target`]
-/// on every attempt, so the main loop can point the uplink at a new
-/// parent (the §III-F adoption path) just by updating the target and
-/// severing the current socket.
-fn spawn_uplink(me: ProcessId, backoff: Duration, shared: Arc<Shared>, events: Sender<Event>) {
-    thread::spawn(move || {
-        let mut first = true;
-        while !shared.shutdown.load(Ordering::SeqCst) {
-            let Some((peer, addr)) = *shared.uplink_target.lock().expect("target lock") else {
-                thread::sleep(backoff);
-                continue;
-            };
-            let stream = match TcpStream::connect(addr) {
-                Ok(s) => s,
-                Err(_) => {
-                    thread::sleep(backoff);
-                    continue;
-                }
-            };
-            let _ = stream.set_nodelay(true);
-            if !first {
-                shared.counters.reconnects.fetch_add(1, Ordering::Relaxed);
-            }
-            first = false;
-            *shared.uplink_stream.lock().expect("uplink lock") = stream.try_clone().ok();
-            let writer = spawn_conn_writer(&stream, Arc::clone(&shared));
-            // Handshake opener; ordered before anything the main loop
-            // sends after seeing UplinkUp.
-            let _ = writer.send(NetMsg::Hello {
-                node: me,
-                kind: PeerKind::Child,
-                proto: PROTO_VERSION,
-            });
-            if events.send(Event::UplinkUp { peer, writer }).is_err() {
-                return;
-            }
-            // Read until the connection dies (conn id 0 = uplink).
-            read_connection(stream, 0, &shared, &events);
-            *shared.uplink_stream.lock().expect("uplink lock") = None;
-            if events.send(Event::UplinkDown).is_err() {
-                return;
-            }
-            thread::sleep(backoff);
-        }
-    });
+/// The uplink's connect/handshake state machine.
+enum Uplink {
+    /// No connection; the reconnect timer owns the next attempt.
+    Idle,
+    /// Nonblocking connect in flight — waiting for write readiness.
+    Connecting {
+        conn: Conn,
+        peer: ProcessId,
+        started: Instant,
+    },
+    /// Connected and `Hello` sent.
+    Up { conn: Conn, peer: ProcessId },
 }
 
 // ---------------------------------------------------------------------------
-// Main loop
+// Transport seam
 // ---------------------------------------------------------------------------
 
 /// [`Transport`] over the node's live connections: `now` is wall-clock
-/// microseconds since node start, sends route by process id to the
-/// uplink's or a child's writer thread. Sends to unreachable peers are
-/// dropped — exactly the lossy-link model the core's reliability layer
-/// (unacked + retransmit + resync) is built for.
+/// microseconds since node start; sends are buffered into an outbox the
+/// reactor routes to per-connection write queues immediately after the
+/// core call returns (the reactor owns both the core and the sockets, so
+/// the outbox is drained before anything else can interleave).
 ///
-/// Routing is by the peer the uplink is *actually dialed at*
-/// (`uplink_peer`), not by `core.parent()`: during an adoption handshake
-/// the uplink already points at the prospective parent while the core's
-/// parent pointer still names the dead one, and the `Suspect`/`Adopt`
-/// frames must reach the former. Frames addressed to the dead parent
-/// find no route and drop — the reliability layer re-sends them once the
-/// handshake lands.
-struct NetTransport<'a> {
-    start: &'a Instant,
-    uplink_peer: Option<ProcessId>,
-    uplink: Option<&'a Sender<NetMsg>>,
-    conns: &'a HashMap<u64, Sender<NetMsg>>,
-    peer_conn: &'a HashMap<ProcessId, u64>,
+/// Routing is by the peer the uplink is *actually dialed at*, not by
+/// `core.parent()`: during an adoption handshake the uplink already
+/// points at the prospective parent while the core's parent pointer
+/// still names the dead one, and the `Suspect`/`Adopt` frames must
+/// reach the former. Frames addressed to an unreachable peer find no
+/// route and drop — exactly the lossy-link model the core's reliability
+/// layer (unacked + retransmit + resync) is built for.
+struct NetTransport {
+    start: Instant,
+    outbox: Vec<(ProcessId, DetectMsg)>,
 }
 
-impl Transport for NetTransport<'_> {
+impl Transport for NetTransport {
     fn now(&self) -> SimTime {
         SimTime(self.start.elapsed().as_micros() as u64)
     }
 
     fn send(&mut self, dst: ProcessId, msg: DetectMsg) {
-        let wrapped = NetMsg::Detect(msg);
-        if Some(dst) == self.uplink_peer {
-            if let Some(up) = self.uplink {
-                let _ = up.send(wrapped);
-            }
-            return;
-        }
-        if let Some(conn) = self.peer_conn.get(&dst) {
-            if let Some(writer) = self.conns.get(conn) {
-                let _ = writer.send(wrapped);
-            }
-        }
+        self.outbox.push((dst, msg));
     }
 
     fn send_sized(&mut self, dst: ProcessId, msg: DetectMsg, _size: usize) {
-        // The advisory size is the simulator's billing hook; here the
-        // writer thread encodes real frames and bills real bytes.
+        // The advisory size is the simulator's billing hook; the reactor
+        // encodes real frames and bills real bytes at enqueue time.
         self.send(dst, msg);
     }
 }
 
-struct MainState {
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+/// Timers on the reactor wheel. Recurring ones re-arm from their own
+/// handler; stale fires are guarded by state checks, not cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Timer {
+    Heartbeat,
+    Retransmit,
+    Suspect,
+    /// Dial (or re-dial) the uplink target.
+    Reconnect,
+    /// Write off a connect attempt that never resolved.
+    ConnectTimeout,
+}
+
+struct ReactorState {
     core: MonitorCore,
     config: NodeConfig,
     start: Instant,
-    conns: HashMap<u64, Sender<NetMsg>>,
+    poller: Poller,
+    timers: TimerWheel<Timer>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
     peer_conn: HashMap<ProcessId, u64>,
-    uplink: Option<Sender<NetMsg>>,
-    /// The peer the live uplink is dialed at (≠ `core.parent()` while an
-    /// adoption handshake is in flight).
-    uplink_peer: Option<ProcessId>,
+    uplink: Uplink,
+    /// The first successful uplink connect is not a *re*connect.
+    uplink_ever_up: bool,
     /// Address book built from the parent's `Uplink` frames: every
     /// ancestor ever hinted, by id. The core's membership ladder picks
     /// *which* ancestor to adopt toward (freshest hint first, written-off
@@ -520,23 +452,44 @@ struct MainState {
     feeds_done: usize,
     child_fins: BTreeSet<ProcessId>,
     fin_sent: bool,
+    shared: Arc<Shared>,
 }
 
-impl MainState {
+impl ReactorState {
     fn now(&self) -> SimTime {
         SimTime(self.start.elapsed().as_micros() as u64)
     }
 
-    /// Runs `f` with a transport over the current connection tables.
-    fn with_transport<R>(&mut self, f: impl FnOnce(&mut MonitorCore, &mut NetTransport) -> R) -> R {
+    /// Runs `f` against the core with a buffering transport, then routes
+    /// the outbox into the per-connection write queues (same order).
+    fn with_core<R>(&mut self, f: impl FnOnce(&mut MonitorCore, &mut NetTransport) -> R) -> R {
         let mut t = NetTransport {
-            start: &self.start,
-            uplink_peer: self.uplink_peer,
-            uplink: self.uplink.as_ref(),
-            conns: &self.conns,
-            peer_conn: &self.peer_conn,
+            start: self.start,
+            outbox: Vec::new(),
         };
-        f(&mut self.core, &mut t)
+        let r = f(&mut self.core, &mut t);
+        for (dst, msg) in t.outbox {
+            self.route(dst, &NetMsg::Detect(msg));
+        }
+        r
+    }
+
+    /// Queues `msg` for `dst` on whichever connection reaches it (the
+    /// uplink if dialed at `dst`, else the child's accepted connection);
+    /// drops it if no route exists.
+    fn route(&mut self, dst: ProcessId, msg: &NetMsg) {
+        let counters = &self.shared.counters;
+        if let Uplink::Up { conn, peer } = &mut self.uplink {
+            if *peer == dst {
+                conn.enqueue(msg, counters);
+                return;
+            }
+        }
+        if let Some(id) = self.peer_conn.get(&dst) {
+            if let Some(conn) = self.conns.get_mut(id) {
+                conn.enqueue(msg, counters);
+            }
+        }
     }
 
     /// True once every input stream this node will ever get has finished:
@@ -561,30 +514,518 @@ impl MainState {
     /// [`NodeHandle::wait_done`] means "drained and announced" on every
     /// role. The node keeps running after the flag — it still answers
     /// reconnects and re-`Fin`s until [`NodeHandle::finish`].
-    fn maybe_finish(&mut self, shared: &Shared) {
+    fn maybe_finish(&mut self) {
         if !self.drained() {
             return;
         }
         let mut announced = self.config.parent.is_none();
         if self.fin_sent {
             announced = true; // already told this parent connection
-        } else if let (Some(_), Some(up)) = (self.config.parent, &self.uplink) {
+        } else if let (Some(_), Uplink::Up { conn, .. }) = (self.config.parent, &mut self.uplink) {
             let me = self.config.me;
-            let _ = up.send(NetMsg::Fin { from: me });
+            conn.enqueue(&NetMsg::Fin { from: me }, &self.shared.counters);
             self.fin_sent = true;
             announced = true;
         }
         if announced {
-            let mut done = shared.done.lock().expect("done lock");
+            let mut done = self.shared.done.lock().expect("done lock");
             if !*done {
                 *done = true;
-                shared.done_cv.notify_all();
+                self.shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    // -- accepted connections ------------------------------------------------
+
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            self.shared
+                .counters
+                .syscalls
+                .fetch_add(1, Ordering::Relaxed);
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = self.next_conn;
+                    self.next_conn += 1;
+                    let key = KEY_CONN_BASE + conn_id as usize;
+                    if self.poller.add(&stream, PollEvent::readable(key)).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(conn_id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn close_conn(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            let _ = self.poller.delete(&conn.stream);
+        }
+        // Only unmap peers still pointing at this connection — a
+        // replacement may have registered first.
+        self.peer_conn.retain(|_, &mut c| c != conn_id);
+    }
+
+    /// Drains everything readable from an accepted connection, decoding
+    /// and dispatching each complete frame. Closes the connection on
+    /// EOF, I/O error, framing violation, or a corrupt peer.
+    fn conn_readable(&mut self, conn_id: u64) {
+        let status = {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return;
+            };
+            let mut counted = CountedRead {
+                inner: &mut conn.stream,
+                calls: 0,
+            };
+            let status = fill(&mut counted, &mut conn.fb);
+            let calls = counted.calls;
+            let counters = &self.shared.counters;
+            counters.syscalls.fetch_add(calls, Ordering::Relaxed);
+            if let Ok(FillStatus::Open { bytes }) = status {
+                counters
+                    .bytes_received
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+            status
+        };
+        // Dispatch complete frames even when the peer already closed —
+        // `Fin` immediately followed by EOF is the normal client exit.
+        loop {
+            let decoded = {
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return; // handler closed it
+                };
+                match conn.fb.next_frame() {
+                    // A decode error is a corrupt peer: kill the connection.
+                    Ok(Some(frame)) => decode_msg(&frame, &mut conn.rx).ok(),
+                    Ok(None) => break,
+                    Err(_) => None, // framing violation: kill the connection
+                }
+            };
+            match decoded {
+                Some(msg) => self.handle_msg(conn_id, msg),
+                None => {
+                    self.close_conn(conn_id);
+                    return;
+                }
+            }
+        }
+        match status {
+            Ok(FillStatus::Open { .. }) => {}
+            Ok(FillStatus::Eof) | Err(_) => self.close_conn(conn_id),
+        }
+    }
+
+    // -- uplink --------------------------------------------------------------
+
+    /// Fires on the `Reconnect` timer: dial the current uplink target.
+    fn uplink_dial(&mut self) {
+        if !matches!(self.uplink, Uplink::Idle) {
+            return; // stale timer
+        }
+        let Some((peer, addr)) = *self.shared.uplink_target.lock().expect("target lock") else {
+            self.timers.arm(
+                Instant::now() + self.config.reconnect_backoff,
+                Timer::Reconnect,
+            );
+            return;
+        };
+        self.shared
+            .counters
+            .syscalls
+            .fetch_add(1, Ordering::Relaxed);
+        match connect_nonblocking(addr) {
+            Ok((stream, established)) => {
+                let _ = stream.set_nodelay(true);
+                let interest = if established {
+                    PollEvent::readable(KEY_UPLINK)
+                } else {
+                    PollEvent::writable(KEY_UPLINK)
+                };
+                if self.poller.add(&stream, interest).is_err() {
+                    self.timers.arm(
+                        Instant::now() + self.config.reconnect_backoff,
+                        Timer::Reconnect,
+                    );
+                    return;
+                }
+                self.uplink = Uplink::Connecting {
+                    conn: Conn::new(stream),
+                    peer,
+                    started: Instant::now(),
+                };
+                if established {
+                    self.uplink_established();
+                } else {
+                    self.timers
+                        .arm(Instant::now() + CONNECT_TIMEOUT, Timer::ConnectTimeout);
+                }
+            }
+            Err(_) => {
+                self.timers.arm(
+                    Instant::now() + self.config.reconnect_backoff,
+                    Timer::Reconnect,
+                );
+            }
+        }
+    }
+
+    /// The in-flight connect resolved (write readiness): check `SO_ERROR`
+    /// and either open the session or back off.
+    fn uplink_connect_resolved(&mut self) {
+        let failed = match &self.uplink {
+            Uplink::Connecting { conn, .. } => !matches!(conn.stream.take_error(), Ok(None)),
+            _ => return,
+        };
+        if failed {
+            self.uplink_down();
+        } else {
+            self.uplink_established();
+        }
+    }
+
+    /// Connect + handshake: publish the socket for fault injection, say
+    /// `Hello`, and either knock (adopting) or resync the report stream.
+    fn uplink_established(&mut self) {
+        let Uplink::Connecting { mut conn, peer, .. } =
+            std::mem::replace(&mut self.uplink, Uplink::Idle)
+        else {
+            return;
+        };
+        if self
+            .poller
+            .modify(&conn.stream, PollEvent::readable(KEY_UPLINK))
+            .is_err()
+        {
+            self.timers.arm(
+                Instant::now() + self.config.reconnect_backoff,
+                Timer::Reconnect,
+            );
+            return;
+        }
+        if self.uplink_ever_up {
+            self.shared
+                .counters
+                .reconnects
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.uplink_ever_up = true;
+        *self.shared.uplink_stream.lock().expect("uplink lock") = conn.stream.try_clone().ok();
+        conn.enqueue(
+            &NetMsg::Hello {
+                node: self.config.me,
+                kind: PeerKind::Child,
+                proto: PROTO_VERSION,
+            },
+            &self.shared.counters,
+        );
+        self.uplink = Uplink::Up { conn, peer };
+        if self.core.membership().is_adopting() {
+            // The uplink now points at the prospective parent: open (or
+            // re-knock on) the adoption handshake. The resync happens
+            // when the AdoptAck lands.
+            self.with_core(|core, t| core.send_adoption_request(t));
+        } else {
+            // New connection, cold decoder on the other end: restart the
+            // uplink stream from a standalone frame.
+            self.with_core(|core, t| core.resync_uplink(t));
+            self.maybe_finish(); // re-announce Fin if we were done
+        }
+    }
+
+    /// The uplink died (EOF, error, failed connect, or severed for a
+    /// retarget): tear the session down and arm the backoff re-dial.
+    fn uplink_down(&mut self) {
+        match std::mem::replace(&mut self.uplink, Uplink::Idle) {
+            Uplink::Idle => return,
+            Uplink::Connecting { conn, .. } | Uplink::Up { conn, .. } => {
+                let _ = self.poller.delete(&conn.stream);
+            }
+        }
+        *self.shared.uplink_stream.lock().expect("uplink lock") = None;
+        // The next connection is a new session: a Fin already sent on the
+        // dead one must be announced again.
+        self.fin_sent = false;
+        self.timers.arm(
+            Instant::now() + self.config.reconnect_backoff,
+            Timer::Reconnect,
+        );
+    }
+
+    /// Readable on an established uplink: same read path as any
+    /// connection, with `UPLINK_CONN` session semantics.
+    fn uplink_readable(&mut self) {
+        let status = {
+            let Uplink::Up { conn, .. } = &mut self.uplink else {
+                return;
+            };
+            let mut counted = CountedRead {
+                inner: &mut conn.stream,
+                calls: 0,
+            };
+            let status = fill(&mut counted, &mut conn.fb);
+            let calls = counted.calls;
+            let counters = &self.shared.counters;
+            counters.syscalls.fetch_add(calls, Ordering::Relaxed);
+            if let Ok(FillStatus::Open { bytes }) = status {
+                counters
+                    .bytes_received
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+            status
+        };
+        loop {
+            let decoded = {
+                let Uplink::Up { conn, .. } = &mut self.uplink else {
+                    return;
+                };
+                match conn.fb.next_frame() {
+                    Ok(Some(frame)) => decode_msg(&frame, &mut conn.rx).ok(),
+                    Ok(None) => break,
+                    Err(_) => None,
+                }
+            };
+            match decoded {
+                Some(msg) => self.handle_msg(UPLINK_CONN, msg),
+                None => {
+                    self.uplink_down();
+                    return;
+                }
+            }
+        }
+        match status {
+            Ok(FillStatus::Open { .. }) => {}
+            Ok(FillStatus::Eof) | Err(_) => self.uplink_down(),
+        }
+    }
+
+    // -- timers --------------------------------------------------------------
+
+    fn fire_timer(&mut self, timer: Timer) {
+        match timer {
+            Timer::Heartbeat => {
+                if let Some(period) = self.config.monitor.heartbeat_period {
+                    self.with_core(|core, t| core.send_heartbeats(t));
+                    self.send_uplink_hints();
+                    self.timers
+                        .arm(Instant::now() + to_duration(period), Timer::Heartbeat);
+                }
+            }
+            Timer::Retransmit => {
+                let delay = self.with_core(|core, t| core.on_retransmit_due(t));
+                if let Some(d) = delay {
+                    self.timers
+                        .arm(Instant::now() + to_duration(d), Timer::Retransmit);
+                }
+            }
+            Timer::Suspect => {
+                let timeout = self.config.heartbeat_timeout;
+                self.membership_round(timeout);
+                let period = Duration::from_micros((timeout.as_micros() / 2).max(1));
+                self.timers.arm(Instant::now() + period, Timer::Suspect);
+            }
+            Timer::Reconnect => self.uplink_dial(),
+            Timer::ConnectTimeout => {
+                if let Uplink::Connecting { started, .. } = self.uplink {
+                    if started.elapsed() >= CONNECT_TIMEOUT {
+                        self.uplink_down();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends the TCP half of the grandparent hint to every connected
+    /// child: where this node's own uplink points (id + address). A child
+    /// that loses this node dials that address for the adoption
+    /// handshake.
+    fn send_uplink_hints(&mut self) {
+        let target = *self.shared.uplink_target.lock().expect("target lock");
+        let hint = NetMsg::Uplink {
+            parent: target.map(|(p, addr)| (p, addr.to_string())),
+        };
+        let children: Vec<(ProcessId, u64)> = self
+            .peer_conn
+            .iter()
+            .filter(|(peer, _)| self.core.engine().has_child(**peer))
+            .map(|(&p, &c)| (p, c))
+            .collect();
+        for (_, conn_id) in children {
+            let counters = &self.shared.counters;
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.enqueue(&hint, counters);
+            }
+        }
+    }
+
+    /// One decentralized failure-detection round (the TCP driver of
+    /// [`MonitorCore::membership_tick`]): dead children are dropped by
+    /// the core itself; a dead parent re-targets the uplink at the
+    /// grandparent and severs the current socket — the handshake goes
+    /// out once the new connection is established.
+    fn membership_round(&mut self, timeout: SimTime) {
+        let decisions = self.with_core(|core, t| core.membership_tick(timeout, t));
+        for decision in decisions {
+            match decision {
+                MembershipEvent::AdoptionStarted { target } => {
+                    if matches!(&self.uplink, Uplink::Up { peer, .. } if *peer == target) {
+                        // Already dialed at the target: (re-)knock directly.
+                        self.with_core(|core, t| core.send_adoption_request(t));
+                    } else if let Some(&addr) = self.hint_addrs.get(&target) {
+                        *self.shared.uplink_target.lock().expect("target lock") =
+                            Some((target, addr));
+                        // Sever the current session (if any): the backoff
+                        // timer re-reads the target and dials the new
+                        // adoption candidate.
+                        if !matches!(self.uplink, Uplink::Idle) {
+                            self.uplink_down();
+                        }
+                    }
+                    // A target with no known address burns its knock
+                    // budget in the core and falls down the ladder — on
+                    // TCP an id without an address is unreachable.
+                }
+                // A dropped child may have been the last thing gating Fin;
+                // an orphaned node just keeps serving its subtree.
+                MembershipEvent::ChildDropped(_) | MembershipEvent::Orphaned { .. } => {}
+            }
+        }
+        self.maybe_finish();
+    }
+
+    // -- session messages ----------------------------------------------------
+
+    fn handle_msg(&mut self, conn: u64, msg: NetMsg) {
+        match msg {
+            NetMsg::Hello { node, kind, proto } => {
+                if proto != PROTO_VERSION {
+                    // Incompatible peer: kill the connection.
+                    if conn == UPLINK_CONN {
+                        self.uplink_down();
+                    } else {
+                        self.close_conn(conn);
+                    }
+                    return;
+                }
+                if kind == PeerKind::Child {
+                    self.peer_conn.insert(node, conn);
+                    let now = self.now();
+                    self.core.note_heartbeat(node, now);
+                }
+                let me = self.config.me;
+                let counters = &self.shared.counters;
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.enqueue(&NetMsg::HelloAck { node: me }, counters);
+                }
+            }
+            NetMsg::HelloAck { node } => {
+                // Parent accepted our handshake — counts as liveness.
+                let now = self.now();
+                self.core.note_heartbeat(node, now);
+            }
+            NetMsg::Detect(d) => {
+                self.with_core(|core, t| core.on_message(d, t));
+                // An ack may have drained the last unacked report.
+                self.maybe_finish();
+            }
+            NetMsg::Event(interval) => {
+                self.with_core(|core, t| core.observe_local(interval, t));
+            }
+            NetMsg::Fin { from } => {
+                if conn == UPLINK_CONN {
+                    // Fin from the parent direction is meaningless; ignore.
+                    return;
+                }
+                if self.peer_conn.get(&from) == Some(&conn) {
+                    self.child_fins.insert(from);
+                } else {
+                    // An event client finished its feed.
+                    self.feeds_done += 1;
+                }
+                self.maybe_finish();
+            }
+            NetMsg::Uplink { parent } => {
+                if conn != UPLINK_CONN {
+                    return; // the hint only makes sense from the parent direction
+                }
+                if let Some((p, a)) = parent.and_then(|(p, addr)| addr.parse().ok().map(|a| (p, a)))
+                {
+                    self.hint_addrs.insert(p, a);
+                }
+            }
+        }
+    }
+
+    // -- write-side ----------------------------------------------------------
+
+    /// Flushes every connection with queued output and keeps each one's
+    /// write-readiness interest in sync with whether a residue remains.
+    /// Runs once per loop iteration, right before the poller wait — the
+    /// coalescing point.
+    fn flush_all(&mut self) {
+        if let Uplink::Up { conn, .. } = &mut self.uplink {
+            if conn.pending_out() || conn.want_write {
+                match conn.flush(&self.shared.counters) {
+                    Ok(still_pending) => {
+                        if still_pending != conn.want_write {
+                            conn.want_write = still_pending;
+                            let interest = if still_pending {
+                                PollEvent::all(KEY_UPLINK)
+                            } else {
+                                PollEvent::readable(KEY_UPLINK)
+                            };
+                            let _ = self.poller.modify(&conn.stream, interest);
+                        }
+                    }
+                    Err(_) => self.uplink_down(),
+                }
+            }
+        }
+        let dirty: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.pending_out() || c.want_write)
+            .map(|(&id, _)| id)
+            .collect();
+        for conn_id in dirty {
+            let result = {
+                let counters = &self.shared.counters;
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    continue;
+                };
+                conn.flush(counters)
+            };
+            match result {
+                Ok(still_pending) => {
+                    let key = KEY_CONN_BASE + conn_id as usize;
+                    let Some(conn) = self.conns.get_mut(&conn_id) else {
+                        continue;
+                    };
+                    if still_pending != conn.want_write {
+                        conn.want_write = still_pending;
+                        let interest = if still_pending {
+                            PollEvent::all(key)
+                        } else {
+                            PollEvent::readable(key)
+                        };
+                        let _ = self.poller.modify(&conn.stream, interest);
+                    }
+                }
+                Err(_) => self.close_conn(conn_id),
             }
         }
     }
 }
 
-fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -> NodeReport {
+fn reactor_loop(listener: TcpListener, config: NodeConfig, shared: Arc<Shared>) -> NodeReport {
     let mut core = MonitorCore::new(
         config.me,
         config.parent.map(|(p, _)| p),
@@ -596,236 +1037,120 @@ fn main_loop(config: NodeConfig, shared: Arc<Shared>, events: Receiver<Event>) -
         if let Some((p, _)) = config.parent {
             // A restarted incarnation must not just resume the stream —
             // the parent dropped it at crash time. Arm the adoption
-            // handshake; the first UplinkUp sends the Adopt frame.
+            // handshake; the first established uplink sends the Adopt
+            // frame.
             core.membership_mut().begin_adoption(p, None);
         }
     }
-    let mut st = MainState {
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return NodeReport::default(),
+    };
+    if listener.set_nonblocking(true).is_err()
+        || poller
+            .add(&listener, PollEvent::readable(KEY_LISTENER))
+            .is_err()
+    {
+        return NodeReport::default();
+    }
+
+    let mut st = ReactorState {
         core,
         config,
         start: Instant::now(),
+        poller,
+        timers: TimerWheel::new(),
         conns: HashMap::new(),
+        next_conn: 1,
         peer_conn: HashMap::new(),
-        uplink: None,
-        uplink_peer: None,
+        uplink: Uplink::Idle,
+        uplink_ever_up: false,
         hint_addrs: BTreeMap::new(),
         feeds_done: 0,
         child_fins: BTreeSet::new(),
         fin_sent: false,
+        shared,
     };
 
-    let heartbeat_period = st.config.monitor.heartbeat_period.map(to_duration);
-    let mut next_heartbeat = heartbeat_period.map(|p| st.start + p);
-    let mut next_retransmit = st
-        .config
-        .monitor
-        .retransmit_period
-        .map(|p| st.start + to_duration(p));
-    // Decentralized failure detection: check for silent peers at half the
-    // timeout (only meaningful with heartbeats on).
-    let suspect_timeout = st.config.heartbeat_timeout;
-    let suspect_period = Duration::from_micros((suspect_timeout.as_micros() / 2).max(1));
-    let mut next_suspect = heartbeat_period.map(|_| st.start + suspect_period);
+    // Arm the initial timers; each re-arms itself from its handler.
+    if let Some(period) = st.config.monitor.heartbeat_period {
+        st.timers
+            .arm(st.start + to_duration(period), Timer::Heartbeat);
+        // Decentralized failure detection: check for silent peers at half
+        // the timeout (only meaningful with heartbeats on).
+        let suspect_period =
+            Duration::from_micros((st.config.heartbeat_timeout.as_micros() / 2).max(1));
+        st.timers.arm(st.start + suspect_period, Timer::Suspect);
+    }
+    if let Some(period) = st.config.monitor.retransmit_period {
+        st.timers
+            .arm(st.start + to_duration(period), Timer::Retransmit);
+    }
+    if st.config.parent.is_some() {
+        st.timers.arm(st.start, Timer::Reconnect); // dial immediately
+    }
 
+    let mut events = Events::new();
     loop {
-        // Fire due timers (heartbeats, retransmit bursts, suspicion).
         let now = Instant::now();
-        if let (Some(at), Some(period)) = (next_heartbeat, heartbeat_period) {
-            if now >= at {
-                st.with_transport(|core, t| core.send_heartbeats(t));
-                send_uplink_hints(&mut st, &shared);
-                next_heartbeat = Some(now + period);
-            }
+        while let Some(timer) = st.timers.pop_due(now) {
+            st.fire_timer(timer);
         }
-        if let Some(at) = next_retransmit {
-            if now >= at {
-                let delay = st.with_transport(|core, t| core.on_retransmit_due(t));
-                next_retransmit = delay.map(|d| now + to_duration(d));
-            }
+        if st.shared.shutdown.load(Ordering::SeqCst) {
+            break;
         }
-        if let Some(at) = next_suspect {
-            if now >= at {
-                membership_round(&mut st, &shared, suspect_timeout);
-                next_suspect = Some(now + suspect_period);
-            }
-        }
+        st.flush_all();
 
-        // Sleep until the next deadline or event.
-        let deadline = [next_heartbeat, next_retransmit, next_suspect]
-            .into_iter()
-            .flatten()
-            .min();
-        let timeout = deadline
+        let timeout = st
+            .timers
+            .next_deadline()
             .map(|at| at.saturating_duration_since(Instant::now()))
-            .unwrap_or(READ_POLL)
-            .min(READ_POLL);
-        let event = match events.recv_timeout(timeout) {
-            Ok(ev) => ev,
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
-        };
-
-        match event {
-            Event::Accepted { conn, writer } => {
-                st.conns.insert(conn, writer);
-            }
-            Event::Closed { conn } => {
-                st.conns.remove(&conn);
-                // Only unmap the peer if it still points at this
-                // connection — its replacement may have registered first.
-                st.peer_conn.retain(|_, &mut c| c != conn);
-            }
-            Event::UplinkUp { peer, writer } => {
-                st.uplink = Some(writer);
-                st.uplink_peer = Some(peer);
-                if st.core.membership().is_adopting() {
-                    // The uplink now points at the prospective parent:
-                    // open (or re-knock on) the adoption handshake. The
-                    // resync happens when the AdoptAck lands.
-                    st.with_transport(|core, t| core.send_adoption_request(t));
-                } else {
-                    // New connection, cold decoder on the other end:
-                    // restart the uplink stream from a standalone frame.
-                    st.with_transport(|core, t| core.resync_uplink(t));
-                    st.maybe_finish(&shared); // re-announce Fin if we were done
+            .unwrap_or(WAKE_POLL)
+            .min(WAKE_POLL);
+        if st.poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
+        }
+        for ev in events.iter() {
+            match ev.key {
+                KEY_LISTENER => st.accept_ready(&listener),
+                KEY_UPLINK => match &st.uplink {
+                    Uplink::Connecting { .. } if ev.writable => st.uplink_connect_resolved(),
+                    Uplink::Connecting { .. } => {}
+                    Uplink::Up { .. } => {
+                        if ev.readable {
+                            st.uplink_readable();
+                        }
+                        // Write readiness drains via flush_all below.
+                    }
+                    Uplink::Idle => {}
+                },
+                key => {
+                    let conn_id = (key - KEY_CONN_BASE) as u64;
+                    if ev.readable {
+                        st.conn_readable(conn_id);
+                    }
+                    // Write readiness drains via flush_all below.
                 }
             }
-            Event::UplinkDown => {
-                st.uplink = None;
-                st.uplink_peer = None;
-                // The next connection is a new session: a Fin already sent
-                // on the dead one must be announced again.
-                st.fin_sent = false;
-            }
-            Event::Msg { conn, msg } => {
-                handle_msg(&mut st, &shared, conn, msg);
-            }
-            Event::Stop => break,
         }
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if st.shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
     }
 
     let now = st.now();
     let timeout = st.config.heartbeat_timeout;
+    let counters = &st.shared.counters;
     NodeReport {
         detections: st.core.detections().to_vec(),
-        bytes_sent: shared.counters.bytes_sent.load(Ordering::Relaxed),
-        bytes_received: shared.counters.bytes_received.load(Ordering::Relaxed),
-        interval_frames_sent: shared.counters.interval_frames_sent.load(Ordering::Relaxed),
-        standalone_frames_sent: shared
-            .counters
-            .standalone_frames_sent
-            .load(Ordering::Relaxed),
-        reconnects: shared.counters.reconnects.load(Ordering::Relaxed),
+        bytes_sent: counters.bytes_sent.load(Ordering::Relaxed),
+        bytes_received: counters.bytes_received.load(Ordering::Relaxed),
+        interval_frames_sent: counters.interval_frames_sent.load(Ordering::Relaxed),
+        standalone_frames_sent: counters.standalone_frames_sent.load(Ordering::Relaxed),
+        reconnects: counters.reconnects.load(Ordering::Relaxed),
         interval_msgs_sent: st.core.interval_msgs_sent(),
+        syscalls: counters.syscalls.load(Ordering::Relaxed) + st.poller.syscalls(),
         suspects_at_exit: st.core.suspects(now, timeout),
-    }
-}
-
-/// Sends the TCP half of the grandparent hint to every connected child:
-/// where this node's own uplink points (id + address). A child that
-/// loses this node dials that address for the adoption handshake.
-fn send_uplink_hints(st: &mut MainState, shared: &Shared) {
-    let target = *shared.uplink_target.lock().expect("target lock");
-    let hint = NetMsg::Uplink {
-        parent: target.map(|(p, addr)| (p, addr.to_string())),
-    };
-    for (peer, conn) in &st.peer_conn {
-        if st.core.engine().has_child(*peer) {
-            if let Some(writer) = st.conns.get(conn) {
-                let _ = writer.send(hint.clone());
-            }
-        }
-    }
-}
-
-/// One decentralized failure-detection round (the TCP driver of
-/// [`MonitorCore::membership_tick`]): dead children are dropped by the
-/// core itself; a dead parent re-targets the uplink thread at the
-/// grandparent and severs the current socket — the handshake goes out
-/// once `UplinkUp` reports the new connection.
-fn membership_round(st: &mut MainState, shared: &Shared, timeout: SimTime) {
-    let decisions = st.with_transport(|core, t| core.membership_tick(timeout, t));
-    for decision in decisions {
-        match decision {
-            MembershipEvent::AdoptionStarted { target } => {
-                if st.uplink_peer == Some(target) && st.uplink.is_some() {
-                    // Already dialed at the target: (re-)knock directly.
-                    st.with_transport(|core, t| core.send_adoption_request(t));
-                } else if let Some(&addr) = st.hint_addrs.get(&target) {
-                    *shared.uplink_target.lock().expect("target lock") = Some((target, addr));
-                    // Sever the current socket (if any): the uplink
-                    // thread re-reads the target and dials the new
-                    // adoption candidate.
-                    if let Some(stream) = shared.uplink_stream.lock().expect("uplink lock").as_ref()
-                    {
-                        let _ = stream.shutdown(Shutdown::Both);
-                    }
-                }
-            }
-            // A dropped child may have been the last thing gating Fin;
-            // an orphaned node just keeps serving its subtree.
-            MembershipEvent::ChildDropped(_) | MembershipEvent::Orphaned { .. } => {}
-        }
-    }
-    st.maybe_finish(shared);
-}
-
-fn handle_msg(st: &mut MainState, shared: &Shared, conn: u64, msg: NetMsg) {
-    match msg {
-        NetMsg::Hello { node, kind, proto } => {
-            if proto != PROTO_VERSION {
-                // Incompatible peer: drop its writer; its reader will
-                // observe the close when the socket goes away at shutdown.
-                st.conns.remove(&conn);
-                return;
-            }
-            if kind == PeerKind::Child {
-                st.peer_conn.insert(node, conn);
-                let now = st.now();
-                st.core.note_heartbeat(node, now);
-            }
-            let me = st.config.me;
-            if let Some(writer) = st.conns.get(&conn) {
-                let _ = writer.send(NetMsg::HelloAck { node: me });
-            }
-        }
-        NetMsg::HelloAck { node } => {
-            // Parent accepted our handshake — counts as liveness.
-            let now = st.now();
-            st.core.note_heartbeat(node, now);
-        }
-        NetMsg::Detect(d) => {
-            st.with_transport(|core, t| core.on_message(d, t));
-            // An ack may have drained the last unacked report.
-            st.maybe_finish(shared);
-        }
-        NetMsg::Event(interval) => {
-            st.with_transport(|core, t| core.observe_local(interval, t));
-        }
-        NetMsg::Fin { from } => {
-            if conn == 0 {
-                // Fin from the parent direction is meaningless; ignore.
-                return;
-            }
-            if st.peer_conn.get(&from) == Some(&conn) {
-                st.child_fins.insert(from);
-            } else {
-                // An event client finished its feed.
-                st.feeds_done += 1;
-            }
-            st.maybe_finish(shared);
-        }
-        NetMsg::Uplink { parent } => {
-            if conn != 0 {
-                return; // the hint only makes sense from the parent direction
-            }
-            if let Some((p, a)) = parent.and_then(|(p, addr)| addr.parse().ok().map(|a| (p, a))) {
-                st.hint_addrs.insert(p, a);
-            }
-        }
     }
 }
 

@@ -14,7 +14,8 @@
 //!   2 HelloAck := u32 node
 //!   3 Detect   := u8 subtag, fields…
 //!        0 Interval    := u32 from, u8 resync, interval frame (codec)
-//!        1 Heartbeat   := u32 from, u64 epoch, u8 has_parent, [u32 parent]
+//!        1 Heartbeat   := u32 from, u64 epoch, u8 has_parent, [u32 parent],
+//!                         u8 n_ancestors, n × u32 ancestor
 //!        2 Ack         := u32 from, u64 upto
 //!        3 SetParent   := u8 has_parent, [u32 parent]
 //!        4 AddChild    := u32 child
@@ -45,8 +46,10 @@ use ftscp_vclock::ProcessId;
 /// Session protocol version carried in HELLO; a mismatch kills the
 /// connection during the handshake instead of corrupting streams later.
 /// v2 added the membership messages (epoch-carrying heartbeats, the
-/// adoption handshake, and the `Uplink` grandparent hint).
-pub const PROTO_VERSION: u8 = 2;
+/// adoption handshake, and the `Uplink` grandparent hint); v3 extended
+/// `Heartbeat` with the sender's ancestor chain (the fallback-adopter
+/// ladder past the grandparent).
+pub const PROTO_VERSION: u8 = 3;
 
 /// What a connecting peer is, declared in its HELLO.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,6 +148,7 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
                     from,
                     epoch,
                     parent,
+                    ancestors,
                 } => {
                     out.push(1);
                     put_u32(&mut out, from.0);
@@ -155,6 +159,11 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
                             put_u32(&mut out, p.0);
                         }
                         None => out.push(0),
+                    }
+                    debug_assert!(ancestors.len() <= u8::MAX as usize);
+                    out.push(ancestors.len() as u8);
+                    for a in ancestors {
+                        put_u32(&mut out, a.0);
                     }
                 }
                 DetectMsg::Ack { from, upto } => {
@@ -341,15 +350,26 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
                         resync,
                     }
                 }
-                1 => DetectMsg::Heartbeat {
-                    from: ProcessId(c.u32()?),
-                    epoch: c.u64()?,
-                    parent: match c.u8()? {
+                1 => {
+                    let from = ProcessId(c.u32()?);
+                    let epoch = c.u64()?;
+                    let parent = match c.u8()? {
                         0 => None,
                         1 => Some(ProcessId(c.u32()?)),
                         _ => return Err(DecodeError("bad parent flag")),
-                    },
-                },
+                    };
+                    let n = c.u8()? as usize;
+                    let mut ancestors = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        ancestors.push(ProcessId(c.u32()?));
+                    }
+                    DetectMsg::Heartbeat {
+                        from,
+                        epoch,
+                        parent,
+                        ancestors,
+                    }
+                }
                 2 => DetectMsg::Ack {
                     from: ProcessId(c.u32()?),
                     upto: c.u64()?,
@@ -483,11 +503,19 @@ mod tests {
                 from: ProcessId(3),
                 epoch: 6,
                 parent: Some(ProcessId(0)),
+                ancestors: vec![],
             }),
             NetMsg::Detect(DetectMsg::Heartbeat {
                 from: ProcessId(0),
                 epoch: 0,
                 parent: None,
+                ancestors: vec![],
+            }),
+            NetMsg::Detect(DetectMsg::Heartbeat {
+                from: ProcessId(9),
+                epoch: 2,
+                parent: Some(ProcessId(4)),
+                ancestors: vec![ProcessId(1), ProcessId(0)],
             }),
             NetMsg::Detect(DetectMsg::Ack {
                 from: ProcessId(1),

@@ -1,10 +1,51 @@
 //! Property tests for the length-prefixed framer: any valid stream
 //! reassembles exactly under arbitrary chunking, any truncation is merely
 //! pending, and hostile length prefixes fail closed without panicking or
-//! allocating.
+//! allocating. The `fill_*` tests drive the reactor's readiness-polled
+//! read path ([`fill`]/[`FillStatus`]) the way epoll does: one `fill`
+//! call per readable event, each delivering whatever the "socket"
+//! happens to have buffered — one byte, a frame fragment, or many
+//! coalesced frames.
 
-use ftscp_net::frame::{frame_bytes, FrameBuffer, MAX_FRAME_LEN};
+use ftscp_net::frame::{fill, frame_bytes, FillStatus, FrameBuffer, MAX_FRAME_LEN};
 use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::{self, Read};
+
+/// A fake nonblocking socket: each readable "event" yields one queued
+/// chunk, then `WouldBlock` (the drained-kernel-buffer signal that makes
+/// [`fill`] return [`FillStatus::Open`]); an empty queue reads as EOF.
+struct ChunkedReader {
+    chunks: VecDeque<Vec<u8>>,
+    gap: bool,
+}
+
+impl ChunkedReader {
+    fn new(chunks: impl IntoIterator<Item = Vec<u8>>) -> Self {
+        ChunkedReader {
+            chunks: chunks.into_iter().collect(),
+            gap: false,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.gap {
+            self.gap = false;
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let Some(chunk) = self.chunks.front() else {
+            return Ok(0);
+        };
+        assert!(buf.len() >= chunk.len(), "test chunks fit one read");
+        buf[..chunk.len()].copy_from_slice(chunk);
+        let n = chunk.len();
+        self.chunks.pop_front();
+        self.gap = true;
+        Ok(n)
+    }
+}
 
 fn frames_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
     proptest::collection::vec(
@@ -109,5 +150,85 @@ proptest! {
         let mut fb = FrameBuffer::new();
         fb.push(&bytes);
         while let Ok(Some(_)) = fb.next_frame() {}
+    }
+
+    /// The slowest possible socket: every readable event carries exactly
+    /// one byte. Each `fill` reports `Open { bytes: 1 }`, frames pop out
+    /// exactly at their last byte, and the reassembly is exact.
+    #[test]
+    fn fill_byte_at_a_time_reassembles_exactly(frames in frames_strategy()) {
+        let stream = stream_of(&frames);
+        let mut r = ChunkedReader::new(stream.iter().map(|&b| vec![b]));
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        loop {
+            match fill(&mut r, &mut fb).expect("in-memory reads never fail") {
+                FillStatus::Open { bytes } => {
+                    prop_assert_eq!(bytes, 1, "one byte per readable event");
+                    out.extend(drain(&mut fb));
+                }
+                FillStatus::Eof => break,
+            }
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert_eq!(fb.pending_len(), 0);
+    }
+
+    /// Splitting the stream into two reads at EVERY byte offset — in
+    /// particular at every frame boundary and everywhere inside every
+    /// length prefix — never loses, duplicates, or reorders a frame.
+    #[test]
+    fn fill_split_at_every_offset_is_exact(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(proptest::num::u8::ANY, 0..40),
+            0..6,
+        ),
+    ) {
+        let stream = stream_of(&frames);
+        for cut in 0..=stream.len() {
+            let chunks = [&stream[..cut], &stream[cut..]]
+                .iter()
+                .filter(|c| !c.is_empty())
+                .map(|c| c.to_vec())
+                .collect::<Vec<_>>();
+            let mut r = ChunkedReader::new(chunks);
+            let mut fb = FrameBuffer::new();
+            let mut out = Vec::new();
+            loop {
+                match fill(&mut r, &mut fb).expect("in-memory reads never fail") {
+                    FillStatus::Open { .. } => out.extend(drain(&mut fb)),
+                    FillStatus::Eof => break,
+                }
+            }
+            prop_assert_eq!(&out, &frames, "split at offset {}", cut);
+            prop_assert_eq!(fb.pending_len(), 0);
+        }
+    }
+
+    /// The fastest possible socket: every frame arrives coalesced into
+    /// one readable event (Nagle, a burst, or the peer's write
+    /// coalescing). A single `fill` buffers them all and one drain pass
+    /// yields every frame.
+    #[test]
+    fn fill_coalesced_burst_drains_in_one_pass(frames in frames_strategy()) {
+        let stream = stream_of(&frames);
+        let mut r = ChunkedReader::new(if stream.is_empty() {
+            vec![]
+        } else {
+            vec![stream.clone()]
+        });
+        let mut fb = FrameBuffer::new();
+        match fill(&mut r, &mut fb).expect("in-memory reads never fail") {
+            FillStatus::Open { bytes } => {
+                prop_assert_eq!(bytes, stream.len(), "the whole burst in one event");
+                prop_assert_eq!(drain(&mut fb), frames);
+                prop_assert_eq!(fb.pending_len(), 0);
+                prop_assert!(matches!(
+                    fill(&mut r, &mut fb).expect("eof read"),
+                    FillStatus::Eof
+                ));
+            }
+            FillStatus::Eof => prop_assert!(stream.is_empty(), "EOF only on an empty stream"),
+        }
     }
 }

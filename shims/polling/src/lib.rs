@@ -1,0 +1,526 @@
+//! Offline shim for the [`polling`](https://docs.rs/polling/3) crate:
+//! portable readiness polling over OS sockets, implementing exactly the
+//! API surface the workspace consumes (see `shims/README.md`).
+//!
+//! On Linux the backend is **epoll**, reached through self-declared
+//! `extern "C"` prototypes — `std` already links libc, so no external
+//! crate is needed to make the syscalls. Everywhere else the backend is
+//! **`poll(2)`**, which is slower (O(fds) per wait, interest list
+//! rebuilt in userspace) but semantically identical for the level-
+//! triggered subset used here.
+//!
+//! Deliberate differences from upstream `polling 3`:
+//!
+//! - `Poller::add` is a safe fn (upstream marks it `unsafe` because the
+//!   caller must keep the fd alive; our callers register owned sockets
+//!   they deregister before dropping).
+//! - Level-triggered only — `Event` carries no mode, and interests stay
+//!   armed until changed (upstream defaults to oneshot). Callers
+//!   `modify` interests instead of re-arming after every wait.
+//! - `wait` returns on `EINTR` with zero events instead of retrying.
+//!
+//! The shim also counts every `epoll_wait`/`poll` syscall it issues
+//! ([`Poller::syscalls`]) so reactor benchmarks can report syscalls per
+//! unit of work without instrumenting the kernel.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Interest in (or readiness of) a registered source, tagged with the
+/// caller's `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier, echoed back on readiness.
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest — keeps the source registered (so `modify` can re-arm
+    /// it later) without reporting readiness.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Output buffer for [`Poller::wait`]. Reused across calls; `wait`
+/// clears it before filling.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    pub fn new() -> Events {
+        Events { inner: Vec::new() }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Readiness poller over OS sockets.
+pub struct Poller {
+    backend: backend::Backend,
+    waits: AtomicU64,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: backend::Backend::new()?,
+            waits: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers `source` with the given interest. The source must stay
+    /// open (and should be nonblocking) until [`Poller::delete`].
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.backend.add(source.as_raw_fd(), interest)
+    }
+
+    /// Replaces the interest of an already-registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.backend.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Deregisters a source. Must be called before the source is closed.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.backend.delete(source.as_raw_fd())
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely). Returns the number of
+    /// events written into `events` (0 on timeout or `EINTR`).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        self.backend.wait(&mut events.inner, timeout)
+    }
+
+    /// Number of wait syscalls issued so far (shim extension; see the
+    /// module docs).
+    pub fn syscalls(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+}
+
+/// Clamps a timeout to the millisecond resolution of the kernel APIs,
+/// rounding up so a nonzero timeout never busy-spins as 0ms.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) if t.is_zero() => 0,
+        Some(t) => {
+            let ms = t.as_millis().max(1);
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! epoll(7), level-triggered.
+
+    use super::{timeout_ms, Event};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // x86_64 Linux declares `struct epoll_event` packed; matching the
+    // kernel ABI exactly is what makes these prototypes safe to declare
+    // by hand.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    pub struct Backend {
+        epfd: RawFd,
+    }
+
+    // The epoll fd is only used behind `&self` syscalls, all of which
+    // are thread-safe per epoll(7).
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    fn interest_bits(interest: Event) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    fn check(ret: i32) -> io::Result<()> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            check(epfd)?;
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+            let mut ev = interest.map(|i| EpollEvent {
+                events: interest_bits(i),
+                data: i.key as u64,
+            });
+            let ptr = ev
+                .as_mut()
+                .map(|e| e as *mut EpollEvent)
+                .unwrap_or(std::ptr::null_mut());
+            check(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some(interest))
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some(interest))
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return if err.kind() == io::ErrorKind::Interrupted {
+                    Ok(0)
+                } else {
+                    Err(err)
+                };
+            }
+            for ev in &buf[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, data) = (ev.events, ev.data);
+                out.push(Event {
+                    key: data as usize,
+                    // Errors and hangups surface as both readable and
+                    // writable so whichever direction the caller is
+                    // waiting on observes the failure via read()/write().
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod backend {
+    //! Portable poll(2) fallback: the interest list lives in userspace
+    //! and is rebuilt into a `pollfd` array on every wait.
+
+    use super::{timeout_ms, Event};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    pub struct Backend {
+        interests: Mutex<BTreeMap<RawFd, Event>>,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                interests: Mutex::new(BTreeMap::new()),
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut map = self.interests.lock().unwrap();
+            if map.insert(fd, interest).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut map = self.interests.lock().unwrap();
+            match map.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut map = self.interests.lock().unwrap();
+            match map.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let entries: Vec<(RawFd, Event)> = {
+                let map = self.interests.lock().unwrap();
+                map.iter().map(|(&fd, &ev)| (fd, ev)).collect()
+            };
+            let mut fds: Vec<PollFd> = entries
+                .iter()
+                .map(|&(fd, ev)| PollFd {
+                    fd,
+                    events: if ev.readable { POLLIN } else { 0 }
+                        | if ev.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return if err.kind() == io::ErrorKind::Interrupted {
+                    Ok(0)
+                } else {
+                    Err(err)
+                };
+            }
+            for (pfd, &(_, interest)) in fds.iter().zip(&entries) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    key: interest.key,
+                    readable: pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: pfd.revents & (POLLOUT | POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn empty_poller_times_out() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(poller.syscalls(), 1);
+    }
+
+    #[test]
+    fn connected_stream_is_writable_then_readable() {
+        let (a, mut b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::writable(7)).unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("connected stream writable");
+        assert_eq!(ev.key, 7);
+        assert!(ev.writable);
+
+        // Flip interest to readable; nothing to read yet.
+        poller.modify(&a, Event::readable(7)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        b.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("data makes the peer readable");
+        assert!(ev.readable);
+        let mut buf = [0u8; 8];
+        let got = {
+            let mut a = &a;
+            a.read(&mut buf).unwrap()
+        };
+        assert_eq!(&buf[..got], b"ping");
+    }
+
+    #[test]
+    fn peer_close_reports_readable_eof() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::readable(3)).unwrap();
+        drop(b);
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("hangup is reported");
+        assert_eq!(ev.key, 3);
+        assert!(ev.readable, "EOF must surface as readability");
+    }
+
+    #[test]
+    fn delete_stops_reporting() {
+        let (a, mut b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::readable(1)).unwrap();
+        b.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        poller.delete(&a).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn none_interest_keeps_registration_silent() {
+        let (a, mut b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::none(9)).unwrap();
+        b.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "no interest, no events");
+        poller.modify(&a, Event::readable(9)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}
