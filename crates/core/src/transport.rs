@@ -135,7 +135,8 @@ impl MonitorCore {
         level: u32,
         config: MonitorConfig,
     ) -> Self {
-        let mut engine = NodeEngine::new(me, children, parent.is_none());
+        let mut engine =
+            NodeEngine::new(me, children, parent.is_none()).with_sweep_mode(config.sweep_mode);
         engine.set_level(level);
         MonitorCore {
             me,

@@ -21,6 +21,7 @@
 //! child without disturbing the others.
 
 use crate::interval::Interval;
+use crate::par;
 use crate::prune;
 use crate::solution::Solution;
 use crate::summary::SweepSummary;
@@ -101,6 +102,36 @@ pub enum SweepMode {
     /// [`SweepMode::Full`] — only the traversal and the operation count
     /// change.
     Aggregate,
+    /// [`Aggregate`](SweepMode::Aggregate) with the large per-visit
+    /// regions — summary materialization, the pairwise fallback row, and
+    /// the Eq. (10) prune pre-gate — sharded across scoped worker threads
+    /// (see the `par` module). `threads: 0` resolves via
+    /// [`effective_threads`](crate::par::effective_threads) (the
+    /// `FTSCP_SWEEP_THREADS` env var, else `available_parallelism`); a
+    /// resolved count of 1, or a region smaller than the spawn-amortizing
+    /// threshold, runs the sequential `Aggregate` code unchanged.
+    ///
+    /// The contract is bit-identical observable state: the same deletion
+    /// order, same emissions, same prune decisions, and the same
+    /// [`OpCounter`] totals as `Aggregate` — parallelism only changes
+    /// wall-clock. Each call site carries its determinism argument; the
+    /// bench harness and property tests assert the equality at runtime.
+    AggregateParallel {
+        /// Worker-thread budget per parallel region; 0 = auto.
+        threads: usize,
+    },
+}
+
+impl SweepMode {
+    /// True for the summary-gated sweeps ([`Aggregate`](Self::Aggregate)
+    /// and [`AggregateParallel`](Self::AggregateParallel)), which share
+    /// the `⊓`-summary, chunked comparators, and aggregate prune.
+    pub fn is_aggregate(self) -> bool {
+        matches!(
+            self,
+            SweepMode::Aggregate | SweepMode::AggregateParallel { .. }
+        )
+    }
 }
 
 /// Cached directed-overlap verdict for the heads of one queue pair,
@@ -425,7 +456,7 @@ impl QueueBank {
         if self.slots.get(idx).and_then(|s| s.as_ref()).is_none() {
             return Vec::new();
         }
-        if matches!(self.mode, SweepMode::Aggregate) {
+        if self.mode.is_aggregate() {
             self.summary.touch();
         }
         self.slots[idx] = None;
@@ -478,7 +509,7 @@ impl QueueBank {
 
         if new_len == 1 {
             self.head_gens[idx] += 1;
-            if matches!(self.mode, SweepMode::Aggregate) {
+            if self.mode.is_aggregate() {
                 self.summary.touch();
             }
             self.run_detection(BTreeSet::from([idx]))
@@ -517,7 +548,7 @@ impl QueueBank {
                 slot: SlotId(idx as u32),
             });
         }
-        if popped.is_some() && matches!(self.mode, SweepMode::Aggregate) {
+        if popped.is_some() && self.mode.is_aggregate() {
             self.summary.touch();
         }
         popped
@@ -614,7 +645,7 @@ impl QueueBank {
             let y_lt = order::strictly_less_counted(&y.lo, &x.hi, &self.ops);
             return Some((x_lt, y_lt));
         }
-        if matches!(self.mode, SweepMode::Aggregate) {
+        if self.mode.is_aggregate() {
             // Pairwise fallback rows (summary gate failed) run through the
             // word-chunked comparator; no pair cache in this mode.
             let x_lt = order::strictly_less_chunked_counted(&x.lo, &y.hi, &self.ops);
@@ -653,6 +684,15 @@ impl QueueBank {
         })
     }
 
+    /// Resolved worker budget for parallel sweep regions: 1 unless the
+    /// mode is [`SweepMode::AggregateParallel`].
+    fn sweep_threads(&self) -> usize {
+        match self.mode {
+            SweepMode::AggregateParallel { threads } => par::effective_threads(threads),
+            _ => 1,
+        }
+    }
+
     /// The main loop: pairwise sweep to fixpoint, then solution emission and
     /// Eq. (10) pruning, repeated while progress is possible.
     fn run_detection(&mut self, mut updated: BTreeSet<usize>) -> Vec<Solution> {
@@ -671,7 +711,22 @@ impl QueueBank {
                     else {
                         continue;
                     };
-                    if matches!(self.mode, SweepMode::Aggregate) {
+                    // Per-visit region size (other heads × clock width):
+                    // with a worker budget > 1, regions past PAR_MIN_REGION
+                    // shard across scoped threads; everything else runs the
+                    // sequential Aggregate code verbatim.
+                    let threads = self.sweep_threads();
+                    let width = self.slots[a]
+                        .as_ref()
+                        .and_then(|q| q.items.front())
+                        .map_or(0, |iv| iv.lo.components().len());
+                    let region = self.active.saturating_sub(1) * width;
+                    let region_threads = if threads > 1 && region >= par::PAR_MIN_REGION {
+                        threads
+                    } else {
+                        1
+                    };
+                    if self.mode.is_aggregate() {
                         // One O(n) test against the ⊓-summary replaces the
                         // O(k·n) pairwise row whenever it certifies that
                         // this visit deletes nothing (the overwhelmingly
@@ -689,11 +744,68 @@ impl QueueBank {
                             .as_ref()
                             .and_then(|q| q.items.front())
                             .expect("head id was just read");
-                        if summary.certify(a, iv.lo.components(), iv.hi.components(), &heads, ops) {
+                        if summary.certify_par(
+                            a,
+                            iv.lo.components(),
+                            iv.hi.components(),
+                            &heads,
+                            ops,
+                            region_threads,
+                        ) {
                             stats.gate_hits += 1;
                             continue;
                         }
                         stats.gate_misses += 1;
+                    }
+                    if region_threads > 1 {
+                        // Parallel pairwise fallback row. The sequential
+                        // row visits every b without cross-b early exit and
+                        // each (a, b) verdict reads only the two heads, so
+                        // per-b verdicts computed on any worker are the
+                        // same values; merging them in ascending b keeps
+                        // the first-wins culprit rule, and the shared
+                        // counter receives the same per-pair amounts in
+                        // some order — identical totals, Relaxed adds.
+                        let ivs: Vec<Option<&Interval>> = self
+                            .slots
+                            .iter()
+                            .map(|s| s.as_ref().and_then(|q| q.items.front()))
+                            .collect();
+                        let x = ivs[a].expect("head id was just read");
+                        let ops = &self.ops;
+                        let rows = par::run_partitioned(
+                            ivs.len(),
+                            region_threads * 4,
+                            region_threads,
+                            |r| {
+                                let mut out: Vec<(usize, bool, bool, TraceId)> = Vec::new();
+                                for b in r {
+                                    if b == a {
+                                        continue;
+                                    }
+                                    let Some(y) = ivs[b] else {
+                                        continue;
+                                    };
+                                    let x_lt =
+                                        order::strictly_less_chunked_counted(&x.lo, &y.hi, ops);
+                                    let y_lt =
+                                        order::strictly_less_chunked_counted(&y.lo, &x.hi, ops);
+                                    out.push((b, x_lt, y_lt, trace_id(y)));
+                                }
+                                out
+                            },
+                        );
+                        for (b, x_lt, y_lt, y_id) in rows.into_iter().flatten() {
+                            if !x_lt {
+                                new_updated.insert(b);
+                                culprits.entry(b).or_insert(x_id);
+                            }
+                            if !y_lt {
+                                new_updated.insert(a);
+                                culprits.entry(a).or_insert(y_id);
+                            }
+                        }
+                        continue;
                     }
                     for b in 0..self.slots.len() {
                         if b == a {
@@ -788,6 +900,11 @@ impl QueueBank {
             let refs: Vec<&Interval> = heads.iter().collect();
             let removable = match self.mode {
                 SweepMode::Aggregate => prune::approximate_removals_aggregate(&refs, &self.ops),
+                SweepMode::AggregateParallel { .. } => prune::approximate_removals_aggregate_par(
+                    &refs,
+                    &self.ops,
+                    self.sweep_threads(),
+                ),
                 _ => prune::approximate_removals(&refs, &self.ops),
             };
             debug_assert!(!removable.is_empty(), "Theorem 4: at least one removal");
@@ -1201,6 +1318,110 @@ mod tests {
             agg.ops().get(),
             full.ops().get()
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_aggregate_bit_for_bit_on_narrow_bank() {
+        // Narrow bank: every region sits below PAR_MIN_REGION, so the
+        // parallel mode must take the sequential code path — outcomes AND
+        // billed totals equal to Aggregate by construction, asserted here
+        // against the same workload as the Full/Aggregate differential.
+        let feed = |bank: &mut QueueBank| {
+            let mut sols = Vec::new();
+            let seqs: [(u32, u64, [u32; 4], [u32; 4]); 10] = [
+                (0, 0, [1, 0, 0, 0], [9, 8, 8, 8]),
+                (1, 0, [2, 1, 0, 0], [8, 9, 8, 8]),
+                (2, 0, [2, 1, 1, 0], [8, 8, 9, 8]),
+                (3, 0, [2, 1, 1, 1], [3, 3, 3, 4]),
+                (3, 1, [4, 4, 4, 5], [6, 6, 6, 7]),
+                (0, 1, [10, 9, 9, 9], [12, 11, 11, 11]),
+                (1, 1, [11, 10, 10, 10], [11, 12, 11, 11]),
+                (2, 1, [11, 10, 11, 10], [11, 11, 12, 11]),
+                (3, 2, [11, 10, 11, 11], [11, 11, 11, 12]),
+                (1, 2, [13, 13, 13, 13], [14, 14, 14, 14]),
+            ];
+            for (p, seq, lo, hi) in seqs {
+                sols.extend(bank.enqueue(SlotId(p), iv(p, seq, &lo, &hi)));
+            }
+            sols.extend(bank.remove_queue(SlotId(3)));
+            sols
+        };
+        let mut agg = QueueBank::new(4).with_sweep_mode(SweepMode::Aggregate);
+        let sols_agg = feed(&mut agg);
+        for threads in [1usize, 2, 4] {
+            let mut par =
+                QueueBank::new(4).with_sweep_mode(SweepMode::AggregateParallel { threads });
+            let sols_par = feed(&mut par);
+            assert_eq!(sols_agg.len(), sols_par.len());
+            for (a, b) in sols_agg.iter().zip(&sols_par) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.intervals, b.intervals);
+            }
+            assert_eq!(
+                agg.stats(),
+                par.stats(),
+                "stats diverged at {threads} threads"
+            );
+            assert_eq!(
+                agg.ops().get(),
+                par.ops().get(),
+                "billed totals diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_aggregate_bit_for_bit_on_wide_bank() {
+        // Wide bank: k = 300 queues × width 300 puts every sweep region
+        // (gate materialization, fallback rows, and the solution prune)
+        // past PAR_MIN_REGION, so the scoped-thread paths genuinely run.
+        // Phase A fills all queues with mutually overlapping heads (gate
+        // hits all the way, one solution, a 300-member parallel prune);
+        // phase B interleaves an earlier window on odd queues so gate
+        // misses force parallel fallback rows and sweeps.
+        let k = 300usize;
+        let feed = |bank: &mut QueueBank| {
+            let mut sols = Vec::new();
+            for p in 0..k {
+                let mut lo = vec![0u32; k];
+                let mut hi = vec![500u32; k];
+                lo[p] = 1;
+                hi[p] = 509;
+                sols.extend(bank.enqueue(SlotId(p as u32), iv(p as u32, 0, &lo, &hi)));
+            }
+            for p in 0..k {
+                let (base_lo, base_hi) = if p % 2 == 0 { (1000, 1500) } else { (600, 700) };
+                let mut lo = vec![base_lo; k];
+                let mut hi = vec![base_hi; k];
+                lo[p] = base_lo + 1;
+                hi[p] = base_hi + 1;
+                sols.extend(bank.enqueue(SlotId(p as u32), iv(p as u32, 1, &lo, &hi)));
+            }
+            sols
+        };
+        let mut agg = QueueBank::new(k).with_sweep_mode(SweepMode::Aggregate);
+        let sols_agg = feed(&mut agg);
+        let gs = agg.stats();
+        assert_eq!(gs.solutions, 1, "phase A emits the full-bank solution");
+        assert_eq!(gs.pruned as usize, k, "concurrent maxes: all pruned");
+        assert!(gs.gate_misses > 0, "phase B must force fallback rows");
+        assert!(gs.swept > 0, "phase B must sweep the early window");
+        for threads in [2usize, 4] {
+            let mut par =
+                QueueBank::new(k).with_sweep_mode(SweepMode::AggregateParallel { threads });
+            let sols_par = feed(&mut par);
+            assert_eq!(sols_agg.len(), sols_par.len());
+            for (a, b) in sols_agg.iter().zip(&sols_par) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.intervals, b.intervals);
+            }
+            assert_eq!(gs, par.stats(), "stats diverged at {threads} threads");
+            assert_eq!(
+                agg.ops().get(),
+                par.ops().get(),
+                "billed totals diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

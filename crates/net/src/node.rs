@@ -844,13 +844,25 @@ impl ReactorState {
     }
 
     /// Sends the TCP half of the grandparent hint to every connected
-    /// child: where this node's own uplink points (id + address). A child
-    /// that loses this node dials that address for the adoption
-    /// handshake.
+    /// child: where this node's own uplink points (id + address), plus
+    /// every higher rung this node has itself learned — its own address
+    /// book, re-relayed one edge down. A child that loses this node dials
+    /// the grandparent; a child that finds the grandparent dead too can
+    /// climb the rest of the ladder, because each rung arrived with an
+    /// address. The chain reaches depth-`k` descendants after `k` beacon
+    /// periods.
     fn send_uplink_hints(&mut self) {
         let target = *self.shared.uplink_target.lock().expect("target lock");
+        let ancestors: Vec<(ProcessId, String)> = self
+            .hint_addrs
+            .iter()
+            .filter(|(p, _)| target.is_none_or(|(tp, _)| **p != tp))
+            .take(u8::MAX as usize)
+            .map(|(&p, a)| (p, a.to_string()))
+            .collect();
         let hint = NetMsg::Uplink {
             parent: target.map(|(p, addr)| (p, addr.to_string())),
+            ancestors,
         };
         let children: Vec<(ProcessId, u64)> = self
             .peer_conn
@@ -952,13 +964,18 @@ impl ReactorState {
                 }
                 self.maybe_finish();
             }
-            NetMsg::Uplink { parent } => {
+            NetMsg::Uplink { parent, ancestors } => {
                 if conn != UPLINK_CONN {
                     return; // the hint only makes sense from the parent direction
                 }
-                if let Some((p, a)) = parent.and_then(|(p, addr)| addr.parse().ok().map(|a| (p, a)))
-                {
-                    self.hint_addrs.insert(p, a);
+                // Every rung lands in the address book: the grandparent
+                // and the relayed chain above it alike. Unparseable
+                // addresses are dropped — a rung without an address just
+                // burns its knock budget as before.
+                for (p, addr) in parent.into_iter().chain(ancestors) {
+                    if let Ok(a) = addr.parse() {
+                        self.hint_addrs.insert(p, a);
+                    }
                 }
             }
         }

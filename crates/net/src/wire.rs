@@ -28,14 +28,18 @@
 //!       11 ReReport    := u32 from, u64 epoch
 //!   4 Event    := interval frame (codec)
 //!   5 Fin      := u32 node
-//!   6 Uplink   := u8 has_parent, [u32 parent, u16 addr_len, addr bytes]
+//!   6 Uplink   := u8 has_parent, [u32 parent, u16 addr_len, addr bytes],
+//!                 u8 n_ancestors, n × (u32 id, u16 addr_len, addr bytes)
 //! ```
 //!
 //! `Uplink` is the TCP-specific half of the grandparent hint: a parent
 //! periodically tells each child where *its own* uplink points (process
-//! id + listen address), so an orphaned child knows whom to dial for the
-//! §III-F adoption handshake. The protocol-level hint (the id alone)
-//! also rides on `Heartbeat`, as on the simulated backend.
+//! id + listen address), plus the listen addresses of every higher rung
+//! it has itself learned — so an orphaned child holds a dialable address
+//! for the whole fallback-adopter ladder, not just the grandparent. The
+//! chain propagates one edge per beacon (each node re-relays what its
+//! own parent told it), mirroring how the id-only ladder rides on
+//! `Heartbeat` on both backends.
 
 use bytes::{Bytes, BytesMut};
 use ftscp_core::protocol::{ConnCodec, DetectMsg};
@@ -48,8 +52,9 @@ use ftscp_vclock::ProcessId;
 /// v2 added the membership messages (epoch-carrying heartbeats, the
 /// adoption handshake, and the `Uplink` grandparent hint); v3 extended
 /// `Heartbeat` with the sender's ancestor chain (the fallback-adopter
-/// ladder past the grandparent).
-pub const PROTO_VERSION: u8 = 3;
+/// ladder past the grandparent); v4 extended `Uplink` with the listen
+/// addresses of that chain, so every ladder rung is dialable.
+pub const PROTO_VERSION: u8 = 4;
 
 /// What a connecting peer is, declared in its HELLO.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +101,12 @@ pub enum NetMsg {
     Uplink {
         /// The sender's parent and its listen address, if any.
         parent: Option<(ProcessId, String)>,
+        /// Listen addresses of the rungs *above* the sender's parent, as
+        /// far as the sender has learned them from its own parent's
+        /// hints. Unordered address book entries — the adoption ladder's
+        /// *order* comes from the heartbeat ancestor chain; these only
+        /// make its targets dialable.
+        ancestors: Vec<(ProcessId, String)>,
     },
 }
 
@@ -105,6 +116,13 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_addr(out: &mut Vec<u8>, addr: &str) {
+    let bytes = addr.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
 }
 
 fn put_interval(out: &mut Vec<u8>, iv: &Interval, codec: &mut ConnCodec) {
@@ -239,18 +257,21 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
             out.push(5);
             put_u32(&mut out, from.0);
         }
-        NetMsg::Uplink { parent } => {
+        NetMsg::Uplink { parent, ancestors } => {
             out.push(6);
             match parent {
                 Some((p, addr)) => {
                     out.push(1);
                     put_u32(&mut out, p.0);
-                    let bytes = addr.as_bytes();
-                    debug_assert!(bytes.len() <= u16::MAX as usize);
-                    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
-                    out.extend_from_slice(bytes);
+                    put_addr(&mut out, addr);
                 }
                 None => out.push(0),
+            }
+            debug_assert!(ancestors.len() <= u8::MAX as usize);
+            out.push(ancestors.len() as u8);
+            for (p, addr) in ancestors {
+                put_u32(&mut out, p.0);
+                put_addr(&mut out, addr);
             }
         }
     }
@@ -303,6 +324,14 @@ impl<'a> Cursor<'a> {
         let (head, rest) = self.0.split_at(len);
         self.0 = rest;
         Ok(head)
+    }
+
+    fn addr(&mut self) -> Result<String, DecodeError> {
+        let len = self.u16()? as usize;
+        let addr = self.bytes(len)?;
+        std::str::from_utf8(addr)
+            .map(str::to_owned)
+            .map_err(|_| DecodeError("uplink addr not utf-8"))
     }
 
     fn interval(&mut self, codec: &mut ConnCodec) -> Result<Interval, DecodeError> {
@@ -424,21 +453,23 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
         5 => NetMsg::Fin {
             from: ProcessId(c.u32()?),
         },
-        6 => NetMsg::Uplink {
-            parent: match c.u8()? {
+        6 => {
+            let parent = match c.u8()? {
                 0 => None,
                 1 => {
                     let p = ProcessId(c.u32()?);
-                    let len = c.u16()? as usize;
-                    let addr = c.bytes(len)?;
-                    let addr = std::str::from_utf8(addr)
-                        .map_err(|_| DecodeError("uplink addr not utf-8"))?
-                        .to_owned();
-                    Some((p, addr))
+                    Some((p, c.addr()?))
                 }
                 _ => return Err(DecodeError("bad parent flag")),
-            },
-        },
+            };
+            let n = c.u8()? as usize;
+            let mut ancestors = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = ProcessId(c.u32()?);
+                ancestors.push((p, c.addr()?));
+            }
+            NetMsg::Uplink { parent, ancestors }
+        }
         _ => return Err(DecodeError("unknown message tag")),
     };
     if !c.0.is_empty() {
@@ -561,8 +592,19 @@ mod tests {
             NetMsg::Fin { from: ProcessId(4) },
             NetMsg::Uplink {
                 parent: Some((ProcessId(0), "127.0.0.1:7400".to_owned())),
+                ancestors: vec![],
             },
-            NetMsg::Uplink { parent: None },
+            NetMsg::Uplink {
+                parent: Some((ProcessId(1), "127.0.0.1:7401".to_owned())),
+                ancestors: vec![
+                    (ProcessId(0), "127.0.0.1:7400".to_owned()),
+                    (ProcessId(4), "[::1]:9000".to_owned()),
+                ],
+            },
+            NetMsg::Uplink {
+                parent: None,
+                ancestors: vec![],
+            },
         ];
         for msg in msgs {
             assert_eq!(roundtrip(&msg), msg, "{msg:?}");

@@ -184,19 +184,22 @@ fn crashed_internal_node_matches_simnet_heartbeat_repair() {
 
 /// The dead-grandparent storm over real sockets: node 3 (parent of
 /// leaves 7 and 8 in the 15-node binary tree) and node 1 (its parent —
-/// the orphans' only adoption hint) are killed together. Nodes 7 and 8
-/// dial the dead grandparent, burn through the bounded knock budget
-/// (`core::membership::ADOPT_ATTEMPT_CAP`), write it off, and — with
-/// the hint ladder exhausted — stay orphaned. Before the budget
-/// existed, they re-dialed the corpse forever.
+/// the orphans' freshest adoption hint) are killed together. Nodes 7
+/// and 8 dial the dead grandparent, burn through the bounded knock
+/// budget (`core::membership::ADOPT_ATTEMPT_CAP`), write it off, and
+/// climb one more rung: the root, whose *address* arrived with node 3's
+/// relayed `Uplink` ancestor chain (proto v4). They re-join there, just
+/// as the simulated backend's `simultaneous_internal_crash_storm_*`
+/// tests in `ftscp-core` pin for the id-only ladder. Before the chain
+/// carried addresses, the rung was known but undialable and the pair
+/// stayed stranded; before the budget existed, they re-dialed the
+/// corpse forever.
 ///
-/// The deployment-level contract under that storm: the run *finishes*.
-/// The root prunes the dead branch, node 4 re-adopts under the root
-/// with its leaves re-reported, and every emitted solution covers
-/// exactly the eleven reachable survivors — never the dead pair, never
-/// the stranded pair. (Re-adopting the stranded pair is ROADMAP's open
-/// failure-storm item; see `simultaneous_internal_crash_storm_*` in
-/// `ftscp-core`.)
+/// The deployment-level contract under the storm: the run finishes, the
+/// root prunes the dead branch, node 4 re-adopts under the root with
+/// its leaves re-reported, the orphaned pair climbs to the root — and
+/// every emitted solution covers exactly the thirteen survivors, never
+/// the dead pair.
 #[test]
 fn dead_grandparent_storm_exhausts_knock_budget_and_still_finishes() {
     if !sockets_available() {
@@ -215,30 +218,33 @@ fn dead_grandparent_storm_exhausts_knock_budget_and_still_finishes() {
         ..Default::default()
     };
     let mut dep = Deployment::launch(&tree, &config).expect("launch failed");
-    // Let hints circulate (7/8 learn grandparent 1 from node 3's
-    // uplink frames; 4 learns the root from node 1's), then kill both
+    // Let hints circulate two relay hops: 7/8 need grandparent 1 from
+    // node 3's uplink frames *and* the root's address, which node 3 can
+    // only relay after node 1's hints delivered it. Then kill both
     // levels at once.
-    sleep(Duration::from_millis(150));
+    sleep(Duration::from_millis(250));
     dep.crash_node(ProcessId(3)).expect("node 3 was running");
     dep.crash_node(ProcessId(1)).expect("node 1 was running");
     // Settle the whole cascade before data flows: suspicion (1.5× the
-    // 200ms timeout worst-case), node 4's adoption handshake, and the
-    // orphans' four knocks at 100ms suspicion ticks.
-    sleep(Duration::from_millis(1_500));
+    // 200ms timeout worst-case), node 4's adoption handshake, the
+    // orphans' four knocks at dead node 1 on 100ms suspicion ticks, the
+    // write-off, and their second adoption handshake at the root.
+    sleep(Duration::from_millis(2_000));
     dep.feed_execution(&exec, config.event_pacing);
     let report = dep.finish(&config).expect("loopback run failed");
 
     assert!(
         !report.timed_out,
-        "stranded orphans must not gate the root's drain"
+        "recovering orphans must not gate the root's drain"
     );
-    let reachable: Vec<u32> = vec![0, 2, 4, 5, 6, 9, 10, 11, 12, 13, 14];
+    let survivors: Vec<u32> = vec![0, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14];
     assert_eq!(report.detections.len(), rounds, "one solution per round");
     for d in &report.detections {
         let covered: Vec<u32> = d.covered_processes().iter().map(|p| p.0).collect();
         assert_eq!(
-            covered, reachable,
-            "solutions cover exactly the reachable survivors"
+            covered, survivors,
+            "solutions cover all thirteen survivors — the orphaned pair \
+             climbed the addressed ladder to the root"
         );
     }
 }

@@ -145,5 +145,20 @@ proptest! {
             ops_agg <= ops_full,
             "aggregate sweep billed more ops ({} > {})", ops_agg, ops_full
         );
+        // The parallel sweep's contract is stronger than "same outcome":
+        // at 1 thread, 2 threads, and the auto (max) thread count it must
+        // reproduce the sequential aggregate's outcome AND its exact
+        // billed total — parallelism may only move work between threads,
+        // never create or skip any.
+        for threads in [1usize, 2, 0] {
+            let mode = SweepMode::AggregateParallel { threads };
+            let (out_par, ops_par) = detect(&exec, &original, mode);
+            prop_assert_eq!(&out_par, &out_agg, "parallel sweep outcome diverged at {} threads", threads);
+            prop_assert_eq!(
+                ops_par, ops_agg,
+                "parallel sweep billed a different total at {} threads ({} != {})",
+                threads, ops_par, ops_agg
+            );
+        }
     }
 }
