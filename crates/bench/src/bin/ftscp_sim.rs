@@ -77,7 +77,7 @@ fn usage() -> ! {
         "usage: ftscp_sim [--nodes N] [--degree D] [--rounds P] [--skip F] \
          [--solo F] [--seed S] [--loss F] [--crash NODE@MSms]... \
          [--topology tree|grid|geometric|smallworld|scalefree] [--baseline] \
-         | --bench-json | --bench-check | --bench-parallel"
+         | --bench-json | --bench-check | --bench-parallel | --bench-tenancy"
     );
     std::process::exit(2);
 }
@@ -612,18 +612,217 @@ fn bench_parallel_point(n: usize, rounds: usize) -> ParallelPoint {
     }
 }
 
-/// The parallel-sweep suite: wide sink banks at n = 1024 and n = 4096
-/// (dense workload, seed 7), sequential baseline + per-thread-count rows.
-/// Runs are strictly sequential — each owns the whole machine, so the
-/// wall-clock rows measure the sharding, not scheduler contention.
+/// The parallel-sweep suite: wide sink banks at n = 1024, 4096, and
+/// 16384 (dense workload, seed 7), sequential baseline +
+/// per-thread-count rows. Runs are strictly sequential — each owns the
+/// whole machine, so the wall-clock rows measure the sharding, not
+/// scheduler contention.
 fn bench_parallel_sweep() -> Vec<ParallelPoint> {
-    [(1024usize, 2usize), (4096, 1)]
+    [(1024usize, 2usize), (4096, 1), (16384, 1)]
         .into_iter()
         .map(|(n, rounds)| {
             eprintln!("parallel sweep: sink bank n = {n}, rounds = {rounds} ...");
             bench_parallel_point(n, rounds)
         })
         .collect()
+}
+
+/// One tenant-count point of the tenancy suite: the registry's
+/// relevance-filtered routing vs the naive broadcast baseline on the
+/// same shared event stream, with per-tenant bit-identity asserted at
+/// runtime every time the suite runs.
+struct TenancyPoint {
+    tenants: usize,
+    events: u64,
+    detections: usize,
+    /// Deterministic billed cost (routing touches + vector-clock
+    /// comparisons) of the registry's `ingest` run.
+    registry_billed: u64,
+    /// Billed cost of the naive run: every tenant offered every event.
+    naive_billed: u64,
+    /// Events × relevant tenants — the Σ|S_k| work the filter admits.
+    relevant_touches: u64,
+    /// Uplink bytes with per-connection tenant batches (0xD3 frames).
+    batched_bytes: u64,
+    /// The same routed traffic as per-predicate `Interval` frames.
+    naive_bytes: u64,
+    elapsed_ms: f64,
+    detections_per_sec: f64,
+}
+
+/// Tenant counts of the tenancy suite (1 → 10k over one event stream).
+const TENANCY_COUNTS: [usize; 5] = [1, 10, 100, 1_000, 10_000];
+const TENANCY_N: usize = 64;
+const TENANCY_ROUNDS: usize = 6;
+const TENANCY_BATCH_SPAN: usize = 8;
+
+/// splitmix64 — the member sets must be stable across runs and machines
+/// (the bench gate compares billed counters), so they are derived from
+/// the tenant index, not from an RNG stream shared with anything else.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tenant 0 watches everyone (the legacy full-coverage shape); tenants
+/// 1.. watch pseudo-random member sets of 4–16 processes — the
+/// "thousands of small Φ over one fleet" shape the registry exists for.
+fn tenancy_specs(tenants: usize, n: usize) -> Vec<ftscp_core::registry::TenantSpec> {
+    use ftscp_core::registry::TenantSpec;
+    use ftscp_core::PredicateId;
+
+    let mut specs = Vec::with_capacity(tenants);
+    specs.push(TenantSpec::full(PredicateId(0)));
+    for k in 1..tenants {
+        let seed = mix64(k as u64);
+        let size = 4 + (seed % 13) as usize;
+        let mut members: Vec<ProcessId> = Vec::with_capacity(size);
+        let mut probe = seed;
+        while members.len() < size {
+            probe = mix64(probe);
+            let p = ProcessId((probe % n as u64) as u32);
+            if !members.contains(&p) {
+                members.push(p);
+            }
+        }
+        specs.push(TenantSpec::restricted(PredicateId(k as u32), members));
+    }
+    specs
+}
+
+/// Measures one tenant count: registry `ingest` (timed, billed), naive
+/// `ingest_broadcast` baseline (billed), per-tenant solution-sequence
+/// bit-identity (asserted), and both uplink byte costs for the same
+/// routed traffic (computed with the real codecs, size queries only).
+fn bench_tenancy_point(
+    tenants: usize,
+    tree: &SpanningTree,
+    exec: &ftscp_workload::Execution,
+    stream: &[ftscp_intervals::Interval],
+) -> TenancyPoint {
+    use ftscp_core::registry::PredicateRegistry;
+    use ftscp_intervals::codec::{
+        encoded_interval_delta_len, encoded_tenant_batch_len, TenantGroup,
+    };
+    use std::time::Instant;
+
+    let specs = tenancy_specs(tenants, TENANCY_N);
+    let mut registry = PredicateRegistry::new(tree, &specs);
+    let t0 = Instant::now();
+    for iv in stream {
+        registry.ingest(iv.clone());
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut naive = PredicateRegistry::new(tree, &specs);
+    for iv in stream {
+        naive.ingest_broadcast(iv.clone());
+    }
+    // The differential, enforced on every bench run: routing through the
+    // relevance filter must not change any tenant's detections.
+    for spec in &specs {
+        assert_eq!(
+            registry.tenant(spec.id).solution_sequence(),
+            naive.tenant(spec.id).solution_sequence(),
+            "tenant {:?} diverged registry-vs-naive at T = {tenants}",
+            spec.id
+        );
+    }
+
+    // Wire cost of the same routed traffic, per monitored process: one
+    // connection each, flushed every TENANCY_BATCH_SPAN events. Batched =
+    // one 0xD3 frame per flush (each interval encoded once, fan-out as
+    // varint tags); naive = one per-predicate Interval frame per
+    // (event, tenant) pair, each predicate with its own delta stream.
+    // Constant 11 bytes per frame either way: u32 length prefix, tag,
+    // subtag, u32 `from`, resync flag.
+    const FRAME_FIXED: u64 = 4 + 2 + 4 + 1;
+    let mut batched_bytes = 0u64;
+    let mut naive_bytes = 0u64;
+    for p in 0..TENANCY_N {
+        let route: Vec<u32> = registry
+            .tenants_for(ProcessId(p as u32))
+            .iter()
+            .map(|id| id.0)
+            .collect();
+        if route.is_empty() {
+            continue;
+        }
+        let ivs = exec.intervals_of(ProcessId(p as u32));
+        let mut base: Option<ftscp_vclock::VectorClock> = None;
+        for chunk in ivs.chunks(TENANCY_BATCH_SPAN) {
+            let groups: Vec<TenantGroup> =
+                chunk.iter().map(|iv| (route.clone(), iv.clone())).collect();
+            batched_bytes += FRAME_FIXED + encoded_tenant_batch_len(&groups, base.as_ref()) as u64;
+            base = chunk.last().map(|iv| iv.lo.clone());
+        }
+        let mut bases: Vec<Option<ftscp_vclock::VectorClock>> = vec![None; route.len()];
+        for iv in ivs {
+            for b in bases.iter_mut() {
+                naive_bytes += FRAME_FIXED + 4 + encoded_interval_delta_len(iv, b.as_ref()) as u64;
+                *b = Some(iv.lo.clone());
+            }
+        }
+    }
+
+    let detections = registry.total_detections();
+    TenancyPoint {
+        tenants,
+        events: stream.len() as u64,
+        detections,
+        registry_billed: registry.billed_cost(),
+        naive_billed: naive.billed_cost(),
+        relevant_touches: registry.stats().tenant_touches,
+        batched_bytes,
+        naive_bytes,
+        elapsed_ms,
+        detections_per_sec: detections as f64 / (elapsed_ms / 1e3).max(1e-9),
+    }
+}
+
+/// The tenancy suite: T ∈ {1, 10, 100, 1k, 10k} tenants over one shared
+/// 64-process event stream (full 4-ary tree, seed 7). Asserts the
+/// acceptance bar: aggregate billed cost at 10k tenants under 0.5× of
+/// 10k × the single-tenant cost — the relevance filter's sublinearity.
+fn bench_tenancy() -> Vec<TenancyPoint> {
+    let tree = SpanningTree::balanced_dary(TENANCY_N, 4);
+    let exec = RandomExecution::builder(TENANCY_N)
+        .intervals_per_process(TENANCY_ROUNDS)
+        .seed(7)
+        .build();
+    let stream: Vec<ftscp_intervals::Interval> =
+        exec.intervals_interleaved().into_iter().cloned().collect();
+    let points: Vec<TenancyPoint> = TENANCY_COUNTS
+        .into_iter()
+        .map(|tenants| {
+            eprintln!(
+                "tenancy: {tenants} tenants over {} events ...",
+                stream.len()
+            );
+            bench_tenancy_point(tenants, &tree, &exec, &stream)
+        })
+        .collect();
+
+    let single = points[0].registry_billed;
+    let at_10k = points
+        .last()
+        .expect("tenant grid is non-empty")
+        .registry_billed;
+    assert!(
+        2 * at_10k < 10_000 * single,
+        "tenancy sublinearity bar lost: 10k tenants billed {at_10k}, \
+         single-tenant cost {single} (needs < 0.5x of 10k x single)"
+    );
+    for p in &points {
+        assert!(
+            p.batched_bytes < p.naive_bytes || p.tenants == 1,
+            "batched uplink must beat per-predicate framing at T = {}",
+            p.tenants
+        );
+    }
+    points
 }
 
 /// Runs the whole measurement grid — every `(point, sweep mode)`
@@ -732,9 +931,37 @@ fn bench_points() -> Vec<BenchPoint> {
     points
 }
 
+fn render_tenancy_json(tenancy: &[TenancyPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("  \"tenancy\": [\n");
+    for (i, p) in tenancy.iter().enumerate() {
+        let per_iv = |total: u64| total as f64 / p.events.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"tenants\": {}, \"events\": {}, \"elapsed_ms\": {:.3}, \
+             \"detections_per_sec\": {:.0},\n",
+            p.tenants, p.events, p.elapsed_ms, p.detections_per_sec
+        ));
+        out.push_str(&format!(
+            "     \"tenancy_cost\": {{\"registry_billed\": {}, \"naive_billed\": {}, \
+             \"relevant_touches\": {}, \"detections\": {}}},\n",
+            p.registry_billed, p.naive_billed, p.relevant_touches, p.detections
+        ));
+        out.push_str(&format!(
+            "     \"tenancy_bytes\": {{\"batched_per_interval\": {:.1}, \
+             \"naive_per_interval\": {:.1}}}}}{}\n",
+            per_iv(p.batched_bytes),
+            per_iv(p.naive_bytes),
+            if i + 1 < tenancy.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out
+}
+
 fn render_bench_json(
     points: &[BenchPoint],
     parallel: &[ParallelPoint],
+    tenancy: &[TenancyPoint],
     net: &NetRun,
     repair: &RepairRun,
     reactor: &ReactorRun,
@@ -825,6 +1052,7 @@ fn render_bench_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&render_tenancy_json(tenancy));
     out.push_str(&format!(
         "  \"repair\": {{\"n\": {}, \"crashed_node\": {}, \"crash_at_ms\": {}, \
          \"detections\": {}, \"re_report_msgs\": {}, \"re_report_bytes\": {}, \
@@ -881,6 +1109,7 @@ const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_
 fn run_bench_json() {
     let points = bench_points();
     let parallel = bench_parallel_sweep();
+    let tenancy = bench_tenancy();
     let net = bench_net_loopback();
     let repair = bench_repair();
     let reactor = bench_reactor();
@@ -890,7 +1119,7 @@ fn run_bench_json() {
     if !reactor.available {
         eprintln!("note: reactor scale run unavailable — reactor row records zeros");
     }
-    let out = render_bench_json(&points, &parallel, &net, &repair, &reactor);
+    let out = render_bench_json(&points, &parallel, &tenancy, &net, &repair, &reactor);
     std::fs::write(BENCH_JSON_PATH, &out).expect("write BENCH_hotpath.json");
     print!("{out}");
     eprintln!("written to {BENCH_JSON_PATH}");
@@ -941,7 +1170,7 @@ fn extract_all(json: &str, section: &str, key: &str) -> Vec<f64> {
 /// against the committed `BENCH_hotpath.json`. Wall-clock times are
 /// machine-dependent and deliberately not gated.
 fn run_bench_check() {
-    const GATED_KEYS: [(&str, &str); 10] = [
+    const GATED_KEYS: [(&str, &str); 14] = [
         ("overlap_comparisons", "full_sweep"),
         ("overlap_comparisons", "incremental"),
         ("overlap_comparisons", "aggregate"),
@@ -955,6 +1184,14 @@ fn run_bench_check() {
         ("repair", "re_report_msgs"),
         ("repair", "re_report_bytes"),
         ("repair", "time_to_first_solution_ms"),
+        // The tenancy rows are fully deterministic: billed routing +
+        // comparison counts, detections, and codec byte costs per tenant
+        // count. The sublinearity and bit-identity bars are asserted at
+        // generation time; the gate catches cost creep.
+        ("tenancy_cost", "registry_billed"),
+        ("tenancy_cost", "relevant_touches"),
+        ("tenancy_cost", "detections"),
+        ("tenancy_bytes", "batched_per_interval"),
     ];
     let committed = std::fs::read_to_string(BENCH_JSON_PATH)
         .unwrap_or_else(|e| panic!("read committed {BENCH_JSON_PATH}: {e}"));
@@ -964,8 +1201,16 @@ fn run_bench_check() {
     // The parallel-sweep section holds only machine-dependent wall-clock
     // rows (its correctness contract is asserted when the suite runs), so
     // the check pass skips regenerating it rather than burn minutes on
-    // ungated numbers.
-    let current = render_bench_json(&bench_points(), &[], &net, &repair, &reactor);
+    // ungated numbers. The tenancy suite is cheap and fully gated, so it
+    // *is* regenerated (and its runtime assertions re-run) here.
+    let current = render_bench_json(
+        &bench_points(),
+        &[],
+        &bench_tenancy(),
+        &net,
+        &repair,
+        &reactor,
+    );
 
     let mut failures = Vec::new();
     for (section, key) in GATED_KEYS {
@@ -1113,6 +1358,14 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--bench-check") {
         run_bench_check();
+        return;
+    }
+    // Standalone tenancy suite (same rows as the `--bench-json`
+    // `tenancy` section, printed as its JSON fragment) for re-measuring
+    // the multi-tenant table — including its sublinearity and
+    // bit-identity assertions — without the full grid.
+    if std::env::args().any(|a| a == "--bench-tenancy") {
+        print!("{}", render_tenancy_json(&bench_tenancy()));
         return;
     }
     // Standalone parallel-sweep suite (same rows as the `--bench-json`

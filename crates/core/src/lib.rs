@@ -46,6 +46,7 @@ pub mod membership;
 pub mod monitor;
 pub mod multi;
 pub mod protocol;
+pub mod registry;
 pub mod report;
 pub mod transport;
 
@@ -53,6 +54,7 @@ pub use engine::{EngineOutput, NodeEngine};
 pub use hier::HierarchicalDetector;
 pub use multi::{MultiDetector, PredicateId};
 pub use protocol::{ConnCodec, DetectMsg};
+pub use registry::{PredicateRegistry, RegistryStats, TenantSlot, TenantSpec};
 pub use report::GlobalDetection;
 pub use transport::{MonitorCore, Transport};
 

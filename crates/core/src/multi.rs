@@ -5,10 +5,23 @@
 //! calibrated" simultaneously. Each predicate `Φ_k` induces its own local
 //! intervals and its own detection state, but the tree, the failure
 //! handling, and (in a deployment) the transport are shared.
-//! [`MultiDetector`] packages that: `k` independent hierarchical detectors
-//! driven through one façade, with failures applied consistently to all.
+//! [`MultiDetector`] packages that as `k` full-coverage tenants of a
+//! [`PredicateRegistry`], driven through one façade with failures applied
+//! consistently to all.
+//!
+//! **Deprecated as the primary API.** `MultiDetector` predates the
+//! registry and models the naive shape — every predicate pays for every
+//! event, with *separate* per-predicate feed streams. It is retained as
+//! the differential baseline for the registry's relevance filter (the
+//! routing-equivalence tests and the tenancy bench compare against it)
+//! and as a convenience for the "few predicates, all-process" case. New
+//! code monitoring many predicates over one shared event stream should
+//! use [`PredicateRegistry`](crate::registry::PredicateRegistry) with
+//! member-restricted [`TenantSpec`](crate::registry::TenantSpec)s
+//! directly.
 
 use crate::hier::HierarchicalDetector;
+use crate::registry::{PredicateRegistry, TenantSpec};
 use crate::report::GlobalDetection;
 use ftscp_intervals::Interval;
 use ftscp_simnet::Topology;
@@ -20,67 +33,71 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct PredicateId(pub u32);
 
-/// `k` hierarchical detectors over one tree.
+/// `k` full-coverage tenants over one tree, fed per-predicate streams
+/// (see the module docs for its deprecated-baseline status).
 pub struct MultiDetector {
-    detectors: Vec<HierarchicalDetector>,
+    registry: PredicateRegistry,
 }
 
 impl MultiDetector {
     /// Builds a detector for `predicates` independent conjunctive
-    /// predicates over `tree`.
+    /// predicates over `tree`, registered as full-coverage tenants
+    /// `PredicateId(0..predicates)`.
     pub fn new(tree: &SpanningTree, predicates: usize) -> Self {
         assert!(predicates > 0, "at least one predicate");
+        let specs: Vec<TenantSpec> = (0..predicates)
+            .map(|k| TenantSpec::full(PredicateId(k as u32)))
+            .collect();
         MultiDetector {
-            detectors: (0..predicates)
-                .map(|_| HierarchicalDetector::new(tree))
-                .collect(),
+            registry: PredicateRegistry::new(tree, &specs),
         }
     }
 
     /// Number of monitored predicates.
     pub fn predicate_count(&self) -> usize {
-        self.detectors.len()
+        self.registry.tenant_count()
     }
 
-    /// Feeds a completed local interval of predicate `pred`.
+    /// Feeds a completed local interval of predicate `pred` (each
+    /// predicate has its own stream — the pre-registry model).
     ///
     /// # Panics
     ///
     /// Panics on an unknown predicate id.
     pub fn feed(&mut self, pred: PredicateId, interval: Interval) {
-        self.detectors[pred.0 as usize].feed(interval);
+        self.registry.feed_tenant(pred, interval);
     }
 
     /// §III-F: `node` crash-stops; the repair applies to every predicate's
     /// detector identically (the repair is deterministic given the same
     /// topology and tree state).
     pub fn fail_node(&mut self, node: ProcessId, topology: &Topology) {
-        for det in &mut self.detectors {
-            det.fail_node(node, topology);
-        }
+        self.registry.fail_node(node, topology);
     }
 
     /// Root-level detections of predicate `pred`.
     pub fn root_solutions(&self, pred: PredicateId) -> &[GlobalDetection] {
-        self.detectors[pred.0 as usize].root_solutions()
+        self.registry.root_solutions(pred)
     }
 
     /// The detector of one predicate (full API access).
     pub fn detector(&self, pred: PredicateId) -> &HierarchicalDetector {
-        &self.detectors[pred.0 as usize]
+        self.registry.detector(pred)
+    }
+
+    /// The backing registry (tenant slots, routing stats, clock pool).
+    pub fn registry(&self) -> &PredicateRegistry {
+        &self.registry
     }
 
     /// Total detections across all predicates.
     pub fn total_detections(&self) -> usize {
-        self.detectors
-            .iter()
-            .map(|d| d.root_solutions().len())
-            .sum()
+        self.registry.total_detections()
     }
 
     /// All trees evolve in lockstep; expose the (shared) current shape.
     pub fn tree(&self) -> &SpanningTree {
-        self.detectors[0].tree()
+        self.registry.detector(PredicateId(0)).tree()
     }
 }
 
@@ -158,5 +175,56 @@ mod tests {
     fn zero_predicates_rejected() {
         let tree = SpanningTree::balanced_dary(3, 2);
         let _ = MultiDetector::new(&tree, 0);
+    }
+
+    /// The satellite differential: the registry's relevance-filtered
+    /// routing must produce per-tenant solution sequences bit-identical
+    /// to the naive `MultiDetector` baseline (every tenant offered every
+    /// event of the shared stream).
+    #[test]
+    fn registry_matches_naive_multidetector_baseline() {
+        use crate::registry::{PredicateRegistry, TenantSpec};
+
+        let n = 13;
+        let tree = SpanningTree::balanced_dary(n, 3);
+        let specs = vec![
+            TenantSpec::full(PredicateId(0)),
+            TenantSpec::restricted(PredicateId(1), vec![ProcessId(3), ProcessId(10)]),
+            TenantSpec::restricted(
+                PredicateId(2),
+                vec![ProcessId(1), ProcessId(5), ProcessId(6)],
+            ),
+        ];
+        let mut registry = PredicateRegistry::new(&tree, &specs);
+        // Naive baseline: the same tenants, but every event broadcast to
+        // every tenant — the pre-registry MultiDetector cost model.
+        let mut naive = PredicateRegistry::new(&tree, &specs);
+        // And the legacy façade itself for the full-coverage tenant.
+        let mut legacy = MultiDetector::new(&tree, 1);
+
+        let exec = RandomExecution::builder(n)
+            .intervals_per_process(5)
+            .seed(77)
+            .build();
+        for iv in exec.intervals_interleaved() {
+            registry.ingest(iv.clone());
+            naive.ingest_broadcast(iv.clone());
+            legacy.feed(PredicateId(0), iv.clone());
+        }
+        for spec in &specs {
+            assert_eq!(
+                registry.tenant(spec.id).solution_sequence(),
+                naive.tenant(spec.id).solution_sequence(),
+                "tenant {:?} diverged registry-vs-naive",
+                spec.id
+            );
+        }
+        assert_eq!(
+            registry.root_solutions(PredicateId(0)),
+            legacy.root_solutions(PredicateId(0)),
+            "full tenant must match the legacy façade bit-for-bit"
+        );
+        // The filter routed strictly fewer touches for the same answers.
+        assert!(registry.stats().tenant_touches < naive.stats().broadcast_touches);
     }
 }

@@ -3,7 +3,8 @@
 
 use bytes::{Bytes, BytesMut};
 use ftscp_intervals::codec::{
-    decode_interval_auto, encode_interval_delta, encoded_interval_delta_len, DecodeError,
+    decode_interval_auto, decode_tenant_batch, encode_interval_delta, encode_tenant_batch,
+    encoded_interval_delta_len, encoded_tenant_batch_len, DecodeError, TenantGroup,
 };
 use ftscp_intervals::Interval;
 use ftscp_vclock::{ProcessId, VectorClock};
@@ -32,6 +33,25 @@ pub enum DetectMsg {
         /// repair: the receiver resets its per-child sequence baseline to
         /// this interval instead of waiting for earlier (already consumed
         /// elsewhere) sequence numbers.
+        resync: bool,
+    },
+    /// A predicate-tagged interval batch reported child → parent: the
+    /// multi-tenant uplink. One message per connection flush carries the
+    /// pending intervals of *every* tenant with traffic, each interval
+    /// tagged with the predicate ids consuming it and encoded once no
+    /// matter the fan-out (see `ftscp_intervals::codec::encode_tenant_batch`
+    /// for the 0xD3 frame this maps to). Replaces per-predicate
+    /// [`Interval`](Self::Interval) traffic in multi-tenant deployments.
+    IntervalBatch {
+        /// The reporting child.
+        from: ProcessId,
+        /// `(predicate ids, interval)` groups, in uplink order. The delta
+        /// chain threads through the batch, so groups must be decoded (and
+        /// fed) front to back.
+        groups: Vec<(Vec<u32>, Interval)>,
+        /// True when this batch re-opens the stream to a new parent after
+        /// a tree repair (same contract as [`Interval`](Self::Interval)'s
+        /// `resync`, applied to every tenant's stream at once).
         resync: bool,
     },
     /// Liveness beacon exchanged along tree edges. Besides proving the
@@ -136,6 +156,13 @@ impl DetectMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             DetectMsg::Interval { interval, .. } => 8 + interval.wire_size(),
+            DetectMsg::IntervalBatch { groups, .. } => {
+                8 + 4
+                    + groups
+                        .iter()
+                        .map(|(preds, iv)| 1 + 2 * preds.len() + iv.wire_size())
+                        .sum::<usize>()
+            }
             DetectMsg::Heartbeat {
                 parent, ancestors, ..
             } => 14 + 4 * (usize::from(parent.is_some()) + ancestors.len()),
@@ -153,7 +180,10 @@ impl DetectMsg {
     /// True for the algorithm's own traffic (what Figures 4–5 count);
     /// false for heartbeats and control.
     pub fn is_interval(&self) -> bool {
-        matches!(self, DetectMsg::Interval { .. })
+        matches!(
+            self,
+            DetectMsg::Interval { .. } | DetectMsg::IntervalBatch { .. }
+        )
     }
 }
 
@@ -250,6 +280,56 @@ impl ConnCodec {
         self.base = Some(iv.lo.clone());
     }
 
+    /// The base a batch would chain its first group against: the
+    /// connection base, if it matches the first interval's width.
+    fn usable_batch_base(&self, groups: &[TenantGroup]) -> Option<&VectorClock> {
+        let first = groups.first()?;
+        self.base.as_ref().filter(|b| b.len() == first.1.lo.len())
+    }
+
+    /// Encodes a predicate-tagged batch as the next frame of the stream.
+    /// Group 0 chains against the connection base (when one of matching
+    /// width exists), later groups against their predecessor, and the
+    /// base advances to the *last* group's `lo` — the batch behaves like
+    /// the same intervals sent back to back, at a fraction of the bytes.
+    pub fn encode_batch(&mut self, groups: &[TenantGroup], buf: &mut BytesMut) {
+        encode_tenant_batch(groups, self.usable_batch_base(groups), buf);
+        if let Some((_, last)) = groups.last() {
+            self.note_sent(last);
+        }
+    }
+
+    /// Encodes a batch standalone (decodable cold) and resyncs the base
+    /// to the last group's `lo`. Use for the first flush on a connection
+    /// and for re-reports after a tree repair.
+    pub fn encode_batch_standalone(&mut self, groups: &[TenantGroup], buf: &mut BytesMut) {
+        encode_tenant_batch(groups, None, buf);
+        if let Some((_, last)) = groups.last() {
+            self.note_sent(last);
+        }
+    }
+
+    /// Decodes the next batch frame and advances the base to its last
+    /// group's `lo`, mirroring [`encode_batch`](Self::encode_batch).
+    pub fn decode_batch(&mut self, buf: &mut Bytes) -> Result<Vec<TenantGroup>, DecodeError> {
+        let groups = decode_tenant_batch(buf, self.base.as_ref())?;
+        if let Some((_, last)) = groups.last() {
+            self.note_sent(last);
+        }
+        Ok(groups)
+    }
+
+    /// Size the batch would occupy as the next stateful frame. Pure query
+    /// (does not advance the base), like [`stateful_len`](Self::stateful_len).
+    pub fn batch_len(&self, groups: &[TenantGroup]) -> usize {
+        encoded_tenant_batch_len(groups, self.usable_batch_base(groups))
+    }
+
+    /// Size of the batch as a standalone frame; connection-independent.
+    pub fn standalone_batch_len(groups: &[TenantGroup]) -> usize {
+        encoded_tenant_batch_len(groups, None)
+    }
+
     /// Compact wire size of a whole [`DetectMsg`] as the next frame on
     /// this connection: interval payloads get the delta codec (stateful
     /// here; use [`standalone_msg_size`](Self::standalone_msg_size) for
@@ -259,6 +339,9 @@ impl ConnCodec {
         match msg {
             DetectMsg::Interval { interval, .. } => {
                 INTERVAL_MSG_OVERHEAD + self.stateful_len(interval)
+            }
+            DetectMsg::IntervalBatch { groups, .. } => {
+                INTERVAL_MSG_OVERHEAD + self.batch_len(groups)
             }
             other => other.wire_size(),
         }
@@ -270,6 +353,9 @@ impl ConnCodec {
         match msg {
             DetectMsg::Interval { interval, .. } => {
                 INTERVAL_MSG_OVERHEAD + Self::standalone_len(interval)
+            }
+            DetectMsg::IntervalBatch { groups, .. } => {
+                INTERVAL_MSG_OVERHEAD + Self::standalone_batch_len(groups)
             }
             other => other.wire_size(),
         }
@@ -412,6 +498,84 @@ mod tests {
             ConnCodec::standalone_msg_size(&DetectMsg::PromoteRoot),
             DetectMsg::PromoteRoot.wire_size(),
             "non-interval traffic is unaffected"
+        );
+    }
+
+    #[test]
+    fn conn_codec_batch_interleaves_with_single_frames() {
+        // A connection can mix plain interval frames and tenant batches:
+        // both advance the same base, so the stream stays decodable.
+        let a = iv(0, vec![1, 0, 0, 0], vec![4, 2, 0, 0]);
+        let b = iv(1, vec![5, 2, 0, 0], vec![7, 2, 1, 0]);
+        let c = iv(2, vec![8, 2, 1, 0], vec![9, 3, 1, 1]);
+        let d = iv(3, vec![9, 3, 1, 1], vec![9, 4, 2, 1]);
+        let mut tx = ConnCodec::new();
+        let mut rx = ConnCodec::new();
+
+        let mut buf = BytesMut::new();
+        tx.encode(&a, &mut buf);
+        assert_eq!(rx.decode(&mut buf.freeze()).unwrap(), a);
+
+        // Batch chains its first group against `a.lo` (the shared base).
+        let groups = vec![(vec![0u32, 7], b.clone()), (vec![3u32], c.clone())];
+        let mut buf = BytesMut::new();
+        let predicted = tx.batch_len(&groups);
+        tx.encode_batch(&groups, &mut buf);
+        assert_eq!(buf.len(), predicted, "size query matches encoder");
+        assert_eq!(rx.decode_batch(&mut buf.freeze()).unwrap(), groups);
+
+        // And a later plain frame chains against the LAST group's lo.
+        let mut buf = BytesMut::new();
+        tx.encode(&d, &mut buf);
+        assert_eq!(rx.decode(&mut buf.freeze()).unwrap(), d);
+    }
+
+    #[test]
+    fn standalone_batch_resyncs_a_cold_decoder() {
+        let a = iv(0, vec![3, 1], vec![4, 1]);
+        let b = iv(1, vec![5, 1], vec![6, 2]);
+        let mut tx = ConnCodec::new();
+        tx.note_sent(&iv(9, vec![2, 1], vec![3, 1])); // prior traffic
+        let groups = vec![(vec![1u32], a), (vec![1u32, 2], b.clone())];
+        let mut buf = BytesMut::new();
+        tx.encode_batch_standalone(&groups, &mut buf);
+        let mut rx = ConnCodec::new(); // never saw the prior traffic
+        assert_eq!(rx.decode_batch(&mut buf.freeze()).unwrap(), groups);
+        // Both ends now share base = b.lo.
+        let c = iv(2, vec![6, 2], vec![7, 3]);
+        let mut buf = BytesMut::new();
+        tx.encode(&c, &mut buf);
+        assert_eq!(rx.decode(&mut buf.freeze()).unwrap(), c);
+    }
+
+    #[test]
+    fn batch_msg_sizes_and_classification() {
+        let a = iv(0, vec![1, 0, 0, 0], vec![4, 2, 0, 0]);
+        let b = iv(1, vec![5, 2, 0, 0], vec![7, 2, 1, 0]);
+        let msg = DetectMsg::IntervalBatch {
+            from: ProcessId(3),
+            groups: vec![(vec![0, 1, 2], a.clone()), (vec![0], b.clone())],
+            resync: false,
+        };
+        assert!(msg.is_interval());
+        let codec = ConnCodec::new();
+        assert!(codec.msg_size(&msg) < msg.wire_size());
+        assert!(ConnCodec::standalone_msg_size(&msg) <= msg.wire_size());
+        // Fanning one interval out to many tenants through a batch is far
+        // cheaper than shipping per-predicate Interval messages.
+        let fanout = DetectMsg::IntervalBatch {
+            from: ProcessId(3),
+            groups: vec![((0..32u32).collect(), a.clone())],
+            resync: false,
+        };
+        let single = DetectMsg::Interval {
+            from: ProcessId(3),
+            interval: a,
+            resync: false,
+        };
+        assert!(
+            ConnCodec::standalone_msg_size(&fanout)
+                < 32 * ConnCodec::standalone_msg_size(&single) / 4
         );
     }
 

@@ -650,6 +650,34 @@ impl MonitorCore {
                     }
                 }
             }
+            DetectMsg::IntervalBatch {
+                from,
+                groups,
+                resync,
+            } => {
+                // A single-predicate monitor consumes a batch as the same
+                // intervals sent back to back; the predicate tags are
+                // routing metadata for a registry-backed receiver
+                // (`crate::registry`). `resync` re-opens the stream at the
+                // first group; the rest continue it.
+                let mut resync = resync;
+                for (_preds, interval) in groups {
+                    self.deliver_in_order(t, from, interval, resync);
+                    resync = false;
+                }
+                if self.config.retransmit_period.is_some() {
+                    if let Some((next_expected, _)) = self.reorder.get(&from) {
+                        let upto = *next_expected;
+                        t.send(
+                            from,
+                            DetectMsg::Ack {
+                                from: self.me,
+                                upto,
+                            },
+                        );
+                    }
+                }
+            }
             DetectMsg::Ack { upto, .. } => {
                 let before = self.unacked.len();
                 self.unacked.retain(|&seq, _| seq >= upto);

@@ -15,7 +15,13 @@
 //!   partition healed), no surviving node may end the run with
 //!   undelivered reports;
 //! * **exactness** — a fault-free scheduled-repair case must reproduce
-//!   the offline [`HierarchicalDetector`] reference verbatim.
+//!   the offline [`HierarchicalDetector`] reference verbatim;
+//! * **multi-tenancy** — a seed-derived fleet of 1–8 registry tenants
+//!   (tenant 0 full, the rest member-restricted) replays the same
+//!   workload through [`PredicateRegistry`] under the plan's crashes;
+//!   every tenant is re-verified independently with
+//!   `faultcheck::verify_detections` and the whole fleet must replay
+//!   deterministically.
 //!
 //! Deliberately absent: a *completeness* check under faults. A run that
 //! emits narrower-but-valid solutions after a crash passes — whether
@@ -27,11 +33,13 @@ use ftscp_analysis::shard::run_sharded;
 use ftscp_core::deploy::{DeployConfig, Deployment, RepairMode};
 use ftscp_core::faultcheck::{detection_fingerprint, verify_detections, verify_no_silent_drops};
 use ftscp_core::monitor::MonitorConfig;
-use ftscp_core::HierarchicalDetector;
+use ftscp_core::registry::{PredicateRegistry, TenantSpec};
+use ftscp_core::{HierarchicalDetector, PredicateId};
 use ftscp_simnet::{
     FaultOp, FaultPlan, FaultPlanParams, LinkModel, NodeId, SimConfig, SimTime, Topology,
 };
 use ftscp_tree::SpanningTree;
+use ftscp_vclock::ProcessId;
 use ftscp_workload::{Execution, RandomExecution};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -40,6 +48,22 @@ use rand::{Rng, SeedableRng};
 /// Decorrelates case-shape randomness from the fault-plan randomness
 /// (which hashes the raw seed itself inside `FaultPlan::randomized`).
 const CASE_SALT: u64 = 0x51c6_4b1f_0d83_77a9;
+
+/// Seeds the tenant-count and tenant-membership draws. Deliberately a
+/// *third* stream, hashed outside the [`CASE_SALT`] RNG: adding tenancy
+/// to the campaign must not perturb any existing seed's case shape, or
+/// every pinned regression seed in the suite would silently change
+/// meaning.
+const TENANT_SALT: u64 = 0xa24b_1f68_3d9e_0c57;
+
+/// splitmix64 finalizer — the same stateless mixer the bench harness
+/// uses to derive tenant member sets independent of any RNG stream.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// One self-contained campaign case. Every field is derived from
 /// `seed` by [`CampaignCase::from_seed`]; the struct stays public and
@@ -60,6 +84,10 @@ pub struct CampaignCase {
     pub solo_prob: f64,
     /// How crashed monitors are repaired.
     pub repair_mode: RepairMode,
+    /// Registry tenants run alongside the deployment (1–8). Tenant 0 is
+    /// always the full conjunction; the rest get member sets derived
+    /// from the seed by [`CampaignCase::tenant_specs`].
+    pub tenants: usize,
     /// The fault script.
     pub plan: FaultPlan,
 }
@@ -96,6 +124,7 @@ impl CampaignCase {
             params = params.crash_only();
         }
         let plan = FaultPlan::randomized(&params, seed);
+        let tenants = 1 + (mix64(seed ^ TENANT_SALT) % 8) as usize;
         CampaignCase {
             seed,
             n,
@@ -104,8 +133,33 @@ impl CampaignCase {
             skip_prob,
             solo_prob,
             repair_mode,
+            tenants,
             plan,
         }
+    }
+
+    /// The tenant declarations this case runs through the
+    /// [`PredicateRegistry`]: tenant 0 is the full conjunction (the
+    /// classic single-Φ shape every other campaign check exercises),
+    /// tenants 1.. get seed-derived member sets of 1–4 processes. A pure
+    /// function of `(seed, tenants, n)`, so the shrinker can cut the
+    /// network or the tenant count and the surviving specs stay valid.
+    pub fn tenant_specs(&self) -> Vec<TenantSpec> {
+        let mut specs = vec![TenantSpec::full(PredicateId(0))];
+        for k in 1..self.tenants {
+            let mut probe = mix64(self.seed ^ TENANT_SALT ^ k as u64);
+            let size = 1 + (probe % self.n.min(4) as u64) as usize;
+            let mut members = Vec::with_capacity(size);
+            while members.len() < size {
+                probe = mix64(probe);
+                let p = ProcessId((probe % self.n as u64) as u32);
+                if !members.contains(&p) {
+                    members.push(p);
+                }
+            }
+            specs.push(TenantSpec::restricted(PredicateId(k as u32), members));
+        }
+        specs
     }
 
     /// The workload this case runs (pure function of the case).
@@ -175,6 +229,81 @@ fn lossless(plan: &FaultPlan) -> bool {
     open_cuts == 0
 }
 
+/// Runs the case's tenant fleet through a [`PredicateRegistry`] under
+/// the same fault plan and re-verifies every tenant independently.
+///
+/// Crashes are replayed against the registry's crash-stop model
+/// ([`PredicateRegistry::fail_node`]): each crash fires at the feed
+/// position its `SimTime` maps to on the workload horizon, so a
+/// mid-horizon crash interrupts the interval stream mid-flight just as
+/// it does in the deployment. Restarts are ignored — the registry has no
+/// rejoin protocol, and a permanently narrower view still has to emit
+/// only *valid* solutions, which is exactly what `verify_detections`
+/// asserts per tenant. The whole run is executed twice and the
+/// per-tenant solution sequences must replay bit-identically.
+fn check_registry(
+    case: &CampaignCase,
+    exec: &Execution,
+    topo: &Topology,
+    tree: &SpanningTree,
+) -> Vec<String> {
+    let specs = case.tenant_specs();
+    let ivs = exec.intervals_interleaved();
+    // Map each crash time onto a feed position: the deployment spaces
+    // intervals ~10ms apart, so the workload occupies the same horizon
+    // `from_seed` scripted the faults against.
+    let horizon = SimTime::from_millis(10 * (case.rounds as u64 + 1));
+    let total = ivs.len() as u64;
+    let mut crashes: Vec<(usize, ProcessId)> = case
+        .plan
+        .crashes()
+        .iter()
+        .map(|&(t, v)| {
+            let pos =
+                t.0.saturating_mul(total)
+                    .checked_div(horizon.0)
+                    .unwrap_or(0)
+                    .min(total);
+            (pos as usize, ProcessId(v.0))
+        })
+        .collect();
+    crashes.sort_unstable_by_key(|&(pos, p)| (pos, p.0));
+
+    let run = || {
+        let mut reg = PredicateRegistry::new(tree, &specs);
+        let mut next = 0;
+        for (i, iv) in ivs.iter().enumerate() {
+            while next < crashes.len() && crashes[next].0 <= i {
+                reg.fail_node(crashes[next].1, topo);
+                next += 1;
+            }
+            reg.ingest((*iv).clone());
+        }
+        while next < crashes.len() {
+            reg.fail_node(crashes[next].1, topo);
+            next += 1;
+        }
+        reg
+    };
+
+    let reg = run();
+    let mut violations = Vec::new();
+    for slot in reg.tenants() {
+        for v in verify_detections(exec, slot.detector().root_solutions()) {
+            violations.push(format!("registry tenant {:?}: {v}", slot.id()));
+        }
+    }
+    let sequences: Vec<_> = reg.tenants().map(|t| t.solution_sequence()).collect();
+    let replayed: Vec<_> = run().tenants().map(|t| t.solution_sequence()).collect();
+    if sequences != replayed {
+        violations.push(format!(
+            "registry replay diverged across {} tenants",
+            case.tenants
+        ));
+    }
+    violations
+}
+
 fn coverages(dep: &Deployment) -> Vec<Vec<(u32, u64)>> {
     dep.detections()
         .iter()
@@ -231,6 +360,8 @@ pub fn run_case(case: &CampaignCase, hook: Option<&ViolationHook>) -> CaseReport
             "non-deterministic replay: fingerprint {fingerprint:#018x} vs {replay:#018x}"
         ));
     }
+
+    violations.extend(check_registry(case, &exec, &topo, &tree));
 
     if let Some(ViolationHook::CrashOf(victim)) = hook {
         if case.plan.crashes().iter().any(|&(_, v)| v == *victim) {
@@ -326,6 +457,49 @@ mod tests {
             }
         }
         assert!(saw_hb, "the palette never produced a heartbeat case");
+    }
+
+    #[test]
+    fn tenant_fleets_are_wellformed_and_seed_stable() {
+        let mut counts = [0usize; 9];
+        for seed in 0..200u64 {
+            let case = CampaignCase::from_seed(seed);
+            assert!((1..=8).contains(&case.tenants), "seed {seed}");
+            counts[case.tenants] += 1;
+            let specs = case.tenant_specs();
+            assert_eq!(specs.len(), case.tenants);
+            assert!(specs[0].members.is_empty(), "tenant 0 is the full Φ");
+            for spec in &specs[1..] {
+                assert!(!spec.members.is_empty());
+                assert!(spec.members.len() <= 4);
+                for m in &spec.members {
+                    assert!((m.0 as usize) < case.n, "seed {seed}: member outside tree");
+                }
+            }
+            assert_eq!(specs, case.tenant_specs(), "derivation must be pure");
+        }
+        assert!(
+            counts[1..].iter().all(|&c| c > 0),
+            "200 seeds should hit every fleet size 1–8: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn tenant_count_shrinks_without_touching_case_shape() {
+        // The tenant draw comes from its own salt stream: editing
+        // `tenants` (as the shrinker does) or comparing across fleet
+        // sizes must never interact with n/degree/rounds/plan.
+        let case = CampaignCase::from_seed(42);
+        let mut cut = case.clone();
+        cut.tenants = 1;
+        assert_eq!(cut.tenant_specs(), vec![TenantSpec::full(PredicateId(0))]);
+        let full = case.tenant_specs();
+        assert!(
+            case.tenants < 2 || {
+                cut.tenants = case.tenants - 1;
+                cut.tenant_specs().as_slice() == &full[..full.len() - 1]
+            }
+        );
     }
 
     #[test]

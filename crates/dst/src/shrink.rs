@@ -88,6 +88,17 @@ fn candidates(case: &CampaignCase) -> Vec<CampaignCase> {
         }
     }
 
+    // Thin the tenant fleet: jump to the single full tenant, then
+    // halve, then single steps. `tenant_specs` re-derives member sets
+    // from (seed, tenants, n), so any cut fleet stays well-formed.
+    for new_tenants in [1, case.tenants / 2, case.tenants - 1] {
+        if new_tenants >= 1 && new_tenants < case.tenants {
+            let mut c = case.clone();
+            c.tenants = new_tenants;
+            out.push(c);
+        }
+    }
+
     // Simplify shape knobs.
     if case.repair_mode == RepairMode::HeartbeatDriven {
         let mut c = case.clone();
@@ -203,6 +214,7 @@ fn shrunk_regression_seed_{seed}() {{
         skip_prob: {skip},
         solo_prob: {solo},
         repair_mode: RepairMode::{mode:?},
+        tenants: {tenants},
         plan: {plan},
     }};
     let report = run_case(&case, None);
@@ -216,6 +228,7 @@ fn shrunk_regression_seed_{seed}() {{
         skip = render_f64(case.skip_prob),
         solo = render_f64(case.solo_prob),
         mode = case.repair_mode,
+        tenants = case.tenants,
         plan = render_plan(&case.plan, "            "),
     )
 }
@@ -234,6 +247,7 @@ mod tests {
             skip_prob: 0.1,
             solo_prob: 0.3,
             repair_mode: RepairMode::HeartbeatDriven,
+            tenants: 5,
             plan: FaultPlan::new()
                 .crash_at(SimTime(1_000), NodeId(5))
                 .crash_at(SimTime(2_000), NodeId(2))
@@ -253,6 +267,7 @@ mod tests {
         assert_eq!(shrunk.solo_prob, 0.0);
         assert_eq!(shrunk.repair_mode, RepairMode::Scheduled);
         assert_eq!(shrunk.degree, 2);
+        assert_eq!(shrunk.tenants, 1, "fleet thinned to the full tenant");
         // n can't shrink below the highest referenced node.
         assert_eq!(shrunk.n, 3);
     }
@@ -289,5 +304,6 @@ mod tests {
         assert!(text.contains(".skew_timers_at(SimTime(0), NodeId(4), 5, 4)"));
         assert!(text.contains("RepairMode::HeartbeatDriven"));
         assert!(text.contains("skip_prob: 0.1,"));
+        assert!(text.contains("tenants: 5,"));
     }
 }

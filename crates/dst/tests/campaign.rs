@@ -55,6 +55,7 @@ fn shrinker_minimizes_the_injected_violation() {
     assert_eq!(shrunk.n, 2, "network floor: the victim plus a root");
     assert_eq!(shrunk.rounds, 1);
     assert_eq!(shrunk.repair_mode, RepairMode::Scheduled);
+    assert_eq!(shrunk.tenants, 1, "the fleet is irrelevant to the crash");
 
     let rendered = render_regression(&shrunk);
     assert!(rendered.contains("fn shrunk_regression_seed_3()"));
@@ -75,6 +76,7 @@ fn shrunk_regression_seed_3() {
         skip_prob: 0.0,
         solo_prob: 0.0,
         repair_mode: RepairMode::Scheduled,
+        tenants: 1,
         plan: FaultPlan::new().crash_at(SimTime(13647), NodeId(1)),
     };
     let report = run_case(&case, None);

@@ -66,6 +66,10 @@ pub const CLOCK_DELTA_TAG: u8 = 0xD1;
 /// Version byte of a delta-encoded interval frame.
 pub const INTERVAL_DELTA_TAG: u8 = 0xD2;
 
+/// Version byte of a predicate-tagged interval *batch* frame
+/// (multi-tenant uplink coalescing — see [`encode_tenant_batch`]).
+pub const TENANT_BATCH_TAG: u8 = 0xD3;
+
 /// Decoding error: the buffer did not contain a well-formed value.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecodeError(pub &'static str);
@@ -434,6 +438,114 @@ pub fn encoded_interval_delta_len(iv: &Interval, base: Option<&VectorClock>) -> 
 }
 
 // ---------------------------------------------------------------------------
+// Tenant batch format (version byte 0xD3)
+// ---------------------------------------------------------------------------
+
+/// One group of a tenant batch: an interval plus the predicate ids it is
+/// addressed to. When an event is relevant to many tenants the interval
+/// is encoded *once* and the fan-out costs one varint per tenant.
+pub type TenantGroup = (Vec<u32>, Interval);
+
+/// Encodes a predicate-tagged interval batch:
+///
+/// ```text
+/// DBatch := u32 (0xD3<<24 | group_count), group_count × Group
+/// Group  := varint k (≥ 1), k × varint predicate_id, DInterval
+/// ```
+///
+/// One frame carries the pending intervals of *many* tenants on one
+/// connection (per-connection batching, not per-predicate framing). Each
+/// group's interval is stored once no matter how many tenants consume it.
+/// The delta chain runs through the batch: group 0's `lo` is encoded
+/// against `base` (the connection base; `None` makes the frame
+/// standalone) and every later group's `lo` against the *previous
+/// group's* `lo` — so a cold decoder can always decode a standalone
+/// batch front to back, the chain being rooted inside the frame. After
+/// sending, the connection base should advance to the *last* group's `lo`
+/// (see `core::protocol::ConnCodec`).
+///
+/// # Panics
+///
+/// Panics if there are ≥ 2^24 groups (the count shares the leading `u32`
+/// with the version byte), if a group has no tenants, or if any interval
+/// violates [`encode_interval_delta`]'s constraints.
+pub fn encode_tenant_batch(groups: &[TenantGroup], base: Option<&VectorClock>, buf: &mut BytesMut) {
+    assert!(groups.len() < 1 << 24, "batch group count exceeds 24 bits");
+    buf.put_u32_le((u32::from(TENANT_BATCH_TAG) << 24) | groups.len() as u32);
+    let mut chain_base = base;
+    for (preds, iv) in groups {
+        assert!(!preds.is_empty(), "a batch group must address a tenant");
+        put_varint(buf, preds.len() as u64);
+        for &pred in preds {
+            put_varint(buf, u64::from(pred));
+        }
+        encode_interval_delta(iv, chain_base, buf);
+        chain_base = Some(&iv.lo);
+    }
+}
+
+/// Decodes a predicate-tagged interval batch (see [`encode_tenant_batch`]
+/// for the layout and base contract — `base` feeds the first group only;
+/// the rest chain internally).
+pub fn decode_tenant_batch(
+    buf: &mut Bytes,
+    base: Option<&VectorClock>,
+) -> Result<Vec<TenantGroup>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError("batch header truncated"));
+    }
+    let header = buf.get_u32_le();
+    if (header >> 24) as u8 != TENANT_BATCH_TAG {
+        return Err(DecodeError("not a tenant batch frame"));
+    }
+    let count = (header & 0x00ff_ffff) as usize;
+    // Each group is at least two varint bytes plus a minimal delta
+    // interval — a cheap sanity bound before the allocation.
+    if buf.remaining() < 2 * count {
+        return Err(DecodeError("batch groups truncated"));
+    }
+    let mut groups: Vec<TenantGroup> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let k = get_varint(buf)? as usize;
+        if k == 0 {
+            return Err(DecodeError("empty tenant group"));
+        }
+        if k > MAX_COVERAGE {
+            return Err(DecodeError("tenant group exceeds MAX_COVERAGE"));
+        }
+        if buf.remaining() < k {
+            return Err(DecodeError("batch groups truncated"));
+        }
+        let mut preds = Vec::with_capacity(k);
+        for _ in 0..k {
+            let pred = get_varint(buf)?;
+            let pred = u32::try_from(pred).map_err(|_| DecodeError("predicate id out of range"))?;
+            preds.push(pred);
+        }
+        let chain_base = groups.last().map(|(_, prev)| &prev.lo).or(base);
+        let iv = decode_interval_delta(buf, chain_base)?;
+        groups.push((preds, iv));
+    }
+    Ok(groups)
+}
+
+/// Exact encoded size of a tenant batch for a given first-group base.
+pub fn encoded_tenant_batch_len(groups: &[TenantGroup], base: Option<&VectorClock>) -> usize {
+    let mut total = 4;
+    let mut chain_base = base;
+    for (preds, iv) in groups {
+        total += varint_len(preds.len() as u64)
+            + preds
+                .iter()
+                .map(|&p| varint_len(u64::from(p)))
+                .sum::<usize>()
+            + encoded_interval_delta_len(iv, chain_base);
+        chain_base = Some(&iv.lo);
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
 // Version-dispatching decoders
 // ---------------------------------------------------------------------------
 
@@ -504,40 +616,86 @@ fn skip_varint(s: &[u8]) -> Result<&[u8], DecodeError> {
     Err(DecodeError("varint truncated"))
 }
 
+/// Reads one varint from `s`, returning its value and the remainder
+/// (classification-time parsing of group counts).
+fn take_varint(s: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
+    let mut v: u64 = 0;
+    for (i, &b) in s.iter().enumerate().take(10) {
+        let bits = u64::from(b & 0x7f);
+        if i == 9 && bits > 1 {
+            return Err(DecodeError("varint overflows u64"));
+        }
+        v |= bits << (7 * i);
+        if b & 0x80 == 0 {
+            return Ok((v, &s[i + 1..]));
+        }
+    }
+    Err(DecodeError("varint truncated"))
+}
+
+/// Walks the fixed prefix of a `DInterval` at the start of `s` to its
+/// embedded `DClock` base flag: u32 header, varint seq, u8 kind
+/// [, varint level], u32 clock header, u8 base_flag.
+fn classify_delta_interval(s: &[u8]) -> Result<FrameKind, DecodeError> {
+    if s.len() < 4 {
+        return Err(DecodeError("frame header truncated"));
+    }
+    if s[3] != INTERVAL_DELTA_TAG {
+        return Err(DecodeError("not a delta interval frame"));
+    }
+    let s = skip_varint(&s[4..])?;
+    let (&kind, s) = s
+        .split_first()
+        .ok_or(DecodeError("frame header truncated"))?;
+    let s = match kind {
+        0 => s,
+        1 => skip_varint(s)?,
+        _ => return Err(DecodeError("unknown interval kind tag")),
+    };
+    if s.len() < 5 {
+        return Err(DecodeError("frame header truncated"));
+    }
+    if s[3] != CLOCK_DELTA_TAG {
+        return Err(DecodeError("not a delta clock frame"));
+    }
+    match s[4] {
+        0 => Ok(FrameKind::DeltaStandalone),
+        1 => Ok(FrameKind::DeltaStateful),
+        _ => Err(DecodeError("unknown delta base flag")),
+    }
+}
+
 /// Classifies an encoded *interval* frame by inspection — version byte
 /// plus (for delta frames) the embedded `base_flag` — without decoding
 /// it. Transports use this to tell resync points (cold-decodable frames)
 /// from stateful stream frames when accounting wire traffic.
+///
+/// A tenant batch ([`TENANT_BATCH_TAG`]) is classified by its *first*
+/// entry: later entries always chain against in-frame bases, so the first
+/// entry's base flag alone decides cold decodability. An empty batch is
+/// trivially standalone.
 pub fn frame_kind(frame: &[u8]) -> Result<FrameKind, DecodeError> {
     if frame.len() < 4 {
         return Err(DecodeError("frame header truncated"));
     }
     match frame[3] {
         0 => Ok(FrameKind::Dense),
-        INTERVAL_DELTA_TAG => {
-            // Walk the fixed prefix to the embedded DClock's base flag:
-            // u32 header, varint seq, u8 kind [, varint level], u32 clock
-            // header, u8 base_flag.
-            let s = skip_varint(&frame[4..])?;
-            let (&kind, s) = s
-                .split_first()
-                .ok_or(DecodeError("frame header truncated"))?;
-            let s = match kind {
-                0 => s,
-                1 => skip_varint(s)?,
-                _ => return Err(DecodeError("unknown interval kind tag")),
-            };
-            if s.len() < 5 {
-                return Err(DecodeError("frame header truncated"));
+        INTERVAL_DELTA_TAG => classify_delta_interval(frame),
+        TENANT_BATCH_TAG => {
+            let count = u32::from_le_bytes([frame[0], frame[1], frame[2], 0]);
+            if count == 0 {
+                return Ok(FrameKind::DeltaStandalone);
             }
-            if s[3] != CLOCK_DELTA_TAG {
-                return Err(DecodeError("not a delta clock frame"));
+            // Skip the first group's tenant list (varint k, k × varint
+            // predicate id), then classify its DInterval.
+            let (k, mut s) = take_varint(&frame[4..])?;
+            if k == 0 || k as usize > MAX_COVERAGE {
+                return Err(DecodeError("empty tenant group"));
             }
-            match s[4] {
-                0 => Ok(FrameKind::DeltaStandalone),
-                1 => Ok(FrameKind::DeltaStateful),
-                _ => Err(DecodeError("unknown delta base flag")),
+            for _ in 0..k {
+                s = skip_varint(s)?;
             }
+            classify_delta_interval(s)
         }
         _ => Err(DecodeError("unknown interval format version")),
     }
@@ -946,6 +1104,150 @@ mod tests {
         assert!(
             frame_kind(&[0, 0, 0, 0x42, 0, 0, 0, 0]).is_err(),
             "unknown version errors"
+        );
+    }
+
+    // --- tenant batch ------------------------------------------------------
+
+    fn sample_batch() -> Vec<TenantGroup> {
+        // The same event routed to three tenants plus one distinct
+        // pending interval — the mixed shape a per-connection uplink
+        // coalesces.
+        let a = sample_local();
+        let b = Interval::local(
+            ProcessId(1),
+            2,
+            VectorClock::from_components(vec![2, 2, 2, 2]),
+            VectorClock::from_components(vec![6, 6, 6, 6]),
+        );
+        vec![(vec![0, 17, 4093], a), (vec![2], b)]
+    }
+
+    #[test]
+    fn tenant_batch_standalone_round_trip() {
+        let entries = sample_batch();
+        let mut buf = BytesMut::new();
+        encode_tenant_batch(&entries, None, &mut buf);
+        assert_eq!(buf.len(), encoded_tenant_batch_len(&entries, None));
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_tenant_batch(&mut bytes, None).unwrap(), entries);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn tenant_batch_stateful_round_trip() {
+        let entries = sample_batch();
+        let base = VectorClock::from_components(vec![1, 2, 3, 3]);
+        let mut buf = BytesMut::new();
+        encode_tenant_batch(&entries, Some(&base), &mut buf);
+        assert_eq!(buf.len(), encoded_tenant_batch_len(&entries, Some(&base)));
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_tenant_batch(&mut bytes, Some(&base)).unwrap(),
+            entries
+        );
+    }
+
+    #[test]
+    fn tenant_batch_fanout_entries_are_cheap() {
+        // Routing one event to k tenants: the interval is encoded once
+        // and each extra tenant costs one varint — per-predicate framing
+        // would re-ship the interval k times.
+        let a = sample_local();
+        let solo = vec![(vec![0u32], a.clone())];
+        let fanout = vec![((0..64u32).collect::<Vec<u32>>(), a.clone())];
+        let solo_len = encoded_tenant_batch_len(&solo, None);
+        let fanout_len = encoded_tenant_batch_len(&fanout, None);
+        let per_predicate = 64 * solo_len;
+        assert!(
+            fanout_len < per_predicate / 8,
+            "batched fan-out ({fanout_len}) must beat per-predicate framing ({per_predicate})"
+        );
+        assert_eq!(
+            fanout_len - solo_len,
+            63,
+            "each extra tenant costs exactly one varint here"
+        );
+    }
+
+    #[test]
+    fn tenant_batch_empty_round_trip() {
+        let mut buf = BytesMut::new();
+        encode_tenant_batch(&[], None, &mut buf);
+        assert_eq!(buf.len(), 4);
+        let mut bytes = buf.freeze();
+        assert_eq!(frame_kind(bytes.as_slice()), Ok(FrameKind::DeltaStandalone));
+        assert_eq!(decode_tenant_batch(&mut bytes, None).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn tenant_batch_frame_kind_tracks_first_entry() {
+        let entries = sample_batch();
+        let mut standalone = BytesMut::new();
+        encode_tenant_batch(&entries, None, &mut standalone);
+        assert_eq!(
+            frame_kind(standalone.freeze().as_slice()),
+            Ok(FrameKind::DeltaStandalone)
+        );
+        let base = VectorClock::from_components(vec![0, 0, 0, 1]);
+        let mut stateful = BytesMut::new();
+        encode_tenant_batch(&entries, Some(&base), &mut stateful);
+        assert_eq!(
+            frame_kind(stateful.freeze().as_slice()),
+            Ok(FrameKind::DeltaStateful)
+        );
+        assert!(FrameKind::DeltaStandalone.is_cold_decodable());
+    }
+
+    #[test]
+    fn tenant_batch_stateful_without_base_errors() {
+        let entries = sample_batch();
+        let base = VectorClock::from_components(vec![1, 1, 1, 1]);
+        let mut buf = BytesMut::new();
+        encode_tenant_batch(&entries, Some(&base), &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_tenant_batch(&mut bytes, None),
+            Err(DecodeError("stateful delta frame but no base supplied"))
+        );
+    }
+
+    #[test]
+    fn tenant_batch_truncations_error_cleanly() {
+        let entries = sample_batch();
+        let mut buf = BytesMut::new();
+        encode_tenant_batch(&entries, None, &mut buf);
+        let bytes = buf.freeze();
+        for cut in 0..bytes.len() {
+            let mut truncated = bytes.clone();
+            truncated.truncate(cut);
+            assert!(
+                decode_tenant_batch(&mut truncated, None).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_batch_count_rejected_before_allocation() {
+        let header = (u32::from(TENANT_BATCH_TAG) << 24) | 0x00ff_ffff;
+        let mut buf = Bytes::from(header.to_le_bytes().to_vec());
+        assert_eq!(
+            decode_tenant_batch(&mut buf, None),
+            Err(DecodeError("batch groups truncated"))
+        );
+    }
+
+    #[test]
+    fn hostile_empty_group_rejected() {
+        // Header claims one group, whose tenant count is zero.
+        let header = (u32::from(TENANT_BATCH_TAG) << 24) | 1;
+        let mut raw = header.to_le_bytes().to_vec();
+        raw.extend_from_slice(&[0x00, 0x00]); // k = 0, then padding
+        let mut buf = Bytes::from(raw);
+        assert_eq!(
+            decode_tenant_batch(&mut buf, None),
+            Err(DecodeError("empty tenant group"))
         );
     }
 

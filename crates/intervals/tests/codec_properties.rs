@@ -1,7 +1,7 @@
 //! Property tests: the binary codec round-trips every well-formed value
 //! and reports exact sizes.
 
-use bytes::Bytes;
+use bytes::{Buf, Bytes};
 use ftscp_intervals::codec;
 use ftscp_intervals::{aggregate, Interval};
 use ftscp_vclock::{ProcessId, VectorClock};
@@ -20,6 +20,27 @@ fn interval_strategy() -> impl Strategy<Value = Interval> {
             clock_strategy(width),
         )
             .prop_map(|(p, seq, lo, hi)| Interval::local(ProcessId(p), seq, lo, hi))
+    })
+}
+
+/// Mixed-tenant batches: 1–6 groups over one clock width (one
+/// connection serves one network), each group fanning out to 1–4
+/// arbitrary predicate ids.
+fn tenant_groups_strategy() -> impl Strategy<Value = Vec<(Vec<u32>, Interval)>> {
+    (1usize..8).prop_flat_map(|width| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..1_000_000, 1..5),
+                (
+                    0u32..64,
+                    proptest::num::u64::ANY,
+                    clock_strategy(width),
+                    clock_strategy(width),
+                )
+                    .prop_map(|(p, seq, lo, hi)| Interval::local(ProcessId(p), seq, lo, hi)),
+            ),
+            1..7,
+        )
     })
 }
 
@@ -78,5 +99,47 @@ proptest! {
     fn garbage_never_panics(data in proptest::collection::vec(proptest::num::u8::ANY, 0..64)) {
         let b = Bytes::from(data);
         let _ = codec::interval_from_bytes(&b); // must not panic
+    }
+
+    /// Any mixed-tenant batch round-trips exactly — standalone or
+    /// against a connection base — and the size query is exact. The
+    /// in-frame delta chain (group i encoded against group i−1's `lo`)
+    /// must be transparent to the caller.
+    #[test]
+    fn tenant_batch_round_trip(
+        groups in tenant_groups_strategy(),
+        with_base in proptest::bool::ANY,
+    ) {
+        // A width-matched connection base, when requested; standalone
+        // otherwise (what a resync or cold connection sends).
+        let base = if with_base { Some(groups[0].1.lo.clone()) } else { None };
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_tenant_batch(&groups, base.as_ref(), &mut buf);
+        let bytes = buf.freeze();
+        prop_assert_eq!(
+            bytes.len(),
+            codec::encoded_tenant_batch_len(&groups, base.as_ref())
+        );
+        let mut b = bytes.clone();
+        prop_assert_eq!(codec::decode_tenant_batch(&mut b, base.as_ref()).unwrap(), groups);
+        prop_assert_eq!(b.remaining(), 0, "decode must consume the frame exactly");
+    }
+
+    /// Any truncation of a valid batch fails cleanly (no panic, no
+    /// partial-group success masquerading as a full decode).
+    #[test]
+    fn tenant_batch_truncation_never_panics(
+        groups in tenant_groups_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_tenant_batch(&groups, None, &mut buf);
+        let bytes = buf.freeze();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let mut t = bytes.clone();
+            t.truncate(cut);
+            prop_assert!(codec::decode_tenant_batch(&mut t, None).is_err());
+        }
     }
 }

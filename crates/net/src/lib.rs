@@ -48,10 +48,12 @@ pub mod loopback;
 pub mod node;
 pub mod reactor;
 pub mod scale;
+pub mod tenancy;
 pub mod wire;
 
 pub use client::EventClient;
 pub use frame::{FrameBuffer, FrameError, MAX_FRAME_LEN};
 pub use loopback::{sockets_available, Deployment, LoopbackConfig, LoopbackReport};
 pub use node::{spawn, NodeConfig, NodeHandle, NodeReport};
+pub use tenancy::{run_tenancy, TenancyConfig, TenancyReport};
 pub use wire::{NetMsg, PeerKind, PROTO_VERSION};

@@ -26,6 +26,7 @@
 //!        9 Adopt       := u32 child, u64 epoch, u8 has_dead, [u32 dead_parent]
 //!       10 AdoptAck    := u32 from, u32 child, u64 epoch, u8 accepted
 //!       11 ReReport    := u32 from, u64 epoch
+//!       12 IntervalBatch := u32 from, u8 resync, tenant batch frame (codec)
 //!   4 Event    := interval frame (codec)
 //!   5 Fin      := u32 node
 //!   6 Uplink   := u8 has_parent, [u32 parent, u16 addr_len, addr bytes],
@@ -53,8 +54,11 @@ use ftscp_vclock::ProcessId;
 /// adoption handshake, and the `Uplink` grandparent hint); v3 extended
 /// `Heartbeat` with the sender's ancestor chain (the fallback-adopter
 /// ladder past the grandparent); v4 extended `Uplink` with the listen
-/// addresses of that chain, so every ladder rung is dialable.
-pub const PROTO_VERSION: u8 = 4;
+/// addresses of that chain, so every ladder rung is dialable; v5 added
+/// the predicate-tagged `IntervalBatch` (subtag 12) — the multi-tenant
+/// uplink that coalesces every tenant's pending intervals into one
+/// 0xD3 frame per connection flush.
+pub const PROTO_VERSION: u8 = 5;
 
 /// What a connecting peer is, declared in its HELLO.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -247,6 +251,22 @@ pub fn encode_msg(msg: &NetMsg, codec: &mut ConnCodec) -> Vec<u8> {
                     put_u32(&mut out, from.0);
                     put_u64(&mut out, *epoch);
                 }
+                DetectMsg::IntervalBatch {
+                    from,
+                    groups,
+                    resync,
+                } => {
+                    out.push(12);
+                    put_u32(&mut out, from.0);
+                    out.push(u8::from(*resync));
+                    let mut buf = BytesMut::new();
+                    if *resync {
+                        codec.encode_batch_standalone(groups, &mut buf);
+                    } else {
+                        codec.encode_batch(groups, &mut buf);
+                    }
+                    out.extend_from_slice(buf.freeze().as_slice());
+                }
             }
         }
         NetMsg::Event(iv) => {
@@ -341,6 +361,15 @@ impl<'a> Cursor<'a> {
         let consumed = before - bytes.len();
         self.0 = &self.0[consumed..];
         Ok(iv)
+    }
+
+    fn batch(&mut self, codec: &mut ConnCodec) -> Result<Vec<(Vec<u32>, Interval)>, DecodeError> {
+        let mut bytes = Bytes::from(self.0.to_vec());
+        let before = bytes.len();
+        let groups = codec.decode_batch(&mut bytes)?;
+        let consumed = before - bytes.len();
+        self.0 = &self.0[consumed..];
+        Ok(groups)
     }
 }
 
@@ -445,6 +474,20 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
                     from: ProcessId(c.u32()?),
                     epoch: c.u64()?,
                 },
+                12 => {
+                    let from = ProcessId(c.u32()?);
+                    let resync = match c.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(DecodeError("bad resync flag")),
+                    };
+                    let groups = c.batch(codec)?;
+                    DetectMsg::IntervalBatch {
+                        from,
+                        groups,
+                        resync,
+                    }
+                }
                 _ => return Err(DecodeError("unknown detect subtag")),
             };
             NetMsg::Detect(d)
@@ -484,6 +527,7 @@ pub fn decode_msg(frame: &[u8], codec: &mut ConnCodec) -> Result<NetMsg, DecodeE
 pub fn interval_frame_kind(payload: &[u8]) -> Option<FrameKind> {
     let codec_frame = match payload.first()? {
         3 if payload.get(1) == Some(&0) => payload.get(2 + 4 + 1..)?,
+        3 if payload.get(1) == Some(&12) => payload.get(2 + 4 + 1..)?,
         4 => payload.get(1..)?,
         _ => return None,
     };
@@ -588,6 +632,19 @@ mod tests {
                 from: ProcessId(4),
                 epoch: 3,
             }),
+            NetMsg::Detect(DetectMsg::IntervalBatch {
+                from: ProcessId(6),
+                groups: vec![
+                    (vec![0, 17], iv(0, vec![1, 2], vec![3, 4])),
+                    (vec![3], iv(1, vec![4, 4], vec![6, 5])),
+                ],
+                resync: false,
+            }),
+            NetMsg::Detect(DetectMsg::IntervalBatch {
+                from: ProcessId(6),
+                groups: vec![(vec![2], iv(5, vec![9, 9], vec![10, 10]))],
+                resync: true,
+            }),
             NetMsg::Event(iv(1, vec![2, 2], vec![5, 3])),
             NetMsg::Fin { from: ProcessId(4) },
             NetMsg::Uplink {
@@ -644,6 +701,65 @@ mod tests {
             };
             assert_eq!(&got, interval);
         }
+    }
+
+    #[test]
+    fn batch_stream_uses_connection_codec() {
+        // Batches share the connection base with plain interval frames:
+        // the first flush is standalone (cold codec), later ones chain.
+        let mut tx = ConnCodec::new();
+        let mut rx = ConnCodec::new();
+        let flushes = vec![
+            vec![
+                (vec![0u32, 1], iv(0, vec![1, 0], vec![4, 2])),
+                (vec![2u32], iv(1, vec![5, 2], vec![7, 2])),
+            ],
+            vec![(vec![0u32, 2], iv(2, vec![8, 2], vec![9, 3]))],
+        ];
+        let mut payloads = Vec::new();
+        for (i, groups) in flushes.iter().enumerate() {
+            let msg = NetMsg::Detect(DetectMsg::IntervalBatch {
+                from: ProcessId(2),
+                groups: groups.clone(),
+                resync: false,
+            });
+            let payload = encode_msg(&msg, &mut tx);
+            let expect = if i == 0 {
+                FrameKind::DeltaStandalone
+            } else {
+                FrameKind::DeltaStateful
+            };
+            assert_eq!(interval_frame_kind(&payload), Some(expect));
+            payloads.push(payload);
+        }
+        for (payload, groups) in payloads.iter().zip(&flushes) {
+            let NetMsg::Detect(DetectMsg::IntervalBatch { groups: got, .. }) =
+                decode_msg(payload, &mut rx).expect("in-order decode")
+            else {
+                panic!("wrong variant");
+            };
+            assert_eq!(&got, groups);
+        }
+    }
+
+    #[test]
+    fn resync_batch_is_standalone_despite_warm_codec() {
+        let mut tx = ConnCodec::new();
+        let warmup = NetMsg::Event(iv(0, vec![1, 1], vec![2, 2]));
+        let _ = encode_msg(&warmup, &mut tx);
+        let msg = NetMsg::Detect(DetectMsg::IntervalBatch {
+            from: ProcessId(2),
+            groups: vec![(vec![0], iv(1, vec![3, 2], vec![4, 3]))],
+            resync: true,
+        });
+        let payload = encode_msg(&msg, &mut tx);
+        assert_eq!(
+            interval_frame_kind(&payload),
+            Some(FrameKind::DeltaStandalone),
+            "a re-report batch must be decodable by a cold parent"
+        );
+        let mut cold = ConnCodec::new();
+        assert_eq!(decode_msg(&payload, &mut cold).expect("cold decode"), msg);
     }
 
     #[test]

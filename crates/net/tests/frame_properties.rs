@@ -7,7 +7,11 @@
 //! happens to have buffered — one byte, a frame fragment, or many
 //! coalesced frames.
 
+use ftscp_core::protocol::{ConnCodec, DetectMsg};
+use ftscp_intervals::Interval;
 use ftscp_net::frame::{fill, frame_bytes, FillStatus, FrameBuffer, MAX_FRAME_LEN};
+use ftscp_net::wire::{decode_msg, encode_msg, NetMsg};
+use ftscp_vclock::{ProcessId, VectorClock};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 use std::io::{self, Read};
@@ -45,6 +49,40 @@ impl Read for ChunkedReader {
         self.gap = true;
         Ok(n)
     }
+}
+
+/// A stream of predicate-tagged batch messages as one warm connection
+/// would send them: same clock width throughout, 1–5 groups per frame,
+/// each group addressed to 1–4 tenants. Clock components stay small so
+/// consecutive frames exercise genuinely tight deltas.
+fn batch_msgs_strategy() -> impl Strategy<Value = Vec<NetMsg>> {
+    let width = 5usize;
+    let clock = move || {
+        proptest::collection::vec(0u32..5_000, width).prop_map(VectorClock::from_components)
+    };
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..10_000, 1..5),
+                (0u32..8, proptest::num::u64::ANY, clock(), clock())
+                    .prop_map(|(p, seq, lo, hi)| Interval::local(ProcessId(p), seq, lo, hi)),
+            ),
+            1..6,
+        ),
+        1..6,
+    )
+    .prop_map(|frames| {
+        frames
+            .into_iter()
+            .map(|groups| {
+                NetMsg::Detect(DetectMsg::IntervalBatch {
+                    from: ProcessId(3),
+                    groups,
+                    resync: false,
+                })
+            })
+            .collect()
+    })
 }
 
 fn frames_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
@@ -203,6 +241,63 @@ proptest! {
             prop_assert_eq!(&out, &frames, "split at offset {}", cut);
             prop_assert_eq!(fb.pending_len(), 0);
         }
+    }
+
+    /// Predicate-tagged batch frames ride the same framer as everything
+    /// else: a warm connection's stream of `IntervalBatch` messages —
+    /// delta-chained across frames through the shared codec pair — must
+    /// survive arbitrary TCP chunking byte-for-byte.
+    #[test]
+    fn tagged_batch_frames_survive_arbitrary_chunking(
+        msgs in batch_msgs_strategy(),
+        chunk_seed in proptest::num::u64::ANY,
+    ) {
+        let mut tx = ConnCodec::new();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&frame_bytes(&encode_msg(m, &mut tx)));
+        }
+        let mut fb = FrameBuffer::new();
+        let mut rx = ConnCodec::new();
+        let mut got = Vec::new();
+        let mut rng = chunk_seed | 1;
+        let mut pos = 0;
+        while pos < stream.len() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let take = (1 + (rng >> 33) as usize % 16).min(stream.len() - pos);
+            fb.push(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(f) = fb.next_frame().expect("valid stream") {
+                got.push(decode_msg(&f, &mut rx).expect("valid batch frame"));
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(fb.pending_len(), 0);
+    }
+
+    /// A `resync: true` batch is always encoded standalone, so a decoder
+    /// that missed the entire warm prefix (reconnect, late join) must
+    /// still decode it from nothing but the frame itself.
+    #[test]
+    fn resync_batch_decodes_cold_after_warm_prefix(mut msgs in batch_msgs_strategy()) {
+        let last = msgs.len() - 1;
+        if let NetMsg::Detect(DetectMsg::IntervalBatch { resync, .. }) = &mut msgs[last] {
+            *resync = true;
+        }
+        let mut tx = ConnCodec::new();
+        let payloads: Vec<Vec<u8>> = msgs.iter().map(|m| encode_msg(m, &mut tx)).collect();
+        // A cold codec sees only the final frame — no prefix, no base.
+        let mut cold = ConnCodec::new();
+        let decoded = decode_msg(&payloads[last], &mut cold)
+            .expect("resync batch must decode standalone");
+        prop_assert_eq!(&decoded, &msgs[last]);
+        // And the warm receiver that did see the prefix agrees.
+        let mut warm = ConnCodec::new();
+        let mut got = Vec::new();
+        for p in &payloads {
+            got.push(decode_msg(p, &mut warm).expect("valid frame"));
+        }
+        prop_assert_eq!(got, msgs);
     }
 
     /// The fastest possible socket: every frame arrives coalesced into
